@@ -1,0 +1,67 @@
+// Command opf-bench regenerates the paper's tables and figures on the
+// deterministic simulator. Each experiment prints the same rows/series the
+// paper reports (see DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	opf-bench -exp all                 # every experiment, default scale
+//	opf-bench -exp fig7 -sim-ms 400    # one figure at a given scale
+//	opf-bench -list                    # list experiment IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nvmeopf/internal/experiments"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment ID or 'all'")
+		simMS  = flag.Int64("sim-ms", 400, "virtual measurement milliseconds per case")
+		warmMS = flag.Int64("warmup-ms", 100, "virtual warmup milliseconds per case")
+		seed   = flag.Uint64("seed", 1, "simulation seed")
+		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot   = flag.Bool("plot", false, "append an ASCII bar sketch of each figure")
+		list   = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experiments.Names(), "\n"))
+		return
+	}
+	cfg := experiments.Config{SimMillis: *simMS, WarmupMillis: *warmMS, Seed: *seed}
+
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		start := time.Now()
+		rep, err := experiments.ByName(name, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opf-bench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n%s\n", rep.ID, rep.Title, rep.Table.CSV())
+		} else {
+			fmt.Println(rep.String())
+		}
+		if *plot {
+			if sketch := rep.Plot(); sketch != "" {
+				fmt.Println(sketch)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "[%s took %.1fs]\n", name, time.Since(start).Seconds())
+		if name == "checks" && experiments.CheckFailures > 0 {
+			fmt.Fprintf(os.Stderr, "opf-bench: %d regression check(s) failed\n", experiments.CheckFailures)
+			os.Exit(2)
+		}
+	}
+}

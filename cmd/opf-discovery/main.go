@@ -1,0 +1,27 @@
+// Command opf-discovery runs a standalone discovery endpoint. Targets
+// register via opf-target's -discovery/-nqn flags; hosts resolve
+// subsystems with tcptrans.Discover / nvmeopf.DialDiscovered.
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+
+	"nvmeopf/internal/tcptrans"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:4419", "listen address")
+	flag.Parse()
+	d, err := tcptrans.ListenDiscovery(*addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer d.Close()
+	log.Printf("nvme-opf discovery endpoint on %s", d.Addr())
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt)
+	<-stop
+}

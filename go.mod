@@ -1,0 +1,3 @@
+module nvmeopf
+
+go 1.22

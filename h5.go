@@ -1,0 +1,53 @@
+package nvmeopf
+
+import (
+	"nvmeopf/internal/hdf5"
+	"nvmeopf/internal/hostqp"
+)
+
+// The mini-HDF5 surface: a from-scratch hierarchical data format library
+// (groups + typed 1-D datasets with contiguous storage) used for the
+// paper's application-level study. Dataset I/O runs through an NVMe-oPF
+// initiator with data tagged throughput-critical and metadata tagged
+// latency-sensitive — the VOL-style co-design of §V-E.
+
+// H5Device is the asynchronous block device mini-HDF5 files live on.
+type H5Device = hdf5.Device
+
+// H5File is an open mini-HDF5 file.
+type H5File = hdf5.File
+
+// H5Dataset is an open one-dimensional typed dataset.
+type H5Dataset = hdf5.Dataset
+
+// H5Datatype enumerates dataset element types.
+type H5Datatype = hdf5.Datatype
+
+// Datatypes.
+const (
+	H5Float32 = hdf5.Float32
+	H5Float64 = hdf5.Float64
+	H5Int32   = hdf5.Int32
+	H5Int64   = hdf5.Int64
+	H5UInt8   = hdf5.UInt8
+)
+
+// HostSession is an initiator queue-pair session (the sans-IO state
+// machine both transports share); simulated initiators expose one.
+type HostSession = hostqp.Session
+
+// H5Create formats dev as a fresh mini-HDF5 file.
+func H5Create(dev H5Device, done func(*H5File, error)) { hdf5.Create(dev, done) }
+
+// H5Open opens an existing mini-HDF5 file on dev.
+func H5Open(dev H5Device, done func(*H5File, error)) { hdf5.Open(dev, done) }
+
+// NewH5SessionDevice exposes a partition [base, base+blocks) of an
+// NVMe-oPF namespace as an H5Device over an initiator session. deferFn
+// must schedule its argument after the current event cascade — for a
+// simulated session pass the cluster's Defer; it drives the quiesce check
+// that drains partial throughput-critical windows when the writer goes
+// idle.
+func NewH5SessionDevice(sess *HostSession, blockSize uint32, base, blocks uint64, deferFn func(func())) (H5Device, error) {
+	return hdf5.NewSessionDevice(sess, blockSize, base, blocks, deferFn)
+}

@@ -1,0 +1,229 @@
+package bdev
+
+import (
+	"bytes"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestMemoryGeometryValidation(t *testing.T) {
+	if _, err := NewMemory(0, 10); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if _, err := NewMemory(1000, 10); err == nil {
+		t.Error("non-power-of-two block size accepted")
+	}
+	if _, err := NewMemory(512, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	m, err := NewMemory(512, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.BlockSize() != 512 || m.NumBlocks() != 100 {
+		t.Fatalf("geometry %d/%d", m.BlockSize(), m.NumBlocks())
+	}
+}
+
+func TestMemoryReadUnwrittenIsZero(t *testing.T) {
+	m, _ := NewMemory(512, 100)
+	buf := bytes.Repeat([]byte{0xFF}, 1024)
+	if err := m.ReadBlocks(buf, 10); err != nil {
+		t.Fatal(err)
+	}
+	for i, b := range buf {
+		if b != 0 {
+			t.Fatalf("byte %d = %#x, want 0", i, b)
+		}
+	}
+}
+
+func TestMemoryReadAfterWrite(t *testing.T) {
+	m, _ := NewMemory(512, 1000)
+	w := make([]byte, 1536)
+	for i := range w {
+		w[i] = byte(i * 7)
+	}
+	if err := m.WriteBlocks(w, 42); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 1536)
+	if err := m.ReadBlocks(r, 42); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, w) {
+		t.Fatal("read-after-write mismatch")
+	}
+	// Partial overlap read.
+	r2 := make([]byte, 512)
+	if err := m.ReadBlocks(r2, 43); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r2, w[512:1024]) {
+		t.Fatal("offset read mismatch")
+	}
+}
+
+func TestMemoryRangeChecks(t *testing.T) {
+	m, _ := NewMemory(512, 10)
+	if err := m.ReadBlocks(make([]byte, 512), 10); err == nil {
+		t.Error("read past end accepted")
+	}
+	if err := m.WriteBlocks(make([]byte, 1024), 9); err == nil {
+		t.Error("write straddling end accepted")
+	}
+	if err := m.ReadBlocks(make([]byte, 100), 0); err == nil {
+		t.Error("non-block-multiple buffer accepted")
+	}
+	if err := m.WriteBlocks(nil, 0); err == nil {
+		t.Error("empty buffer accepted")
+	}
+}
+
+func TestMemorySparse(t *testing.T) {
+	m, _ := NewMemory(4096, 1<<30) // 4 TiB namespace
+	if err := m.WriteBlocks(make([]byte, 4096), 1<<29); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.WriteBlocks(make([]byte, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.ExtentCount(); got != 2 {
+		t.Fatalf("extent count = %d, want 2 (sparse)", got)
+	}
+}
+
+func TestMemoryCrossExtentWrite(t *testing.T) {
+	m, _ := NewMemory(512, 10_000)
+	// Write spanning an extent boundary (extentBlocks = 256).
+	w := make([]byte, 512*4)
+	for i := range w {
+		w[i] = byte(i)
+	}
+	if err := m.WriteBlocks(w, 254); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 512*4)
+	if err := m.ReadBlocks(r, 254); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, w) {
+		t.Fatal("cross-extent round trip mismatch")
+	}
+}
+
+func TestMemoryConcurrent(t *testing.T) {
+	m, _ := NewMemory(512, 4096)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 512)
+			for i := range buf {
+				buf[i] = byte(g)
+			}
+			base := uint64(g * 512)
+			for iter := 0; iter < 200; iter++ {
+				lba := base + uint64(iter%512)
+				if err := m.WriteBlocks(buf, lba); err != nil {
+					t.Error(err)
+					return
+				}
+				r := make([]byte, 512)
+				if err := m.ReadBlocks(r, lba); err != nil {
+					t.Error(err)
+					return
+				}
+				if !bytes.Equal(r, buf) {
+					t.Errorf("goroutine %d: corruption at lba %d", g, lba)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Property: a sequence of writes followed by reads behaves like a flat
+// byte array (the model), for arbitrary small geometries and offsets.
+func TestMemoryModelProperty(t *testing.T) {
+	type op struct {
+		LBA  uint16
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		const bs, nb = 512, 256
+		m, _ := NewMemory(bs, nb)
+		model := make([]byte, bs*nb)
+		for _, o := range ops {
+			lba := uint64(o.LBA) % nb
+			nBlocks := len(o.Data)/bs + 1
+			if uint64(nBlocks) > nb-lba {
+				nBlocks = int(nb - lba)
+			}
+			if nBlocks == 0 {
+				continue
+			}
+			buf := make([]byte, nBlocks*bs)
+			copy(buf, o.Data)
+			if err := m.WriteBlocks(buf, lba); err != nil {
+				return false
+			}
+			copy(model[lba*bs:], buf)
+		}
+		got := make([]byte, bs*nb)
+		if err := m.ReadBlocks(got, 0); err != nil {
+			return false
+		}
+		return bytes.Equal(got, model)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFileDevice(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "dev.img")
+	d, err := OpenFile(path, 512, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if d.BlockSize() != 512 || d.NumBlocks() != 1024 {
+		t.Fatal("geometry mismatch")
+	}
+	w := bytes.Repeat([]byte{0x5A}, 1024)
+	if err := d.WriteBlocks(w, 100); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := make([]byte, 1024)
+	if err := d.ReadBlocks(r, 100); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(r, w) {
+		t.Fatal("file round trip mismatch")
+	}
+	if err := d.ReadBlocks(make([]byte, 512), 1024); err == nil {
+		t.Error("read past end accepted")
+	}
+}
+
+func TestOpenFileValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := OpenFile(filepath.Join(dir, "x"), 100, 10); err == nil {
+		t.Error("bad block size accepted")
+	}
+	if _, err := OpenFile(filepath.Join(dir, "y"), 512, 0); err == nil {
+		t.Error("zero capacity accepted")
+	}
+	if _, err := OpenFile(filepath.Join(dir, "nodir", "z"), 512, 10); err == nil {
+		t.Error("unopenable path accepted")
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+)
+
+// HostPM is the initiator-side priority manager. It stamps outgoing
+// requests with the connection's priority class, automatically inserts the
+// draining flag on every window-th throughput-critical request (§III-C:
+// "the NVMe-oPF initiator sends it automatically according to the desired
+// window size"), tracks pending TC CIDs in submission order in a zero-copy
+// queue, and replays coalesced completions (Alg. 1 and Alg. 2).
+//
+// The same submission-ordered pending queue is what reconciles the
+// device's out-of-order completions (§IV-C): the initiator marks local
+// completions in queue order, so callers observe a consistent stream even
+// though the SSD finished the window in any order.
+type HostPM struct {
+	prio    proto.Priority // class for this connection: LS, TC, or normal
+	window  int
+	sinceDr int // TC requests sent since the last drain
+	pending CIDQueue
+	dyn     *DynamicWindow
+	stats   HostPMStats
+}
+
+// HostPMStats counts host-side PM events.
+type HostPMStats struct {
+	Sent            int64 // requests stamped
+	DrainsInserted  int64 // draining flags auto-inserted
+	CoalescedResps  int64 // coalesced responses received
+	ReplayCompleted int64 // requests completed by coalesced replay
+	IndividualResps int64 // per-request responses received
+}
+
+// NewHostPM creates a host PM for a connection of the given priority
+// class. window is the drain window size for TC connections; it is
+// ignored for LS/normal classes. window < 1 is clamped to 1 (every TC
+// request drains, i.e. no coalescing).
+func NewHostPM(class proto.Priority, window int) *HostPM {
+	if window < 1 {
+		window = 1
+	}
+	return &HostPM{prio: class, window: window}
+}
+
+// Class returns the connection's priority class.
+func (h *HostPM) Class() proto.Priority { return h.prio }
+
+// Window returns the current drain window size.
+func (h *HostPM) Window() int { return h.window }
+
+// SetWindow changes the drain window size at run time (§IV-D: "the window
+// size can be dynamically changed during runtime after a draining request
+// completion notification is received"). Values < 1 clamp to 1.
+func (h *HostPM) SetWindow(w int) {
+	if w < 1 {
+		w = 1
+	}
+	h.window = w
+}
+
+// EnableDynamicWindow attaches a runtime tuner that adjusts the window
+// after each drain completion based on observed throughput.
+func (h *HostPM) EnableDynamicWindow(d *DynamicWindow) {
+	h.dyn = d
+	if d != nil {
+		h.window = d.Window()
+	}
+}
+
+// Stats returns a copy of the PM counters.
+func (h *HostPM) Stats() HostPMStats { return h.stats }
+
+// Pending returns the number of TC requests awaiting completion.
+func (h *HostPM) Pending() int { return h.pending.Len() }
+
+// SinceDrain returns the number of TC requests sent since the last
+// draining flag — the size of the partial window currently parked in the
+// target's queue.
+func (h *HostPM) SinceDrain() int { return h.sinceDr }
+
+// Stamp assigns the wire priority for the next request with the given CID
+// (Alg. 1: set the TC flag, queue the CID, and set the draining flag on
+// the window's last request). It returns the priority to put on the wire.
+func (h *HostPM) Stamp(cid nvme.CID) proto.Priority {
+	h.stats.Sent++
+	if !h.prio.ThroughputCritical() {
+		return h.prio
+	}
+	h.pending.Push(cid)
+	h.sinceDr++
+	if h.sinceDr >= h.window {
+		h.sinceDr = 0
+		h.stats.DrainsInserted++
+		return proto.PrioTCDraining
+	}
+	return proto.PrioThroughputCritical
+}
+
+// ForceDrainNext makes the next TC request carry the draining flag
+// regardless of the window counter; callers use it to flush a tail window
+// before going idle.
+func (h *HostPM) ForceDrainNext() {
+	if h.prio.ThroughputCritical() {
+		h.sinceDr = h.window // next Stamp triggers a drain
+	}
+}
+
+// OnResponse processes one wire response (Alg. 2). It returns the CIDs
+// the application must observe as completed, in submission order. For a
+// coalesced response naming CID c, that is every pending CID up to and
+// including c; for individual responses it is just the named CID. An
+// unknown CID is a protocol violation and returns an error.
+func (h *HostPM) OnResponse(cid nvme.CID, coalesced bool) ([]nvme.CID, error) {
+	if !h.prio.ThroughputCritical() {
+		// LS/normal connections get one response per request and keep no
+		// pending queue.
+		h.stats.IndividualResps++
+		return []nvme.CID{cid}, nil
+	}
+	if coalesced {
+		done, ok := h.pending.DrainThrough(cid)
+		if !ok {
+			return nil, fmt.Errorf("core: coalesced response names unknown CID %d", cid)
+		}
+		h.stats.CoalescedResps++
+		h.stats.ReplayCompleted += int64(len(done))
+		return done, nil
+	}
+	// Individual response on a TC connection: a premature-flush victim's
+	// completion (shared-queue ablation) or an error response. Remove it
+	// from the pending queue wherever it sits.
+	if !h.pending.Remove(cid) {
+		return nil, fmt.Errorf("core: response names unknown CID %d", cid)
+	}
+	h.stats.IndividualResps++
+	return []nvme.CID{cid}, nil
+}
+
+// OnDrainCompleted notifies the dynamic tuner (if enabled) that a window
+// finished, carrying the bytes moved since the previous drain. It returns
+// the window size to use next.
+func (h *HostPM) OnDrainCompleted(bytesMoved int64, now int64) int {
+	if h.dyn == nil {
+		return h.window
+	}
+	h.window = h.dyn.Observe(bytesMoved, now)
+	return h.window
+}

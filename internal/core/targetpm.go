@@ -1,0 +1,338 @@
+package core
+
+import (
+	"fmt"
+
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+)
+
+// Disposition tells the target qpair what to do with an arriving command
+// (Alg. 3, "NVMe target algorithm: ready to execute request").
+type Disposition int
+
+// Disposition values.
+const (
+	// DispositionExecute: hand the command to the device now. Used for
+	// normal/legacy requests and for latency-sensitive requests, which
+	// bypass every TC queue regardless of backlog.
+	DispositionExecute Disposition = iota
+	// DispositionQueued: the command was absorbed into a TC queue;
+	// nothing reaches the device yet.
+	DispositionQueued
+	// DispositionDrainBatch: the command carried the draining flag (or
+	// tripped the safety valve); the caller must execute the whole
+	// returned batch now.
+	DispositionDrainBatch
+)
+
+// String implements fmt.Stringer.
+func (d Disposition) String() string {
+	switch d {
+	case DispositionExecute:
+		return "execute"
+	case DispositionQueued:
+		return "queued"
+	case DispositionDrainBatch:
+		return "drain-batch"
+	default:
+		return fmt.Sprintf("Disposition(%d)", int(d))
+	}
+}
+
+// TaggedCID is a CID qualified by its owner tenant. CIDs are only unique
+// per queue pair, so any structure that can mix tenants (the shared-queue
+// ablation) must carry the owner alongside.
+type TaggedCID struct {
+	Tenant proto.TenantID
+	CID    nvme.CID
+}
+
+// RespDecision tells the target qpair whether a device completion produces
+// a wire response (Alg. 4, "NVMe target algorithm: ready to complete
+// request").
+type RespDecision struct {
+	// Send is false for suppressed completions (TC batch members whose
+	// notification the drain response will cover).
+	Send bool
+	// Tenant that must receive the response.
+	Tenant proto.TenantID
+	// CID of the response (the drain request's CID for coalesced ones).
+	CID nvme.CID
+	// Coalesced marks the response as covering every earlier TC request
+	// of the tenant (sets proto.FlagCoalesced on the wire).
+	Coalesced bool
+	// Status of the response. A coalesced response carries the batch's
+	// first non-success status, or success.
+	Status nvme.Status
+}
+
+// TargetPMConfig configures a target-side priority manager.
+type TargetPMConfig struct {
+	// Isolated selects one TC queue per tenant (the paper's lock-free
+	// design, §IV-A). When false, a single queue is shared by every
+	// tenant — the hazardous layout the paper rejects: a drain from one
+	// tenant prematurely flushes the others' windows. Kept for the
+	// ablation benchmark.
+	Isolated bool
+	// MaxPending is the per-queue safety valve: if a queue accumulates
+	// this many TC requests with no drain (e.g. a lost drain flag), the
+	// PM force-drains to avoid the lockup described in §IV-A. Zero
+	// disables the valve.
+	MaxPending int
+}
+
+// drainBatch tracks one executing TC window awaiting coalesced completion.
+type drainBatch struct {
+	owner     proto.TenantID // tenant whose drain (or overflow) formed the batch
+	drainCID  nvme.CID
+	hasDrain  bool
+	remaining int
+	status    nvme.Status
+	done      bool
+	// noCoalesce disables the coalesced response for this batch. Set in
+	// shared-queue mode: a drain there may flush other tenants' requests,
+	// and a coalesced response can only be ordered safely against the
+	// owner's own stream — with cross-tenant batches no global order
+	// exists, so correctness demands per-request responses. This is the
+	// §IV-A argument for isolated per-tenant queues, made executable.
+	noCoalesce bool
+}
+
+// pendingQueue is one TC queue: FIFO of tagged CIDs. In isolated mode all
+// entries share one tenant; in shared mode they interleave.
+type pendingQueue struct {
+	entries []TaggedCID
+}
+
+func (q *pendingQueue) push(e TaggedCID) { q.entries = append(q.entries, e) }
+func (q *pendingQueue) depth() int       { return len(q.entries) }
+func (q *pendingQueue) popAll() []TaggedCID {
+	out := q.entries
+	q.entries = nil
+	return out
+}
+
+// TargetPM is the target-side priority manager: it decides execution order
+// (computation order) and completion-notification policy for every tenant
+// connected to this target (§III-A Goals 1–2).
+//
+// TargetPM is not synchronized. The lock-free property of the paper's
+// design is structural: with Isolated=true no queue is ever shared between
+// tenants, so there is nothing to contend on; the runtime drives the PM
+// from its single poller loop, exactly as SPDK reactors drive per-core
+// state.
+type TargetPM struct {
+	cfg     TargetPMConfig
+	queues  map[proto.TenantID]*pendingQueue
+	batches map[TaggedCID]*drainBatch
+	// inflight holds each tenant's executing batches in window order.
+	// Coalesced responses are released strictly in this order: a later
+	// window that the out-of-order device finishes first must not be
+	// announced before an earlier window, because the host replays its
+	// pending queue prefix on every coalesced response (Alg. 2) and would
+	// otherwise report the earlier window complete prematurely.
+	inflight map[proto.TenantID][]*drainBatch
+	stats    TargetPMStats
+}
+
+// TargetPMStats counts PM-level events for the experiments.
+type TargetPMStats struct {
+	LSBypassed      int64 // LS requests sent straight to execution
+	TCQueued        int64 // TC requests absorbed into queues
+	Drains          int64 // drain-triggered batch executions
+	ForcedDrains    int64 // safety-valve executions (no drain flag)
+	PrematureFlush  int64 // foreign CIDs flushed by another tenant's drain
+	RespsSent       int64 // wire responses emitted
+	RespsSuppressed int64 // completions absorbed by coalescing
+}
+
+// NewTargetPM creates a priority manager.
+func NewTargetPM(cfg TargetPMConfig) *TargetPM {
+	return &TargetPM{
+		cfg:      cfg,
+		queues:   make(map[proto.TenantID]*pendingQueue),
+		batches:  make(map[TaggedCID]*drainBatch),
+		inflight: make(map[proto.TenantID][]*drainBatch),
+	}
+}
+
+// Stats returns a copy of the PM counters.
+func (pm *TargetPM) Stats() TargetPMStats { return pm.stats }
+
+// key maps a tenant to its queue owner: per-tenant when isolated, one
+// shared slot otherwise.
+func (pm *TargetPM) key(t proto.TenantID) proto.TenantID {
+	if pm.cfg.Isolated {
+		return t
+	}
+	return 0
+}
+
+func (pm *TargetPM) queue(t proto.TenantID) *pendingQueue {
+	k := pm.key(t)
+	q, ok := pm.queues[k]
+	if !ok {
+		q = &pendingQueue{}
+		pm.queues[k] = q
+	}
+	return q
+}
+
+// QueueDepth returns the number of pending (unexecuted) TC requests in the
+// queue serving tenant t.
+func (pm *TargetPM) QueueDepth(t proto.TenantID) int {
+	if q, ok := pm.queues[pm.key(t)]; ok {
+		return q.depth()
+	}
+	return 0
+}
+
+// OnCommand classifies one arriving command (Alg. 3). For
+// DispositionDrainBatch, batch lists every request to execute now, in FIFO
+// order, ending with the triggering command.
+func (pm *TargetPM) OnCommand(t proto.TenantID, cid nvme.CID, prio proto.Priority) (d Disposition, batch []TaggedCID) {
+	self := TaggedCID{Tenant: t, CID: cid}
+	switch {
+	case prio.Draining():
+		q := pm.queue(t)
+		batch = append(q.popAll(), self)
+		pm.beginBatch(t, cid, true, batch)
+		pm.stats.Drains++
+		return DispositionDrainBatch, batch
+
+	case prio.ThroughputCritical():
+		q := pm.queue(t)
+		q.push(self)
+		pm.stats.TCQueued++
+		if pm.cfg.MaxPending > 0 && q.depth() >= pm.cfg.MaxPending {
+			batch = q.popAll()
+			last := batch[len(batch)-1]
+			pm.beginBatch(last.Tenant, last.CID, false, batch)
+			pm.stats.ForcedDrains++
+			return DispositionDrainBatch, batch
+		}
+		return DispositionQueued, nil
+
+	default:
+		if prio.LatencySensitive() {
+			pm.stats.LSBypassed++
+		}
+		return DispositionExecute, nil
+	}
+}
+
+// beginBatch registers an executing window so completions can be counted.
+func (pm *TargetPM) beginBatch(owner proto.TenantID, drainCID nvme.CID, hasDrain bool, members []TaggedCID) {
+	b := &drainBatch{
+		owner:      owner,
+		drainCID:   drainCID,
+		hasDrain:   hasDrain,
+		remaining:  len(members),
+		status:     nvme.StatusSuccess,
+		noCoalesce: !pm.cfg.Isolated,
+	}
+	for _, m := range members {
+		pm.batches[m] = b
+		if m.Tenant != owner {
+			pm.stats.PrematureFlush++
+		}
+	}
+	pm.inflight[owner] = append(pm.inflight[owner], b)
+}
+
+// OnDeviceCompletion processes one device completion (Alg. 4) and decides
+// the wire response(s). LS/normal completions always respond. TC batch
+// members of the batch owner are suppressed until the batch empties, then
+// one coalesced response carries the drain CID. Foreign batch members
+// (shared-queue mode only: another tenant's requests prematurely flushed
+// by this drain) receive individual responses, because a coalesced
+// response can only cover the owner's connection.
+func (pm *TargetPM) OnDeviceCompletion(t proto.TenantID, cid nvme.CID, st nvme.Status) []RespDecision {
+	key := TaggedCID{Tenant: t, CID: cid}
+	b, ok := pm.batches[key]
+	if !ok {
+		// Not part of any TC batch: LS or legacy request.
+		pm.stats.RespsSent++
+		return []RespDecision{{Send: true, Tenant: t, CID: cid, Status: st}}
+	}
+	delete(pm.batches, key)
+	b.remaining--
+
+	if b.noCoalesce {
+		// Shared-queue mode: every member answers individually; the
+		// batch still gates releaseInOrder so pure batches of other
+		// owners behind it stay ordered.
+		pm.stats.RespsSent++
+		out := []RespDecision{{Send: true, Tenant: t, CID: cid, Status: st}}
+		if b.remaining == 0 {
+			b.done = true
+			out = append(out, pm.releaseInOrder(b.owner)...)
+		}
+		return out
+	}
+
+	var out []RespDecision
+	if t != b.owner {
+		// Premature flush victim: respond individually so the victim's
+		// initiator does not hang; its coalescing benefit is lost.
+		pm.stats.RespsSent++
+		out = append(out, RespDecision{Send: true, Tenant: t, CID: cid, Status: st})
+	} else {
+		if !st.OK() && b.status.OK() {
+			b.status = st
+		}
+		if b.remaining > 0 {
+			// Suppressed member — which may be the drain request itself
+			// when the device finished it early (out-of-order): the
+			// coalesced response waits for the whole window regardless.
+			pm.stats.RespsSuppressed++
+			return []RespDecision{{Send: false}}
+		}
+	}
+	if b.remaining == 0 {
+		b.done = true
+		out = append(out, pm.releaseInOrder(b.owner)...)
+	}
+	if len(out) == 0 {
+		out = append(out, RespDecision{Send: false})
+	}
+	return out
+}
+
+// releaseInOrder emits coalesced responses for the tenant's completed
+// windows, strictly in window order; a finished window parked behind an
+// unfinished earlier one stays unannounced until its turn.
+func (pm *TargetPM) releaseInOrder(owner proto.TenantID) []RespDecision {
+	var out []RespDecision
+	q := pm.inflight[owner]
+	for len(q) > 0 && q[0].done {
+		b := q[0]
+		q = q[1:]
+		if b.noCoalesce {
+			// Members already answered individually.
+			continue
+		}
+		// Batch complete: one response for the whole window (§III-B:
+		// "instead of sending four completion requests, only one will
+		// be sent").
+		pm.stats.RespsSent++
+		out = append(out, RespDecision{
+			Send:      true,
+			Tenant:    b.owner,
+			CID:       b.drainCID,
+			Coalesced: true,
+			Status:    b.status,
+		})
+	}
+	if len(q) == 0 {
+		delete(pm.inflight, owner)
+	} else {
+		pm.inflight[owner] = q
+	}
+	return out
+}
+
+// OutstandingBatchCIDs returns how many executing TC requests have not yet
+// completed (diagnostic/test hook).
+func (pm *TargetPM) OutstandingBatchCIDs() int { return len(pm.batches) }

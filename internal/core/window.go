@@ -1,0 +1,187 @@
+package core
+
+// WorkloadKind classifies a workload for window-size selection (§IV-D:
+// "workload type, initiator concurrency, TC/LS ratio").
+type WorkloadKind int
+
+// Workload kinds.
+const (
+	WorkloadRead WorkloadKind = iota
+	WorkloadWrite
+	WorkloadMixed
+)
+
+// String implements fmt.Stringer.
+func (k WorkloadKind) String() string {
+	switch k {
+	case WorkloadRead:
+		return "read"
+	case WorkloadWrite:
+		return "write"
+	case WorkloadMixed:
+		return "mixed"
+	default:
+		return "unknown"
+	}
+}
+
+// OptimalWindow returns the static window-size selection of §IV-D,
+// encoding the experimental findings of §V-A:
+//
+//   - 32 is the sweet spot for 25/100 Gbps (Fig. 6(a): "NVMe-oPF achieves
+//     a peak throughput at a window size of 32 over 25/100 Gbps").
+//   - Very large windows (64) hurt on a saturated 10 Gbps fabric because
+//     the deferred completion sits behind a congested link (Fig. 6(b)).
+//   - Write-heavy windows are kept smaller: write service times are long
+//     and variable, so large windows inflate drain-response waiting
+//     (§V-B discussion of mixed workloads).
+//   - The window never exceeds the queue depth, or the initiator could
+//     never have a full window outstanding (§IV-A lockup analysis).
+//
+// gbps is the fabric line rate in Gbit/s, tcInitiators the number of
+// concurrent TC tenants per target, and qd the per-initiator queue depth.
+func OptimalWindow(kind WorkloadKind, gbps float64, tcInitiators, qd int) int {
+	w := 32
+	if gbps <= 10 {
+		// Congested fabric: smaller windows keep the drain response
+		// flowing; reads still coalesce well, writes gain nothing from
+		// deep windows because the inbound direction is the bottleneck.
+		if kind == WorkloadRead {
+			w = 32
+		} else {
+			w = 16
+		}
+	} else if kind == WorkloadWrite {
+		w = 16
+	}
+	if tcInitiators > 4 {
+		// Heavy multi-tenancy: shrink per-tenant windows so the device
+		// interleaves tenants at a finer grain.
+		w /= 2
+	}
+	if qd > 0 && w > qd {
+		w = qd
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// OptimalWindowSized refines OptimalWindow with the I/O size (the third
+// §IV-D input): completion-notification overhead is per request, so the
+// coalescing benefit — and therefore the window worth paying drain
+// latency for — shrinks as per-request payloads grow. Large I/O also
+// saturates the fabric with fewer requests, making deep windows pure
+// added latency.
+func OptimalWindowSized(kind WorkloadKind, gbps float64, tcInitiators, qd, ioBytes int) int {
+	w := OptimalWindow(kind, gbps, tcInitiators, qd)
+	switch {
+	case ioBytes >= 256<<10:
+		w = minInt(w, 4)
+	case ioBytes >= 64<<10:
+		w = minInt(w, 8)
+	case ioBytes >= 16<<10:
+		w = minInt(w, 16)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// DynamicWindow is the runtime tuner of §IV-D: after each drain
+// completion the initiator may adjust its window. The tuner is a simple
+// hill climber over the discrete ladder {1,2,4,...,maxWindow}: it measures
+// throughput per epoch (a fixed number of drains), and moves the window up
+// or down a rung depending on whether the last move helped.
+type DynamicWindow struct {
+	window     int
+	maxWindow  int
+	drainsPer  int // drains per measurement epoch
+	drains     int
+	bytes      int64
+	epochStart int64
+	lastRate   float64
+	direction  int // +1 growing, -1 shrinking
+}
+
+// NewDynamicWindow creates a tuner starting at startWindow, bounded by
+// maxWindow, measuring every epochDrains drain completions.
+func NewDynamicWindow(startWindow, maxWindow, epochDrains int) *DynamicWindow {
+	if startWindow < 1 {
+		startWindow = 1
+	}
+	if maxWindow < startWindow {
+		maxWindow = startWindow
+	}
+	if epochDrains < 1 {
+		epochDrains = 1
+	}
+	return &DynamicWindow{
+		window:    startWindow,
+		maxWindow: maxWindow,
+		drainsPer: epochDrains,
+		direction: +1,
+	}
+}
+
+// Window returns the current window size.
+func (d *DynamicWindow) Window() int { return d.window }
+
+// Observe records one drain completion that moved bytesMoved bytes, at
+// timestamp now (nanoseconds, any monotonic base). Every epoch it compares
+// achieved throughput with the previous epoch and climbs accordingly,
+// returning the window to use next.
+func (d *DynamicWindow) Observe(bytesMoved int64, now int64) int {
+	if d.drains == 0 && d.epochStart == 0 {
+		d.epochStart = now
+	}
+	d.drains++
+	d.bytes += bytesMoved
+	if d.drains < d.drainsPer {
+		return d.window
+	}
+	elapsed := now - d.epochStart
+	var rate float64
+	if elapsed > 0 {
+		rate = float64(d.bytes) / float64(elapsed)
+	}
+	if d.lastRate > 0 {
+		if rate < d.lastRate*0.98 {
+			// The last move hurt (or load shifted): reverse.
+			d.direction = -d.direction
+		}
+		// else: keep climbing in the same direction.
+	}
+	d.step()
+	d.lastRate = rate
+	d.drains = 0
+	d.bytes = 0
+	d.epochStart = now
+	return d.window
+}
+
+// step moves one rung on the power-of-two ladder in the current direction.
+func (d *DynamicWindow) step() {
+	if d.direction > 0 {
+		if d.window*2 <= d.maxWindow {
+			d.window *= 2
+		} else {
+			d.direction = -1
+		}
+	} else {
+		if d.window/2 >= 1 {
+			d.window /= 2
+		} else {
+			d.direction = +1
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"testing"
+
+	"nvmeopf/internal/proto"
+)
+
+func TestOptimalWindowPaperFindings(t *testing.T) {
+	// Fig. 6(a): 32 is the peak at 25/100 Gbps reads.
+	if w := OptimalWindow(WorkloadRead, 100, 1, 128); w != 32 {
+		t.Errorf("read@100G window = %d, want 32", w)
+	}
+	if w := OptimalWindow(WorkloadRead, 25, 1, 128); w != 32 {
+		t.Errorf("read@25G window = %d, want 32", w)
+	}
+	// Fig. 6(b): big windows hurt on a saturated 10G link for writes.
+	if w := OptimalWindow(WorkloadWrite, 10, 1, 128); w >= 32 {
+		t.Errorf("write@10G window = %d, want < 32", w)
+	}
+	// Writes use smaller windows than reads at any speed.
+	if rw, ww := OptimalWindow(WorkloadRead, 100, 1, 128), OptimalWindow(WorkloadWrite, 100, 1, 128); ww >= rw {
+		t.Errorf("write window %d >= read window %d", ww, rw)
+	}
+}
+
+func TestOptimalWindowNeverExceedsQD(t *testing.T) {
+	for _, qd := range []int{1, 4, 16, 128} {
+		for _, kind := range []WorkloadKind{WorkloadRead, WorkloadWrite, WorkloadMixed} {
+			for _, gbps := range []float64{10, 25, 100} {
+				w := OptimalWindow(kind, gbps, 2, qd)
+				if w > qd {
+					t.Errorf("window %d > QD %d (%v, %vG)", w, qd, kind, gbps)
+				}
+				if w < 1 {
+					t.Errorf("window %d < 1", w)
+				}
+			}
+		}
+	}
+}
+
+func TestOptimalWindowShrinksUnderHeavyTenancy(t *testing.T) {
+	few := OptimalWindow(WorkloadRead, 100, 2, 128)
+	many := OptimalWindow(WorkloadRead, 100, 8, 128)
+	if many >= few {
+		t.Errorf("heavy tenancy window %d >= light %d", many, few)
+	}
+}
+
+func TestWorkloadKindString(t *testing.T) {
+	for _, k := range []WorkloadKind{WorkloadRead, WorkloadWrite, WorkloadMixed, WorkloadKind(9)} {
+		if k.String() == "" {
+			t.Errorf("empty string for %d", int(k))
+		}
+	}
+}
+
+func TestDynamicWindowClimbsTowardBetterThroughput(t *testing.T) {
+	// Simulated environment: throughput grows with window up to 32, then
+	// degrades (the Fig. 6(a) shape). The tuner should settle near 32.
+	reward := func(w int) float64 {
+		if w <= 32 {
+			return float64(w)
+		}
+		return 64.0 - float64(w)
+	}
+	d := NewDynamicWindow(2, 64, 4)
+	now := int64(0)
+	for epoch := 0; epoch < 60; epoch++ {
+		w := d.Window()
+		// Simulate an epoch of 4 drains at this window's throughput:
+		// bytes per drain proportional to reward, fixed epoch duration.
+		for i := 0; i < 4; i++ {
+			now += 1_000_000
+			d.Observe(int64(reward(w)*1000), now)
+		}
+	}
+	got := d.Window()
+	if got < 16 || got > 64 {
+		t.Fatalf("dynamic window settled at %d, want near 32", got)
+	}
+}
+
+func TestDynamicWindowBounds(t *testing.T) {
+	d := NewDynamicWindow(0, 0, 0) // degenerate inputs all clamp
+	if d.Window() != 1 {
+		t.Fatalf("window = %d", d.Window())
+	}
+	// Never exceeds max or drops below 1 over arbitrary observations.
+	d = NewDynamicWindow(4, 16, 1)
+	now := int64(0)
+	for i := 0; i < 200; i++ {
+		now += 1_000
+		w := d.Observe(int64(i%7)*100, now)
+		if w < 1 || w > 16 {
+			t.Fatalf("window %d out of bounds", w)
+		}
+	}
+}
+
+func TestHostPMDynamicIntegration(t *testing.T) {
+	h := NewHostPM(proto.PrioThroughputCritical, 8)
+	d := NewDynamicWindow(8, 64, 1)
+	h.EnableDynamicWindow(d)
+	if h.Window() != 8 {
+		t.Fatalf("window = %d", h.Window())
+	}
+	now := int64(0)
+	prev := h.Window()
+	changed := false
+	for i := 0; i < 10; i++ {
+		now += 1_000_000
+		w := h.OnDrainCompleted(1<<20, now)
+		if w != h.Window() {
+			t.Fatal("OnDrainCompleted out of sync with Window()")
+		}
+		if w != prev {
+			changed = true
+		}
+		prev = w
+	}
+	if !changed {
+		t.Fatal("dynamic tuner never adjusted the window")
+	}
+	// Disabled tuner keeps the window fixed.
+	h2 := NewHostPM(proto.PrioThroughputCritical, 8)
+	if w := h2.OnDrainCompleted(1<<20, 5); w != 8 {
+		t.Fatalf("static window moved to %d", w)
+	}
+}
+
+func TestOptimalWindowSized(t *testing.T) {
+	base := OptimalWindow(WorkloadRead, 100, 1, 128)
+	if w := OptimalWindowSized(WorkloadRead, 100, 1, 128, 4096); w != base {
+		t.Errorf("4K window = %d, want base %d", w, base)
+	}
+	w16 := OptimalWindowSized(WorkloadRead, 100, 1, 128, 16<<10)
+	w64 := OptimalWindowSized(WorkloadRead, 100, 1, 128, 64<<10)
+	w256 := OptimalWindowSized(WorkloadRead, 100, 1, 128, 256<<10)
+	if !(w256 <= w64 && w64 <= w16 && w16 <= base) {
+		t.Errorf("windows not monotone in size: %d %d %d %d", base, w16, w64, w256)
+	}
+	if w256 < 1 {
+		t.Errorf("window below 1")
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+
+	"nvmeopf/internal/targetqp"
+)
+
+func TestH5CaseRuns(t *testing.T) {
+	r, err := runH5Case(QuickConfig(), targetqp.ModeOPF, 1, 3, 128*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.WriteBps <= 0 || r.ReadBps <= 0 {
+		t.Fatalf("bandwidths: %+v", r)
+	}
+	if r.LSMeanUs <= 0 {
+		t.Fatalf("no LS latency measured: %+v", r)
+	}
+	t.Logf("h5 case: write %.1f MB/s read %.1f MB/s ls %.1fus", r.WriteBps/1e6, r.ReadBps/1e6, r.LSMeanUs)
+}
+
+func TestH5OPFWriteAdvantage(t *testing.T) {
+	base, err := runH5Case(QuickConfig(), targetqp.ModeBaseline, 1, 4, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opf, err := runH5Case(QuickConfig(), targetqp.ModeOPF, 1, 4, 256*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opf.WriteBps <= base.WriteBps {
+		t.Fatalf("h5bench write: oPF %.1f <= SPDK %.1f MB/s", opf.WriteBps/1e6, base.WriteBps/1e6)
+	}
+	t.Logf("h5bench write 4 ranks: SPDK %.1f MB/s, oPF %.1f MB/s (%+.1f%%)",
+		base.WriteBps/1e6, opf.WriteBps/1e6, 100*(opf.WriteBps/base.WriteBps-1))
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nvmeopf/internal/core"
+	"nvmeopf/internal/targetqp"
+	"nvmeopf/internal/workload"
+)
+
+func init() {
+	registry["iosize"] = IOSizeSweep
+}
+
+// IOSizeSweep is an extension experiment beyond the paper's 4 KiB-only
+// evaluation: it sweeps the I/O size for one TC read initiator at
+// 25 Gbps and reports the oPF gain at each size. The paper's abstract
+// names "the specific I/O patterns, queue depths, and I/O sizes that
+// yield the best performance" as window-optimizer inputs; this experiment
+// regenerates the underlying trend — completion-notification overhead is
+// per request, so coalescing matters most for small I/O and fades as
+// payload serialization dominates — and shows the size-aware window
+// selection (core.OptimalWindowSized) tracking it.
+func IOSizeSweep(cfg Config) (*Report, error) {
+	rep := &Report{
+		ID:    "iosize",
+		Title: "Extension: oPF gain vs I/O size (1 TC read initiator, 25 Gbps)",
+		Table: newFigTable("io_KiB", "window", "spdk_MB/s", "opf_MB/s", "gain_%"),
+		PlotSpec: PlotSpec{
+			ValueCol:  "gain_%",
+			LabelCols: []string{"io_KiB", "window"},
+		},
+	}
+	for _, blocks := range []uint32{1, 4, 16, 64} { // 4K .. 256K
+		ioBytes := int(blocks) * 4096
+		w := core.OptimalWindowSized(core.WorkloadRead, 25, 1, 128, ioBytes)
+		run := func(mode targetqp.Mode) (CaseResult, error) {
+			cs := Case{
+				Gbps: 25, Mode: mode, Mix: workload.ReadOnly,
+				Window: w, FanIn: true, TCPerNode: 1,
+			}
+			cs.QDTC = 128
+			return runSized(cfg, cs, blocks)
+		}
+		base, err := run(targetqp.ModeBaseline)
+		if err != nil {
+			return nil, err
+		}
+		opf, err := run(targetqp.ModeOPF)
+		if err != nil {
+			return nil, err
+		}
+		rep.Table.AddRow(
+			fmt.Sprint(ioBytes/1024), fmt.Sprint(w),
+			mbps(base.TCBps), mbps(opf.TCBps),
+			fmt.Sprintf("%.1f", 100*(ratioOf(opf.TCBps, base.TCBps)-1)))
+	}
+	rep.Notes = append(rep.Notes,
+		"extension beyond the paper's 4K-only evaluation: per-request completion overhead amortizes into the payload as I/O grows, so the coalescing gain concentrates at small sizes",
+		"window sizes from core.OptimalWindowSized (size-aware §IV-D selection)")
+	return rep, nil
+}
+
+// runSized is Run with a non-default I/O size in blocks.
+func runSized(cfg Config, cs Case, blocks uint32) (CaseResult, error) {
+	return runWithBlocks(cfg, cs, blocks)
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// PlotSpec tells the renderer how to sketch a report as an ASCII chart:
+// which column carries the value and which columns label each bar.
+type PlotSpec struct {
+	// ValueCol is the header name of the numeric column to plot.
+	ValueCol string
+	// LabelCols are header names concatenated into each bar's label.
+	LabelCols []string
+}
+
+// Plot renders the report's table as a horizontal bar chart. Reports
+// without a PlotSpec return an empty string.
+func (r *Report) Plot() string {
+	if r.PlotSpec.ValueCol == "" {
+		return ""
+	}
+	valIdx := -1
+	var labIdx []int
+	for i, h := range r.Table.Header {
+		if h == r.PlotSpec.ValueCol {
+			valIdx = i
+		}
+		for _, l := range r.PlotSpec.LabelCols {
+			if h == l {
+				labIdx = append(labIdx, i)
+			}
+		}
+	}
+	if valIdx < 0 {
+		return ""
+	}
+	type bar struct {
+		label string
+		value float64
+	}
+	var bars []bar
+	var max float64
+	for _, row := range r.Table.Rows {
+		if valIdx >= len(row) {
+			continue
+		}
+		v, err := strconv.ParseFloat(row[valIdx], 64)
+		if err != nil {
+			continue
+		}
+		var parts []string
+		for _, li := range labIdx {
+			if li < len(row) {
+				parts = append(parts, row[li])
+			}
+		}
+		bars = append(bars, bar{label: strings.Join(parts, " "), value: v})
+		if v > max {
+			max = v
+		}
+	}
+	if len(bars) == 0 || max <= 0 {
+		return ""
+	}
+	width := 0
+	for _, b := range bars {
+		if len(b.label) > width {
+			width = len(b.label)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "-- %s (%s) --\n", r.ID, r.PlotSpec.ValueCol)
+	for _, b := range bars {
+		n := int(b.value / max * 50)
+		fmt.Fprintf(&sb, "%-*s |%s %s\n", width, b.label, strings.Repeat("#", n),
+			strconv.FormatFloat(b.value, 'f', 1, 64))
+	}
+	return sb.String()
+}

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotRendersBars(t *testing.T) {
+	rep := &Report{
+		ID:    "x",
+		Table: newFigTable("design", "v"),
+		PlotSpec: PlotSpec{
+			ValueCol:  "v",
+			LabelCols: []string{"design"},
+		},
+	}
+	rep.Table.AddRow("a", "10.0")
+	rep.Table.AddRow("b", "20.0")
+	out := rep.Plot()
+	if !strings.Contains(out, "a") || !strings.Contains(out, "#") {
+		t.Fatalf("plot missing bars:\n%s", out)
+	}
+	// b's bar should be twice a's.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	countHash := func(s string) int { return strings.Count(s, "#") }
+	if countHash(lines[2]) != 2*countHash(lines[1]) {
+		t.Fatalf("bar scaling wrong:\n%s", out)
+	}
+}
+
+func TestPlotEmptyWithoutSpec(t *testing.T) {
+	rep := &Report{ID: "x", Table: newFigTable("a")}
+	if rep.Plot() != "" {
+		t.Fatal("plot without spec produced output")
+	}
+	rep.PlotSpec = PlotSpec{ValueCol: "nonexistent"}
+	if rep.Plot() != "" {
+		t.Fatal("plot with missing column produced output")
+	}
+}
+
+func TestPlotSkipsNonNumericRows(t *testing.T) {
+	rep := &Report{
+		ID:       "x",
+		Table:    newFigTable("l", "v"),
+		PlotSpec: PlotSpec{ValueCol: "v", LabelCols: []string{"l"}},
+	}
+	rep.Table.AddRow("num", "5.0")
+	rep.Table.AddRow("text", "-")
+	out := rep.Plot()
+	if strings.Contains(out, "text") {
+		t.Fatalf("non-numeric row plotted:\n%s", out)
+	}
+}
+
+func TestIOSizeRegistered(t *testing.T) {
+	found := false
+	for _, n := range Names() {
+		if n == "iosize" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("iosize not registered: %v", Names())
+	}
+}

@@ -1,0 +1,192 @@
+package h5bench
+
+import (
+	"testing"
+
+	"nvmeopf/internal/bdev"
+	"nvmeopf/internal/hdf5"
+)
+
+// tickDevice wraps a SyncDevice and advances a fake clock per I/O so
+// latencies and bandwidth are nonzero.
+type tickDevice struct {
+	*hdf5.SyncDevice
+	clock *int64
+}
+
+func (d *tickDevice) ReadAsync(lba uint64, blocks uint32, meta bool, done func([]byte, error)) {
+	*d.clock += 10_000
+	d.SyncDevice.ReadAsync(lba, blocks, meta, done)
+}
+
+func (d *tickDevice) WriteAsync(lba uint64, data []byte, meta bool, done func(error)) {
+	*d.clock += 10_000
+	d.SyncDevice.WriteAsync(lba, data, meta, done)
+}
+
+func newDev(t *testing.T) (*tickDevice, *int64) {
+	t.Helper()
+	mem, err := bdev.NewMemory(4096, 1<<18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := new(int64)
+	return &tickDevice{hdf5.NewSyncDevice(mem), clock}, clock
+}
+
+func baseCfg(clock *int64) Config {
+	return Config{
+		Particles:   64 * 1024, // 256 KiB of float32
+		Timesteps:   3,
+		AccessBytes: 4096,
+		QD:          8,
+		Clock:       func() int64 { return *clock },
+		Sleep: func(d int64, fn func()) {
+			*clock += d
+			fn()
+		},
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	clock := new(int64)
+	good := baseCfg(clock)
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Particles = 0 },
+		func(c *Config) { c.Timesteps = 0 },
+		func(c *Config) { c.AccessBytes = 3 },
+		func(c *Config) { c.QD = 0 },
+		func(c *Config) { c.Clock = nil },
+		func(c *Config) { c.DatasetLoadNs = 5; c.Sleep = nil },
+	}
+	for i, m := range mutations {
+		c := baseCfg(clock)
+		m(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestWriteKernel(t *testing.T) {
+	dev, clock := newDev(t)
+	cfg := baseCfg(clock)
+	var res *Result
+	RunWrite(dev, cfg, func(r *Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = r
+	})
+	if res == nil {
+		t.Fatal("kernel never finished")
+	}
+	wantBytes := int64(cfg.Particles) * 4 * int64(cfg.Timesteps)
+	if res.Bytes != wantBytes {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, wantBytes)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d", res.Errors)
+	}
+	if res.Bandwidth() <= 0 {
+		t.Fatal("zero bandwidth")
+	}
+	if res.OpLat.Count() != res.Ops {
+		t.Fatalf("latency samples %d != ops %d", res.OpLat.Count(), res.Ops)
+	}
+	// 64K particles * 4B / 4KiB = 64 ops per timestep.
+	if res.Ops != 64*3 {
+		t.Fatalf("ops = %d", res.Ops)
+	}
+}
+
+func TestReadKernelRequiresFile(t *testing.T) {
+	dev, clock := newDev(t)
+	RunRead(dev, baseCfg(clock), func(_ *Result, err error) {
+		if err == nil {
+			t.Fatal("read kernel ran on empty device")
+		}
+	})
+}
+
+func TestWriteThenReadKernel(t *testing.T) {
+	dev, clock := newDev(t)
+	cfg := baseCfg(clock)
+	RunWrite(dev, cfg, func(_ *Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	cfg.DatasetLoadNs = 2_000_000 // 2ms per timestep
+	var res *Result
+	RunRead(dev, cfg, func(r *Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = r
+	})
+	if res == nil {
+		t.Fatal("read kernel never finished")
+	}
+	if res.Bytes != int64(cfg.Particles)*4*int64(cfg.Timesteps) {
+		t.Fatalf("bytes = %d", res.Bytes)
+	}
+}
+
+// The paper attributes lower read bandwidth to the dataset-load overhead
+// between timesteps; verify the model reproduces that.
+func TestDatasetLoadOverheadLowersReadBandwidth(t *testing.T) {
+	devA, clockA := newDev(t)
+	cfgA := baseCfg(clockA)
+	RunWrite(devA, cfgA, func(_ *Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	var fast, slow *Result
+	RunRead(devA, cfgA, func(r *Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		fast = r
+	})
+	cfgA.DatasetLoadNs = 5_000_000
+	RunRead(devA, cfgA, func(r *Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		slow = r
+	})
+	if slow.Bandwidth() >= fast.Bandwidth() {
+		t.Fatalf("load overhead did not lower bandwidth: %.0f vs %.0f", slow.Bandwidth(), fast.Bandwidth())
+	}
+}
+
+func TestPartialTailAccess(t *testing.T) {
+	dev, clock := newDev(t)
+	cfg := baseCfg(clock)
+	cfg.Particles = 1024 + 100 // not a multiple of 1024 elements/op
+	cfg.Timesteps = 1
+	var res *Result
+	RunWrite(dev, cfg, func(r *Result, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		res = r
+	})
+	if res.Bytes != int64(cfg.Particles)*4 {
+		t.Fatalf("bytes = %d, want %d", res.Bytes, int64(cfg.Particles)*4)
+	}
+	if res.Ops != 2 {
+		t.Fatalf("ops = %d, want 2 (one full + one partial)", res.Ops)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Write.String() != "write" || Read.String() != "read" {
+		t.Fatal("mode strings wrong")
+	}
+}

@@ -1,0 +1,237 @@
+package hdf5
+
+import (
+	"testing"
+
+	"nvmeopf/internal/bdev"
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+)
+
+// sessionHarness wires a real host session to an in-process oPF target
+// with an instant backend, plus a manual deferred-callback queue standing
+// in for the simulation engine.
+type sessionHarness struct {
+	sess     *hostqp.Session
+	deferred []func()
+	captured []proto.Priority // priorities of capsules seen by the target
+}
+
+// runDeferred drains the deferred queue (one "event cascade" boundary).
+func (h *sessionHarness) runDeferred() {
+	for len(h.deferred) > 0 {
+		fn := h.deferred[0]
+		h.deferred = h.deferred[1:]
+		fn()
+	}
+}
+
+type harnessBackend struct {
+	ns    nvme.Namespace
+	store *bdev.Memory
+}
+
+func (b *harnessBackend) Namespace() nvme.Namespace { return b.ns }
+func (b *harnessBackend) Submit(cmd nvme.Command, data []byte, high bool, done func(nvme.Completion, []byte)) {
+	cpl := nvme.Completion{CID: cmd.CID, Status: b.ns.CheckRange(cmd.SLBA, cmd.Blocks())}
+	var out []byte
+	if cpl.Status.OK() {
+		switch cmd.Opcode {
+		case nvme.OpRead:
+			out = make([]byte, b.ns.Bytes(cmd.Blocks()))
+			_ = b.store.ReadBlocks(out, cmd.SLBA)
+		case nvme.OpWrite:
+			if err := b.store.WriteBlocks(data, cmd.SLBA); err != nil {
+				cpl.Status = nvme.StatusInternalError
+			}
+		}
+	}
+	done(cpl, out)
+}
+
+func newSessionHarness(t *testing.T, window, qd int) *sessionHarness {
+	t.Helper()
+	ns := nvme.Namespace{ID: 1, BlockSize: 4096, Capacity: 1 << 16}
+	store, err := bdev.NewMemory(ns.BlockSize, ns.Capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := targetqp.NewTarget(targetqp.Config{Mode: targetqp.ModeOPF, MaxPending: 1024},
+		&harnessBackend{ns: ns, store: store})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &sessionHarness{}
+	var tsess *targetqp.Session
+	tsess, err = tgt.NewSession(func(p proto.PDU) {
+		if herr := h.sess.HandlePDU(p); herr != nil {
+			t.Fatalf("host: %v", herr)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := int64(0)
+	h.sess, err = hostqp.New(hostqp.Config{
+		Class: proto.PrioThroughputCritical, Window: window, QueueDepth: qd, NSID: 1,
+	}, func(p proto.PDU) {
+		if c, ok := p.(*proto.CapsuleCmd); ok {
+			h.captured = append(h.captured, c.Prio)
+		}
+		clock++
+		if terr := tsess.HandlePDU(p); terr != nil {
+			t.Fatalf("target: %v", terr)
+		}
+	}, func() int64 { return clock })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sess.Start()
+	return h
+}
+
+func (h *sessionHarness) device(t *testing.T, blocks uint64) *SessionDevice {
+	t.Helper()
+	dev, err := NewSessionDevice(h.sess, 4096, 0, blocks,
+		func(fn func()) { h.deferred = append(h.deferred, fn) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dev
+}
+
+func TestSessionDeviceValidation(t *testing.T) {
+	h := newSessionHarness(t, 4, 8)
+	if _, err := NewSessionDevice(nil, 4096, 0, 10, nil); err == nil {
+		t.Error("nil session accepted")
+	}
+	if _, err := NewSessionDevice(h.sess, 4096, 0, 0, nil); err == nil {
+		t.Error("empty partition accepted")
+	}
+	dev := h.device(t, 100)
+	if dev.BlockSize() != 4096 || dev.NumBlocks() != 100 {
+		t.Fatal("geometry wrong")
+	}
+	dev.ReadAsync(100, 1, false, func(_ []byte, err error) {
+		if err == nil {
+			t.Error("out-of-partition read accepted")
+		}
+	})
+	dev.WriteAsync(0, make([]byte, 100), false, func(err error) {
+		if err == nil {
+			t.Error("unaligned write accepted")
+		}
+	})
+	dev.WriteAsync(99, make([]byte, 8192), false, func(err error) {
+		if err == nil {
+			t.Error("straddling write accepted")
+		}
+	})
+}
+
+func TestSessionDeviceMetaUsesLSPriority(t *testing.T) {
+	h := newSessionHarness(t, 8, 16)
+	dev := h.device(t, 1024)
+	okData, okMeta := false, false
+	dev.WriteAsync(0, make([]byte, 4096), true, func(err error) { okMeta = err == nil })
+	if len(h.captured) == 0 || !h.captured[len(h.captured)-1].LatencySensitive() {
+		t.Fatalf("meta write priority = %v", h.captured)
+	}
+	dev.WriteAsync(1, make([]byte, 4096), false, func(err error) { okData = err == nil })
+	if !h.captured[len(h.captured)-1].ThroughputCritical() {
+		t.Fatalf("data write priority = %v", h.captured[len(h.captured)-1])
+	}
+	// Data write is in a window-8 queue; drain it via the quiesce check.
+	h.runDeferred()
+	if !okMeta || !okData {
+		t.Fatalf("okMeta=%v okData=%v", okMeta, okData)
+	}
+}
+
+func TestSessionDeviceQuiesceDrainsPartialWindow(t *testing.T) {
+	h := newSessionHarness(t, 16, 32)
+	dev := h.device(t, 1024)
+	done := 0
+	for i := 0; i < 3; i++ { // 3 < window 16: parked at the target
+		dev.WriteAsync(uint64(i), make([]byte, 4096), false, func(err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			done++
+		})
+	}
+	if done != 0 {
+		t.Fatalf("writes completed without a drain: %d", done)
+	}
+	h.runDeferred() // quiesce check fires, flushes the window
+	if done != 3 {
+		t.Fatalf("quiesce drain completed %d/3", done)
+	}
+}
+
+func TestSessionDeviceFlowControlQueues(t *testing.T) {
+	// QD 2 with 6 concurrent ops: 4 must wait internally, all complete.
+	h := newSessionHarness(t, 1, 2) // window 1: each op drains itself
+	dev := h.device(t, 1024)
+	done := 0
+	for i := 0; i < 6; i++ {
+		dev.WriteAsync(uint64(i), make([]byte, 4096), false, func(err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			done++
+		})
+	}
+	// The loopback is synchronous, so everything resolves inline.
+	if done != 6 {
+		t.Fatalf("done = %d", done)
+	}
+	if dev.Waiting() != 0 {
+		t.Fatalf("waiting = %d", dev.Waiting())
+	}
+}
+
+func TestSessionDeviceReadBackOverProtocol(t *testing.T) {
+	h := newSessionHarness(t, 1, 8)
+	dev := h.device(t, 1024)
+	want := make([]byte, 8192)
+	for i := range want {
+		want[i] = byte(i * 11)
+	}
+	dev.WriteAsync(7, want, false, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	dev.ReadAsync(7, 2, false, func(got []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("byte %d mismatch", i)
+			}
+		}
+	})
+}
+
+func TestSessionDeviceNilDeferDisablesQuiesce(t *testing.T) {
+	h := newSessionHarness(t, 16, 32)
+	dev, err := NewSessionDevice(h.sess, 4096, 0, 1024, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	dev.WriteAsync(0, make([]byte, 4096), false, func(error) { done = true })
+	if done {
+		t.Fatal("window-16 write completed without drain and without quiesce")
+	}
+	// Caller-managed drain via a meta (LS) op is unaffected.
+	metaDone := false
+	dev.WriteAsync(1, make([]byte, 4096), true, func(error) { metaDone = true })
+	if !metaDone {
+		t.Fatal("LS op should complete immediately")
+	}
+}

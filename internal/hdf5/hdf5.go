@@ -1,0 +1,544 @@
+// Package hdf5 implements a miniature hierarchical data format library —
+// the application-level substrate for the paper's §V-E study. It provides
+// what h5bench exercises in HDF5: a file with a superblock, a flat group
+// namespace, and typed one-dimensional datasets with contiguous storage,
+// stored on a block device. The format is this repo's own (it is not
+// HDF5-binary-compatible); what matters for the reproduction is the I/O
+// shape: many small data accesses plus occasional metadata updates,
+// routed through the NVMe-oPF initiator with data tagged
+// throughput-critical and metadata tagged latency-sensitive — the VOL-style
+// co-design the paper describes ("achieved with the HDF5 Virtual Object
+// Layer (VOL) to intercept HDF5 APIs and utilize NVMe-oPF priority
+// managers").
+//
+// The API is continuation-passing (every operation takes a done callback)
+// because the simulator is event-driven and must never block; over a
+// synchronous device the callbacks simply run inline.
+package hdf5
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Device is the asynchronous block device files live on. meta marks
+// metadata accesses, which adapters may map to the latency-sensitive
+// priority class.
+type Device interface {
+	BlockSize() uint32
+	NumBlocks() uint64
+	ReadAsync(lba uint64, blocks uint32, meta bool, done func(data []byte, err error))
+	WriteAsync(lba uint64, data []byte, meta bool, done func(err error))
+}
+
+// Datatype enumerates element types.
+type Datatype uint8
+
+// Datatypes.
+const (
+	Float32 Datatype = iota + 1
+	Float64
+	Int32
+	Int64
+	UInt8
+)
+
+// Size returns the element size in bytes.
+func (d Datatype) Size() int {
+	switch d {
+	case Float32, Int32:
+		return 4
+	case Float64, Int64:
+		return 8
+	case UInt8:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// String implements fmt.Stringer.
+func (d Datatype) String() string {
+	switch d {
+	case Float32:
+		return "float32"
+	case Float64:
+		return "float64"
+	case Int32:
+		return "int32"
+	case Int64:
+		return "int64"
+	case UInt8:
+		return "uint8"
+	default:
+		return fmt.Sprintf("Datatype(%d)", uint8(d))
+	}
+}
+
+// ObjectKind distinguishes groups from datasets.
+type ObjectKind uint8
+
+// Kinds.
+const (
+	KindGroup ObjectKind = iota + 1
+	KindDataset
+)
+
+// object is one namespace entry.
+type object struct {
+	name      string
+	kind      ObjectKind
+	dtype     Datatype
+	length    uint64 // elements
+	dataLBA   uint64
+	capBlocks uint64
+}
+
+// Format constants.
+const (
+	magic          = "MINIHDF5"
+	formatVersion  = 1
+	superblockLBA  = 0
+	objTableLBA    = 1
+	objTableBlocks = 64 // metadata region capacity
+	maxIOBlocks    = 128
+)
+
+// Errors.
+var (
+	ErrNotFormatted = errors.New("hdf5: device is not a mini-hdf5 file")
+	ErrExists       = errors.New("hdf5: object already exists")
+	ErrNotFound     = errors.New("hdf5: object not found")
+	ErrOutOfSpace   = errors.New("hdf5: device full")
+	ErrBadRange     = errors.New("hdf5: access beyond dataset extent")
+	ErrMetaFull     = errors.New("hdf5: object table full")
+)
+
+// File is an open mini-hdf5 file. It is not synchronized: callers drive it
+// from one event context (the simulator loop or a single goroutine).
+type File struct {
+	dev      Device
+	bs       uint64
+	objects  []*object
+	index    map[string]*object
+	nextFree uint64 // bump allocator (LBA)
+}
+
+// Create formats the device and returns the fresh file.
+func Create(dev Device, done func(*File, error)) {
+	f := &File{
+		dev:      dev,
+		bs:       uint64(dev.BlockSize()),
+		index:    make(map[string]*object),
+		nextFree: objTableLBA + objTableBlocks,
+	}
+	if dev.NumBlocks() <= f.nextFree {
+		done(nil, ErrOutOfSpace)
+		return
+	}
+	f.writeMeta(func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(f, nil)
+	})
+}
+
+// Open reads an existing file's metadata.
+func Open(dev Device, done func(*File, error)) {
+	f := &File{dev: dev, bs: uint64(dev.BlockSize()), index: make(map[string]*object)}
+	dev.ReadAsync(superblockLBA, 1, true, func(sb []byte, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		if err := f.decodeSuperblock(sb); err != nil {
+			done(nil, err)
+			return
+		}
+		dev.ReadAsync(objTableLBA, objTableBlocks, true, func(ot []byte, err error) {
+			if err != nil {
+				done(nil, err)
+				return
+			}
+			if err := f.decodeObjectTable(ot); err != nil {
+				done(nil, err)
+				return
+			}
+			done(f, nil)
+		})
+	})
+}
+
+// encodeSuperblock builds block 0.
+func (f *File) encodeSuperblock() []byte {
+	buf := make([]byte, f.bs)
+	copy(buf, magic)
+	binary.LittleEndian.PutUint32(buf[8:], formatVersion)
+	binary.LittleEndian.PutUint32(buf[12:], uint32(f.bs))
+	binary.LittleEndian.PutUint64(buf[16:], f.nextFree)
+	binary.LittleEndian.PutUint32(buf[24:], uint32(len(f.objects)))
+	binary.LittleEndian.PutUint32(buf[28:], crc32.ChecksumIEEE(buf[:28]))
+	return buf
+}
+
+func (f *File) decodeSuperblock(buf []byte) error {
+	if len(buf) < 32 || string(buf[:8]) != magic {
+		return ErrNotFormatted
+	}
+	if crc32.ChecksumIEEE(buf[:28]) != binary.LittleEndian.Uint32(buf[28:]) {
+		return fmt.Errorf("hdf5: superblock checksum mismatch")
+	}
+	if v := binary.LittleEndian.Uint32(buf[8:]); v != formatVersion {
+		return fmt.Errorf("hdf5: unsupported format version %d", v)
+	}
+	if bs := binary.LittleEndian.Uint32(buf[12:]); uint64(bs) != f.bs {
+		return fmt.Errorf("hdf5: file block size %d != device %d", bs, f.bs)
+	}
+	f.nextFree = binary.LittleEndian.Uint64(buf[16:])
+	return nil
+}
+
+// encodeObjectTable serializes the namespace.
+func (f *File) encodeObjectTable() ([]byte, error) {
+	capBytes := objTableBlocks * f.bs
+	buf := make([]byte, capBytes)
+	off := 0
+	put16 := func(v uint16) { binary.LittleEndian.PutUint16(buf[off:], v); off += 2 }
+	put64 := func(v uint64) { binary.LittleEndian.PutUint64(buf[off:], v); off += 8 }
+	// count, then entries, then trailing crc32.
+	binary.LittleEndian.PutUint32(buf[0:], uint32(len(f.objects)))
+	off = 8
+	for _, o := range f.objects {
+		need := 2 + len(o.name) + 2 + 8*3
+		if off+need+4 > int(capBytes) {
+			return nil, ErrMetaFull
+		}
+		put16(uint16(len(o.name)))
+		copy(buf[off:], o.name)
+		off += len(o.name)
+		buf[off] = byte(o.kind)
+		buf[off+1] = byte(o.dtype)
+		off += 2
+		put64(o.length)
+		put64(o.dataLBA)
+		put64(o.capBlocks)
+	}
+	binary.LittleEndian.PutUint32(buf[4:], crc32.ChecksumIEEE(buf[8:off]))
+	return buf, nil
+}
+
+func (f *File) decodeObjectTable(buf []byte) error {
+	if len(buf) < 8 {
+		return fmt.Errorf("hdf5: short object table")
+	}
+	count := binary.LittleEndian.Uint32(buf[0:])
+	want := binary.LittleEndian.Uint32(buf[4:])
+	off := 8
+	objs := make([]*object, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if off+2 > len(buf) {
+			return fmt.Errorf("hdf5: truncated object table")
+		}
+		nameLen := int(binary.LittleEndian.Uint16(buf[off:]))
+		off += 2
+		if off+nameLen+2+24 > len(buf) {
+			return fmt.Errorf("hdf5: truncated object entry")
+		}
+		o := &object{name: string(buf[off : off+nameLen])}
+		off += nameLen
+		o.kind = ObjectKind(buf[off])
+		o.dtype = Datatype(buf[off+1])
+		off += 2
+		o.length = binary.LittleEndian.Uint64(buf[off:])
+		o.dataLBA = binary.LittleEndian.Uint64(buf[off+8:])
+		o.capBlocks = binary.LittleEndian.Uint64(buf[off+16:])
+		off += 24
+		objs = append(objs, o)
+	}
+	if crc32.ChecksumIEEE(buf[8:off]) != want {
+		return fmt.Errorf("hdf5: object table checksum mismatch")
+	}
+	f.objects = objs
+	f.index = make(map[string]*object, len(objs))
+	for _, o := range objs {
+		f.index[o.name] = o
+	}
+	return nil
+}
+
+// writeMeta persists the object table and superblock (metadata-class
+// writes, which the session adapter maps to latency-sensitive requests).
+func (f *File) writeMeta(done func(error)) {
+	ot, err := f.encodeObjectTable()
+	if err != nil {
+		done(err)
+		return
+	}
+	f.dev.WriteAsync(objTableLBA, ot, true, func(err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		f.dev.WriteAsync(superblockLBA, f.encodeSuperblock(), true, done)
+	})
+}
+
+// validName rejects empty and non-rooted paths.
+func validName(path string) error {
+	if len(path) == 0 || path[0] != '/' || len(path) > 4096 {
+		return fmt.Errorf("hdf5: invalid object path %q", path)
+	}
+	return nil
+}
+
+// CreateGroup registers a group name (groups are pure namespace in this
+// format).
+func (f *File) CreateGroup(path string, done func(error)) {
+	if err := validName(path); err != nil {
+		done(err)
+		return
+	}
+	if _, ok := f.index[path]; ok {
+		done(ErrExists)
+		return
+	}
+	o := &object{name: path, kind: KindGroup}
+	f.objects = append(f.objects, o)
+	f.index[path] = o
+	f.writeMeta(done)
+}
+
+// Dataset is an open 1-D typed dataset.
+type Dataset struct {
+	f   *File
+	obj *object
+}
+
+// CreateDataset allocates a contiguous 1-D dataset of length elements.
+func (f *File) CreateDataset(path string, dtype Datatype, length uint64, done func(*Dataset, error)) {
+	if err := validName(path); err != nil {
+		done(nil, err)
+		return
+	}
+	if dtype.Size() == 0 || length == 0 {
+		done(nil, fmt.Errorf("hdf5: invalid dataset shape %v x %d", dtype, length))
+		return
+	}
+	if _, ok := f.index[path]; ok {
+		done(nil, ErrExists)
+		return
+	}
+	bytes := length * uint64(dtype.Size())
+	blocks := (bytes + f.bs - 1) / f.bs
+	if f.nextFree+blocks > f.dev.NumBlocks() {
+		done(nil, ErrOutOfSpace)
+		return
+	}
+	o := &object{
+		name: path, kind: KindDataset, dtype: dtype, length: length,
+		dataLBA: f.nextFree, capBlocks: blocks,
+	}
+	f.nextFree += blocks
+	f.objects = append(f.objects, o)
+	f.index[path] = o
+	f.writeMeta(func(err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(&Dataset{f: f, obj: o}, nil)
+	})
+}
+
+// OpenDataset looks up an existing dataset.
+func (f *File) OpenDataset(path string) (*Dataset, error) {
+	o, ok := f.index[path]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if o.kind != KindDataset {
+		return nil, fmt.Errorf("hdf5: %s is a group", path)
+	}
+	return &Dataset{f: f, obj: o}, nil
+}
+
+// Objects returns all object names (groups and datasets), in creation
+// order.
+func (f *File) Objects() []string {
+	out := make([]string, len(f.objects))
+	for i, o := range f.objects {
+		out[i] = o.name
+	}
+	return out
+}
+
+// HasGroup reports whether path names a group.
+func (f *File) HasGroup(path string) bool {
+	o, ok := f.index[path]
+	return ok && o.kind == KindGroup
+}
+
+// Close flushes metadata.
+func (f *File) Close(done func(error)) { f.writeMeta(done) }
+
+// Name returns the dataset path.
+func (d *Dataset) Name() string { return d.obj.name }
+
+// Len returns the dataset length in elements.
+func (d *Dataset) Len() uint64 { return d.obj.length }
+
+// Type returns the element datatype.
+func (d *Dataset) Type() Datatype { return d.obj.dtype }
+
+// byteExtent converts an element range into a byte range, validating it.
+func (d *Dataset) byteExtent(elemOff, elems uint64) (byteOff, byteLen uint64, err error) {
+	es := uint64(d.obj.dtype.Size())
+	if elems == 0 || elemOff+elems < elemOff || elemOff+elems > d.obj.length {
+		return 0, 0, ErrBadRange
+	}
+	return elemOff * es, elems * es, nil
+}
+
+// Write stores raw element bytes at element offset elemOff. len(data)
+// must be a multiple of the element size.
+func (d *Dataset) Write(elemOff uint64, data []byte, done func(error)) {
+	es := uint64(d.obj.dtype.Size())
+	if uint64(len(data))%es != 0 {
+		done(fmt.Errorf("hdf5: write of %d bytes is not element-aligned", len(data)))
+		return
+	}
+	byteOff, byteLen, err := d.byteExtent(elemOff, uint64(len(data))/es)
+	if err != nil {
+		done(err)
+		return
+	}
+	d.f.rmw(d.obj, byteOff, byteLen, data, done)
+}
+
+// Read fetches elems elements starting at elemOff.
+func (d *Dataset) Read(elemOff, elems uint64, done func([]byte, error)) {
+	byteOff, byteLen, err := d.byteExtent(elemOff, elems)
+	if err != nil {
+		done(nil, err)
+		return
+	}
+	bs := d.f.bs
+	b0 := d.obj.dataLBA + byteOff/bs
+	b1 := d.obj.dataLBA + (byteOff+byteLen+bs-1)/bs
+	head := byteOff % bs
+	d.f.readSpan(b0, b1-b0, func(span []byte, err error) {
+		if err != nil {
+			done(nil, err)
+			return
+		}
+		done(span[head:head+byteLen], nil)
+	})
+}
+
+// rmw writes [byteOff, byteOff+byteLen) within an object's extent,
+// performing a read-modify-write when the range is not block-aligned.
+func (f *File) rmw(o *object, byteOff, byteLen uint64, data []byte, done func(error)) {
+	bs := f.bs
+	b0 := o.dataLBA + byteOff/bs
+	b1 := o.dataLBA + (byteOff+byteLen+bs-1)/bs
+	head := byteOff % bs
+	tail := (byteOff + byteLen) % bs
+	aligned := head == 0 && tail == 0
+	if aligned {
+		f.writeSpan(b0, data, done)
+		return
+	}
+	// Unaligned: fetch the span, overlay, write back.
+	f.readSpan(b0, b1-b0, func(span []byte, err error) {
+		if err != nil {
+			done(err)
+			return
+		}
+		copy(span[head:], data)
+		f.writeSpan(b0, span, done)
+	})
+}
+
+// readSpan reads blocks [lba, lba+n) in chunks of maxIOBlocks issued
+// concurrently.
+func (f *File) readSpan(lba, n uint64, done func([]byte, error)) {
+	if n == 0 {
+		done(nil, nil)
+		return
+	}
+	buf := make([]byte, n*f.bs)
+	remaining := 0
+	var firstErr error
+	finishOne := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done(buf, firstErr)
+		}
+	}
+	type chunk struct {
+		lba    uint64
+		blocks uint32
+		off    uint64
+	}
+	var chunks []chunk
+	for at := uint64(0); at < n; at += maxIOBlocks {
+		c := uint32(maxIOBlocks)
+		if n-at < maxIOBlocks {
+			c = uint32(n - at)
+		}
+		chunks = append(chunks, chunk{lba + at, c, at * f.bs})
+	}
+	remaining = len(chunks)
+	for _, c := range chunks {
+		c := c
+		f.dev.ReadAsync(c.lba, c.blocks, false, func(data []byte, err error) {
+			if err == nil {
+				copy(buf[c.off:], data)
+			}
+			finishOne(err)
+		})
+	}
+}
+
+// writeSpan writes len(data)/bs blocks starting at lba, chunked.
+func (f *File) writeSpan(lba uint64, data []byte, done func(error)) {
+	n := uint64(len(data)) / f.bs
+	if n == 0 || uint64(len(data))%f.bs != 0 {
+		done(fmt.Errorf("hdf5: internal: span of %d bytes", len(data)))
+		return
+	}
+	remaining := 0
+	var firstErr error
+	finishOne := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		remaining--
+		if remaining == 0 {
+			done(firstErr)
+		}
+	}
+	type chunk struct {
+		lba  uint64
+		data []byte
+	}
+	var chunks []chunk
+	for at := uint64(0); at < n; at += maxIOBlocks {
+		c := uint64(maxIOBlocks)
+		if n-at < maxIOBlocks {
+			c = n - at
+		}
+		chunks = append(chunks, chunk{lba + at, data[at*f.bs : (at+c)*f.bs]})
+	}
+	remaining = len(chunks)
+	for _, c := range chunks {
+		f.dev.WriteAsync(c.lba, c.data, false, finishOne)
+	}
+}

@@ -1,0 +1,410 @@
+package hdf5
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"nvmeopf/internal/bdev"
+)
+
+// newFile creates a file over a fresh in-memory device; all callbacks run
+// inline via SyncDevice so tests read synchronously.
+func newFile(t *testing.T, blocks uint64) (*File, *SyncDevice) {
+	t.Helper()
+	mem, err := bdev.NewMemory(4096, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev := NewSyncDevice(mem)
+	var f *File
+	Create(dev, func(file *File, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		f = file
+	})
+	return f, dev
+}
+
+func TestDatatypeSizes(t *testing.T) {
+	cases := map[Datatype]int{Float32: 4, Float64: 8, Int32: 4, Int64: 8, UInt8: 1, Datatype(99): 0}
+	for dt, want := range cases {
+		if got := dt.Size(); got != want {
+			t.Errorf("%v.Size() = %d, want %d", dt, got, want)
+		}
+		if dt.String() == "" {
+			t.Errorf("empty string for %d", uint8(dt))
+		}
+	}
+}
+
+func TestCreateOpenRoundTrip(t *testing.T) {
+	f, dev := newFile(t, 10000)
+	done := func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	f.CreateGroup("/particles", done)
+	f.CreateDataset("/particles/x", Float32, 1000, func(ds *Dataset, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Len() != 1000 || ds.Type() != Float32 {
+			t.Fatalf("dataset shape %d/%v", ds.Len(), ds.Type())
+		}
+	})
+	f.Close(done)
+
+	// Reopen from the same device.
+	Open(dev, func(g *File, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.HasGroup("/particles") {
+			t.Error("group lost")
+		}
+		ds, err := g.OpenDataset("/particles/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ds.Len() != 1000 || ds.Type() != Float32 {
+			t.Fatalf("reopened shape %d/%v", ds.Len(), ds.Type())
+		}
+		if len(g.Objects()) != 2 {
+			t.Fatalf("objects = %v", g.Objects())
+		}
+	})
+}
+
+func TestOpenUnformattedFails(t *testing.T) {
+	mem, _ := bdev.NewMemory(4096, 100)
+	Open(NewSyncDevice(mem), func(f *File, err error) {
+		if err == nil {
+			t.Fatal("unformatted device opened")
+		}
+	})
+}
+
+func TestDatasetWriteReadExact(t *testing.T) {
+	f, _ := newFile(t, 10000)
+	var ds *Dataset
+	f.CreateDataset("/d", Float64, 4096, func(d *Dataset, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = d
+	})
+	// Write 512 float64s (4096 bytes, exactly one block) at offset 512.
+	data := make([]byte, 4096)
+	for i := 0; i < 512; i++ {
+		binary.LittleEndian.PutUint64(data[i*8:], uint64(i)*3)
+	}
+	ds.Write(512, data, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	ds.Read(512, 512, func(got []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("round trip mismatch")
+		}
+	})
+	// Unwritten region reads as zeros.
+	ds.Read(0, 10, func(got []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range got {
+			if b != 0 {
+				t.Fatal("unwritten dataset region nonzero")
+			}
+		}
+	})
+}
+
+func TestUnalignedRMW(t *testing.T) {
+	f, _ := newFile(t, 10000)
+	var ds *Dataset
+	f.CreateDataset("/d", UInt8, 3*4096, func(d *Dataset, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = d
+	})
+	// Background pattern across all three blocks.
+	bg := make([]byte, 3*4096)
+	for i := range bg {
+		bg[i] = 0xEE
+	}
+	ds.Write(0, bg, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Unaligned overlay straddling blocks 0-1.
+	overlay := bytes.Repeat([]byte{0x11}, 1000)
+	ds.Write(4000, overlay, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	ds.Read(0, 3*4096, func(got []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range got {
+			want := byte(0xEE)
+			if i >= 4000 && i < 5000 {
+				want = 0x11
+			}
+			if b != want {
+				t.Fatalf("byte %d = %#x, want %#x", i, b, want)
+			}
+		}
+	})
+}
+
+func TestDatasetBoundsChecks(t *testing.T) {
+	f, _ := newFile(t, 10000)
+	var ds *Dataset
+	f.CreateDataset("/d", Int32, 100, func(d *Dataset, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = d
+	})
+	ds.Write(99, make([]byte, 8), func(err error) {
+		if err == nil {
+			t.Error("write past end accepted")
+		}
+	})
+	ds.Read(0, 101, func(_ []byte, err error) {
+		if err == nil {
+			t.Error("read past end accepted")
+		}
+	})
+	ds.Write(0, make([]byte, 3), func(err error) {
+		if err == nil {
+			t.Error("non-element-aligned write accepted")
+		}
+	})
+	ds.Read(0, 0, func(_ []byte, err error) {
+		if err == nil {
+			t.Error("zero-length read accepted")
+		}
+	})
+}
+
+func TestNamespaceRules(t *testing.T) {
+	f, _ := newFile(t, 10000)
+	f.CreateGroup("bad", func(err error) {
+		if err == nil {
+			t.Error("non-rooted name accepted")
+		}
+	})
+	f.CreateGroup("/g", func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	f.CreateGroup("/g", func(err error) {
+		if err != ErrExists {
+			t.Errorf("duplicate group: %v", err)
+		}
+	})
+	f.CreateDataset("/g", Float32, 10, func(_ *Dataset, err error) {
+		if err != ErrExists {
+			t.Errorf("dataset over group: %v", err)
+		}
+	})
+	if _, err := f.OpenDataset("/missing"); err != ErrNotFound {
+		t.Errorf("missing dataset: %v", err)
+	}
+	if _, err := f.OpenDataset("/g"); err == nil {
+		t.Error("opened group as dataset")
+	}
+	f.CreateDataset("/zero", Float32, 0, func(_ *Dataset, err error) {
+		if err == nil {
+			t.Error("zero-length dataset accepted")
+		}
+	})
+}
+
+func TestOutOfSpace(t *testing.T) {
+	f, _ := newFile(t, objTableBlocks+10)
+	f.CreateDataset("/big", UInt8, 100*4096, func(_ *Dataset, err error) {
+		if err != ErrOutOfSpace {
+			t.Errorf("want ErrOutOfSpace, got %v", err)
+		}
+	})
+}
+
+func TestCreateOnTinyDeviceFails(t *testing.T) {
+	mem, _ := bdev.NewMemory(4096, 4)
+	Create(NewSyncDevice(mem), func(_ *File, err error) {
+		if err != ErrOutOfSpace {
+			t.Errorf("want ErrOutOfSpace, got %v", err)
+		}
+	})
+}
+
+func TestManyObjectsPersist(t *testing.T) {
+	f, dev := newFile(t, 1<<20)
+	for i := 0; i < 200; i++ {
+		name := "/ds" + string(rune('a'+i%26)) + string(rune('0'+i/26))
+		f.CreateDataset(name, Float32, 100, func(_ *Dataset, err error) {
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+		})
+	}
+	Open(dev, func(g *File, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(g.Objects()) != 200 {
+			t.Fatalf("objects = %d", len(g.Objects()))
+		}
+	})
+}
+
+func TestCorruptSuperblockDetected(t *testing.T) {
+	f, dev := newFile(t, 10000)
+	f.Close(func(error) {})
+	// Flip a byte in block 0.
+	buf := make([]byte, 4096)
+	if err := dev.D.ReadBlocks(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf[20] ^= 0xFF
+	if err := dev.D.WriteBlocks(buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	Open(dev, func(_ *File, err error) {
+		if err == nil {
+			t.Fatal("corrupt superblock accepted")
+		}
+	})
+}
+
+// Property: any sequence of element-aligned writes followed by reads
+// matches a flat byte-array model, regardless of alignment with blocks.
+func TestDatasetModelProperty(t *testing.T) {
+	type op struct {
+		Off  uint16
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		file, _ := newFile(t, 1<<16)
+		const n = 8192
+		var ds *Dataset
+		ok := true
+		file.CreateDataset("/p", UInt8, n, func(d *Dataset, err error) {
+			if err != nil {
+				ok = false
+				return
+			}
+			ds = d
+		})
+		if !ok {
+			return false
+		}
+		model := make([]byte, n)
+		for _, o := range ops {
+			off := uint64(o.Off) % n
+			data := o.Data
+			if uint64(len(data)) > n-off {
+				data = data[:n-off]
+			}
+			if len(data) == 0 {
+				continue
+			}
+			ds.Write(off, data, func(err error) {
+				if err != nil {
+					ok = false
+				}
+			})
+			copy(model[off:], data)
+		}
+		if !ok {
+			return false
+		}
+		ds.Read(0, n, func(got []byte, err error) {
+			if err != nil || !bytes.Equal(got, model) {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLargeSpanChunking(t *testing.T) {
+	f, _ := newFile(t, 1<<16)
+	var ds *Dataset
+	// 2 MiB dataset: spans > maxIOBlocks blocks, forcing chunked IO.
+	f.CreateDataset("/big", UInt8, 2<<20, func(d *Dataset, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds = d
+	})
+	data := make([]byte, 2<<20)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	ds.Write(0, data, func(err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	ds.Read(0, 2<<20, func(got []byte, err error) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("chunked span mismatch")
+		}
+	})
+}
+
+// FuzzDecodeObjectTable ensures the metadata decoder never panics on
+// corrupt object tables.
+func FuzzDecodeObjectTable(f *testing.F) {
+	file, _ := newFileForFuzz()
+	file.CreateGroup("/g", func(error) {})
+	file.CreateDataset("/d", Float32, 100, func(*Dataset, error) {})
+	if ot, err := file.encodeObjectTable(); err == nil {
+		f.Add(ot)
+		// A few corruptions as extra seeds.
+		for _, i := range []int{0, 4, 9, 20} {
+			c := append([]byte(nil), ot...)
+			if i < len(c) {
+				c[i] ^= 0xFF
+			}
+			f.Add(c)
+		}
+	}
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		g := &File{bs: 4096, index: map[string]*object{}}
+		_ = g.decodeObjectTable(raw) // must not panic
+	})
+}
+
+// newFileForFuzz builds a file without *testing.T plumbing.
+func newFileForFuzz() (*File, *SyncDevice) {
+	mem, _ := bdev.NewMemory(4096, 10000)
+	dev := NewSyncDevice(mem)
+	var f *File
+	Create(dev, func(file *File, err error) { f = file })
+	return f, dev
+}

@@ -1,0 +1,386 @@
+// Package hostqp implements the NVMe-oPF initiator queue-pair state
+// machine. It is sans-IO: the session consumes inbound PDUs through
+// HandlePDU and emits outbound PDUs through a caller-provided send
+// function, so the same state machine drives both the real TCP transport
+// and the discrete-event simulator.
+//
+// The session implements the host half of the paper's design: it opens the
+// connection with a priority class, stamps every command capsule with the
+// class's flags and the target-assigned tenant ID, lets the host priority
+// manager insert draining flags each window (Alg. 1), and replays
+// coalesced completions over the submission-ordered pending queue
+// (Alg. 2), which also reconciles out-of-order device completions (§IV-C).
+package hostqp
+
+import (
+	"errors"
+	"fmt"
+
+	"nvmeopf/internal/core"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+)
+
+// ProtocolVersion is the PFV this runtime speaks.
+const ProtocolVersion = 1
+
+// ErrQueueFull is returned by Submit when QueueDepth commands are already
+// outstanding; callers doing their own flow control retry after the next
+// completion.
+var ErrQueueFull = errors.New("hostqp: queue depth exceeded")
+
+// Config describes one initiator connection.
+type Config struct {
+	// Class is the connection's priority class: PrioLatencySensitive,
+	// PrioThroughputCritical, or PrioNormal (legacy NVMe-oF). Individual
+	// IOs may override it.
+	Class proto.Priority
+	// Window is the drain window size for throughput-critical traffic.
+	Window int
+	// QueueDepth bounds outstanding commands (TC initiators use 128 and
+	// LS initiators 1 in the paper's evaluation).
+	QueueDepth int
+	// Dynamic optionally attaches the §IV-D runtime window tuner.
+	Dynamic *core.DynamicWindow
+	// NSID is the namespace addressed by Read/Write helpers.
+	NSID uint32
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.QueueDepth < 1 || c.QueueDepth > 65536 {
+		return fmt.Errorf("hostqp: queue depth %d out of range", c.QueueDepth)
+	}
+	if c.Window < 1 {
+		return fmt.Errorf("hostqp: window %d < 1", c.Window)
+	}
+	if c.NSID == 0 {
+		return fmt.Errorf("hostqp: NSID 0 is reserved")
+	}
+	return nil
+}
+
+// Result is delivered to the IO callback on completion.
+type Result struct {
+	Status      nvme.Status
+	Data        []byte // read payload (nil for writes/flush)
+	SubmittedAt int64  // clock value at submission
+	CompletedAt int64  // clock value at application-visible completion
+}
+
+// Latency returns the request's end-to-end latency in clock units.
+func (r Result) Latency() int64 { return r.CompletedAt - r.SubmittedAt }
+
+// IO describes one I/O request.
+type IO struct {
+	Op     nvme.Opcode
+	LBA    uint64
+	Blocks uint32
+	Data   []byte // write payload; must be Blocks * blocksize bytes
+	// Prio optionally overrides the connection class for this request
+	// (zero value means "use the connection class").
+	Prio proto.Priority
+	// Done receives the completion. It runs on the session's event
+	// context (the simulator loop or the transport reader goroutine).
+	Done func(Result)
+}
+
+// pendingReq is the host-side request state.
+type pendingReq struct {
+	io          IO
+	coalescable bool // routed through the host PM's pending queue
+	submittedAt int64
+	readBuf     []byte
+	readBytes   int
+	bytesMoved  int64 // accounted on completion for the dynamic tuner
+}
+
+// Stats counts host-session events.
+type Stats struct {
+	Submitted   int64
+	Completed   int64
+	Errors      int64
+	CmdPDUs     int64
+	RespPDUs    int64 // completion notifications received (Fig. 6(c) metric)
+	DataPDUs    int64
+	BytesRead   int64
+	BytesWrited int64
+}
+
+// Session is an initiator queue pair. It is not safe for concurrent use;
+// the transport layer serializes calls (event loop or a per-connection
+// goroutine).
+type Session struct {
+	cfg    Config
+	send   func(proto.PDU)
+	clock  func() int64
+	pm     *core.HostPM
+	cids   *nvme.CIDAllocator
+	reqs   map[nvme.CID]*pendingReq
+	tenant proto.TenantID
+
+	connected    bool
+	onConnect    []func()
+	drainedBytes int64 // bytes completed since last drain (tuner input)
+	nsBlockSize  uint32
+	nsCapacity   uint64
+
+	stats Stats
+}
+
+// New creates a session. send emits outbound PDUs; clock provides
+// timestamps (virtual in simulation, wall elsewhere).
+func New(cfg Config, send func(proto.PDU), clock func() int64) (*Session, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if send == nil || clock == nil {
+		return nil, errors.New("hostqp: nil send or clock")
+	}
+	if cfg.Window > cfg.QueueDepth {
+		// A window deeper than the queue depth could never fill, so the
+		// drain flag would never be sent and the window would wait at the
+		// target forever — the lockup analysed in §IV-A. Clamp.
+		cfg.Window = cfg.QueueDepth
+	}
+	pm := core.NewHostPM(proto.PrioThroughputCritical, cfg.Window)
+	if cfg.Dynamic != nil {
+		pm.EnableDynamicWindow(cfg.Dynamic)
+	}
+	return &Session{
+		cfg:   cfg,
+		send:  send,
+		clock: clock,
+		pm:    pm,
+		cids:  nvme.NewCIDAllocator(cfg.QueueDepth),
+		reqs:  make(map[nvme.CID]*pendingReq, cfg.QueueDepth),
+	}, nil
+}
+
+// Start sends the connection request. The session accepts submissions only
+// after the ICResp arrives (use OnConnect to sequence).
+func (s *Session) Start() {
+	s.send(&proto.ICReq{
+		PFV:        ProtocolVersion,
+		QueueDepth: uint16(s.cfg.QueueDepth & 0xFFFF),
+		Prio:       s.cfg.Class,
+		NSID:       s.cfg.NSID,
+	})
+}
+
+// OnConnect registers fn to run once the handshake completes (immediately
+// if already connected).
+func (s *Session) OnConnect(fn func()) {
+	if s.connected {
+		fn()
+		return
+	}
+	s.onConnect = append(s.onConnect, fn)
+}
+
+// Connected reports whether the handshake completed.
+func (s *Session) Connected() bool { return s.connected }
+
+// Tenant returns the target-assigned tenant ID (valid after connect).
+func (s *Session) Tenant() proto.TenantID { return s.tenant }
+
+// BlockSize returns the namespace logical block size learned during the
+// handshake (0 before connect, or when talking to a pre-geometry target).
+func (s *Session) BlockSize() uint32 { return s.nsBlockSize }
+
+// Capacity returns the namespace capacity in logical blocks learned during
+// the handshake.
+func (s *Session) Capacity() uint64 { return s.nsCapacity }
+
+// Window returns the current drain window size.
+func (s *Session) Window() int { return s.pm.Window() }
+
+// Stats returns a copy of the session counters.
+func (s *Session) Stats() Stats { return s.stats }
+
+// Outstanding returns the number of commands in flight.
+func (s *Session) Outstanding() int { return s.cids.Outstanding() }
+
+// CanSubmit reports whether another Submit would be admitted by the queue
+// depth bound.
+func (s *Session) CanSubmit() bool {
+	return s.connected && s.cids.Outstanding() < s.cfg.QueueDepth
+}
+
+// Submit issues one I/O. It returns an error if the session is not
+// connected, the queue is full, or the request is malformed.
+func (s *Session) Submit(io IO) error {
+	if !s.connected {
+		return errors.New("hostqp: submit before handshake")
+	}
+	if io.Done == nil {
+		return errors.New("hostqp: IO without Done callback")
+	}
+	if io.Blocks == 0 && io.Op != nvme.OpFlush {
+		return errors.New("hostqp: zero-length IO")
+	}
+	cid, ok := s.cids.Alloc()
+	if !ok {
+		return ErrQueueFull
+	}
+
+	// Zero priority means "inherit the connection class" (PrioNormal is
+	// the zero value; a connection classed normal stays normal).
+	eff := io.Prio
+	if eff == 0 {
+		eff = s.cfg.Class
+	}
+	req := &pendingReq{io: io, submittedAt: s.clock()}
+	var wire proto.Priority
+	if eff.ThroughputCritical() {
+		// Alg. 1: queue the CID and let the PM decide when to drain.
+		wire = s.pm.Stamp(cid)
+		req.coalescable = true
+	} else {
+		wire = eff
+	}
+
+	cmd := nvme.Command{Opcode: io.Op, CID: cid, NSID: s.cfg.NSID, SLBA: io.LBA}
+	if io.Op != nvme.OpFlush {
+		cmd.NLB = uint16(io.Blocks - 1)
+	}
+	var data []byte
+	switch io.Op {
+	case nvme.OpWrite:
+		data = io.Data
+		req.bytesMoved = int64(len(data))
+		s.stats.BytesWrited += int64(len(data))
+	case nvme.OpRead:
+		req.readBuf = nil // allocated when data arrives; size from PDUs
+	}
+	s.reqs[cid] = req
+	s.stats.Submitted++
+	s.stats.CmdPDUs++
+	s.send(&proto.CapsuleCmd{Cmd: cmd, Prio: wire, Tenant: s.tenant, Data: data})
+	return nil
+}
+
+// Flush forces the next TC request to carry a draining flag, so a tail
+// window does not linger unfinished at the target. It affects only future
+// submissions.
+func (s *Session) Flush() { s.pm.ForceDrainNext() }
+
+// HandlePDU processes one inbound PDU.
+func (s *Session) HandlePDU(p proto.PDU) error {
+	switch pdu := p.(type) {
+	case *proto.ICResp:
+		return s.handleICResp(pdu)
+	case *proto.C2HData:
+		return s.handleData(pdu)
+	case *proto.CapsuleResp:
+		return s.handleResp(pdu)
+	case *proto.TermReq:
+		return fmt.Errorf("hostqp: connection terminated by target: FES=%d %s", pdu.FES, pdu.Reason)
+	default:
+		return fmt.Errorf("hostqp: unexpected PDU %v", p.PDUType())
+	}
+}
+
+func (s *Session) handleICResp(pdu *proto.ICResp) error {
+	if s.connected {
+		return errors.New("hostqp: duplicate ICResp")
+	}
+	if pdu.PFV != ProtocolVersion {
+		return fmt.Errorf("hostqp: protocol version mismatch: %d", pdu.PFV)
+	}
+	s.tenant = pdu.Tenant
+	s.nsBlockSize = pdu.BlockSize
+	s.nsCapacity = pdu.Capacity
+	s.connected = true
+	for _, fn := range s.onConnect {
+		fn()
+	}
+	s.onConnect = nil
+	return nil
+}
+
+func (s *Session) handleData(pdu *proto.C2HData) error {
+	s.stats.DataPDUs++
+	req, ok := s.reqs[pdu.CCCID]
+	if !ok {
+		return fmt.Errorf("hostqp: C2HData for unknown CID %d", pdu.CCCID)
+	}
+	if req.io.Op != nvme.OpRead {
+		return fmt.Errorf("hostqp: C2HData for non-read CID %d", pdu.CCCID)
+	}
+	end := int(pdu.Offset) + len(pdu.Data)
+	if req.readBuf == nil || end > len(req.readBuf) {
+		grown := make([]byte, end)
+		copy(grown, req.readBuf)
+		req.readBuf = grown
+	}
+	copy(req.readBuf[pdu.Offset:], pdu.Data)
+	req.readBytes += len(pdu.Data)
+	req.bytesMoved = int64(req.readBytes)
+	s.stats.BytesRead += int64(len(pdu.Data))
+	return nil
+}
+
+func (s *Session) handleResp(pdu *proto.CapsuleResp) error {
+	s.stats.RespPDUs++
+	cid := pdu.Cpl.CID
+	req, ok := s.reqs[cid]
+	if !ok {
+		return fmt.Errorf("hostqp: response for unknown CID %d", cid)
+	}
+	var done []nvme.CID
+	var err error
+	if pdu.Coalesced || req.coalescable {
+		// TC path: the PM replays the pending prefix (coalesced) or
+		// removes the one CID (individual response to a TC request).
+		done, err = s.pm.OnResponse(cid, pdu.Coalesced)
+		if err != nil {
+			return err
+		}
+	} else {
+		done = []nvme.CID{cid}
+	}
+	now := s.clock()
+	var windowBytes int64
+	for _, c := range done {
+		r, ok := s.reqs[c]
+		if !ok {
+			return fmt.Errorf("hostqp: completion replay names unknown CID %d", c)
+		}
+		delete(s.reqs, c)
+		if err := s.cids.Release(c); err != nil {
+			return err
+		}
+		st := pdu.Cpl.Status
+		if !st.OK() {
+			s.stats.Errors++
+		}
+		s.stats.Completed++
+		windowBytes += r.bytesMoved
+		r.io.Done(Result{
+			Status:      st,
+			Data:        r.readBuf,
+			SubmittedAt: r.submittedAt,
+			CompletedAt: now,
+		})
+	}
+	if pdu.Coalesced {
+		s.drainedBytes += windowBytes
+		s.pm.OnDrainCompleted(s.drainedBytes, now)
+		s.drainedBytes = 0
+	}
+	return nil
+}
+
+// PMStats exposes the host priority manager counters.
+func (s *Session) PMStats() core.HostPMStats { return s.pm.Stats() }
+
+// PendingTC returns the number of throughput-critical requests whose
+// completion notifications are still owed (queued or executing at the
+// target). Transports use it to decide whether an idle-drain is needed.
+func (s *Session) PendingTC() int { return s.pm.Pending() }
+
+// PartialWindow returns the number of TC requests submitted since the last
+// draining flag: the requests sitting in the target's tenant queue with no
+// drain scheduled to release them.
+func (s *Session) PartialWindow() int { return s.pm.SinceDrain() }

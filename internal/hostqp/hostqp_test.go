@@ -1,0 +1,316 @@
+package hostqp
+
+import (
+	"testing"
+
+	"nvmeopf/internal/core"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+)
+
+// harness captures outbound PDUs and drives the session directly.
+type harness struct {
+	sess *Session
+	out  []proto.PDU
+	now  int64
+}
+
+func newHarness(t *testing.T, cfg Config) *harness {
+	t.Helper()
+	h := &harness{}
+	sess, err := New(cfg, func(p proto.PDU) { h.out = append(h.out, p) }, func() int64 { h.now++; return h.now })
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.sess = sess
+	return h
+}
+
+// connect completes the handshake.
+func (h *harness) connect(t *testing.T, tenant proto.TenantID) {
+	t.Helper()
+	h.sess.Start()
+	if len(h.out) != 1 {
+		t.Fatalf("Start sent %d PDUs", len(h.out))
+	}
+	if _, ok := h.out[0].(*proto.ICReq); !ok {
+		t.Fatalf("Start sent %v", h.out[0].PDUType())
+	}
+	h.out = nil
+	if err := h.sess.HandlePDU(&proto.ICResp{PFV: ProtocolVersion, Tenant: tenant, MaxDataLen: 1 << 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lastCmd returns the most recent CapsuleCmd sent.
+func (h *harness) lastCmd(t *testing.T) *proto.CapsuleCmd {
+	t.Helper()
+	for i := len(h.out) - 1; i >= 0; i-- {
+		if c, ok := h.out[i].(*proto.CapsuleCmd); ok {
+			return c
+		}
+	}
+	t.Fatal("no CapsuleCmd sent")
+	return nil
+}
+
+func tcConfig(window, qd int) Config {
+	return Config{Class: proto.PrioThroughputCritical, Window: window, QueueDepth: qd, NSID: 1}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 0, NSID: 1},
+		{Class: proto.PrioLatencySensitive, Window: 0, QueueDepth: 1, NSID: 1},
+		{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 1, NSID: 0},
+		{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 1 << 17, NSID: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg, func(proto.PDU) {}, func() int64 { return 0 }); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(tcConfig(1, 1), nil, nil); err == nil {
+		t.Error("nil send/clock accepted")
+	}
+}
+
+func TestWindowClampedToQueueDepth(t *testing.T) {
+	h := newHarness(t, tcConfig(64, 8))
+	if h.sess.Window() != 8 {
+		t.Fatalf("window = %d, want clamped to QD 8", h.sess.Window())
+	}
+}
+
+func TestSubmitBeforeHandshakeRejected(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 1))
+	err := h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 1, Done: func(Result) {}})
+	if err == nil {
+		t.Fatal("submit before handshake accepted")
+	}
+}
+
+func TestTenantStampedIntoCapsules(t *testing.T) {
+	h := newHarness(t, tcConfig(4, 8))
+	h.connect(t, 42)
+	if h.sess.Tenant() != 42 {
+		t.Fatalf("tenant = %d", h.sess.Tenant())
+	}
+	if err := h.sess.Submit(IO{Op: nvme.OpRead, LBA: 1, Blocks: 1, Done: func(Result) {}}); err != nil {
+		t.Fatal(err)
+	}
+	cmd := h.lastCmd(t)
+	if cmd.Tenant != 42 {
+		t.Fatalf("capsule tenant = %d", cmd.Tenant)
+	}
+	if cmd.Cmd.NSID != 1 || cmd.Cmd.SLBA != 1 {
+		t.Fatalf("capsule command wrong: %+v", cmd.Cmd)
+	}
+}
+
+func TestDuplicateICRespRejected(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 1))
+	h.connect(t, 1)
+	if err := h.sess.HandlePDU(&proto.ICResp{PFV: ProtocolVersion}); err == nil {
+		t.Fatal("duplicate ICResp accepted")
+	}
+}
+
+func TestBadPFVRejected(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 1))
+	h.sess.Start()
+	if err := h.sess.HandlePDU(&proto.ICResp{PFV: 99}); err == nil {
+		t.Fatal("bad PFV accepted")
+	}
+}
+
+func TestDrainFlagEveryWindow(t *testing.T) {
+	h := newHarness(t, tcConfig(3, 16))
+	h.connect(t, 1)
+	var prios []proto.Priority
+	for i := 0; i < 6; i++ {
+		if err := h.sess.Submit(IO{Op: nvme.OpWrite, LBA: uint64(i), Blocks: 1, Data: make([]byte, 4096), Done: func(Result) {}}); err != nil {
+			t.Fatal(err)
+		}
+		prios = append(prios, h.lastCmd(t).Prio)
+	}
+	want := []proto.Priority{
+		proto.PrioThroughputCritical, proto.PrioThroughputCritical, proto.PrioTCDraining,
+		proto.PrioThroughputCritical, proto.PrioThroughputCritical, proto.PrioTCDraining,
+	}
+	for i := range want {
+		if prios[i] != want[i] {
+			t.Fatalf("prios = %v", prios)
+		}
+	}
+}
+
+func TestCoalescedResponseReplaysWindow(t *testing.T) {
+	h := newHarness(t, tcConfig(3, 16))
+	h.connect(t, 1)
+	var cids []nvme.CID
+	completions := 0
+	for i := 0; i < 3; i++ {
+		if err := h.sess.Submit(IO{Op: nvme.OpWrite, LBA: uint64(i), Blocks: 1, Data: make([]byte, 4096),
+			Done: func(Result) { completions++ }}); err != nil {
+			t.Fatal(err)
+		}
+		cids = append(cids, h.lastCmd(t).Cmd.CID)
+	}
+	if err := h.sess.HandlePDU(&proto.CapsuleResp{
+		Cpl:       nvme.Completion{CID: cids[2], Status: nvme.StatusSuccess},
+		Coalesced: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if completions != 3 {
+		t.Fatalf("completions = %d, want 3 (replay)", completions)
+	}
+	if h.sess.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", h.sess.Outstanding())
+	}
+	if h.sess.PendingTC() != 0 {
+		t.Fatalf("pendingTC = %d", h.sess.PendingTC())
+	}
+}
+
+func TestPartialWindowTracking(t *testing.T) {
+	h := newHarness(t, tcConfig(4, 16))
+	h.connect(t, 1)
+	for i := 0; i < 2; i++ {
+		_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: uint64(i), Blocks: 1, Done: func(Result) {}})
+	}
+	if h.sess.PartialWindow() != 2 {
+		t.Fatalf("partial window = %d", h.sess.PartialWindow())
+	}
+	for i := 2; i < 4; i++ {
+		_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: uint64(i), Blocks: 1, Done: func(Result) {}})
+	}
+	if h.sess.PartialWindow() != 0 {
+		t.Fatalf("partial window after drain = %d", h.sess.PartialWindow())
+	}
+}
+
+func TestReadDataAssembly(t *testing.T) {
+	h := newHarness(t, Config{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 2, NSID: 1})
+	h.connect(t, 1)
+	var got []byte
+	if err := h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 2, Done: func(r Result) { got = r.Data }}); err != nil {
+		t.Fatal(err)
+	}
+	cid := h.lastCmd(t).Cmd.CID
+	// Data arrives in two out-of-order segments before the response.
+	seg2 := make([]byte, 4096)
+	for i := range seg2 {
+		seg2[i] = 2
+	}
+	seg1 := make([]byte, 4096)
+	for i := range seg1 {
+		seg1[i] = 1
+	}
+	if err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: 4096, Data: seg2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: 0, Data: seg1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.sess.HandlePDU(&proto.CapsuleResp{Cpl: nvme.Completion{CID: cid}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 8192 || got[0] != 1 || got[4096] != 2 {
+		t.Fatalf("assembled %d bytes, got[0]=%d got[4096]=%d", len(got), got[0], got[4096])
+	}
+}
+
+func TestProtocolViolationsSurface(t *testing.T) {
+	h := newHarness(t, tcConfig(2, 4))
+	h.connect(t, 1)
+	if err := h.sess.HandlePDU(&proto.C2HData{CCCID: 99, Data: []byte{1}}); err == nil {
+		t.Error("data for unknown CID accepted")
+	}
+	if err := h.sess.HandlePDU(&proto.CapsuleResp{Cpl: nvme.Completion{CID: 99}}); err == nil {
+		t.Error("response for unknown CID accepted")
+	}
+	if err := h.sess.HandlePDU(&proto.ICReq{}); err == nil {
+		t.Error("unexpected PDU type accepted")
+	}
+	if err := h.sess.HandlePDU(&proto.TermReq{Dir: proto.TypeC2HTermReq, FES: 1, Reason: "x"}); err == nil {
+		t.Error("TermReq not surfaced as error")
+	}
+}
+
+func TestC2HDataForWriteRejected(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 2))
+	h.connect(t, 1)
+	_ = h.sess.Submit(IO{Op: nvme.OpWrite, LBA: 0, Blocks: 1, Data: make([]byte, 4096), Done: func(Result) {}})
+	cid := h.lastCmd(t).Cmd.CID
+	if err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Data: []byte{1}}); err == nil {
+		t.Error("C2HData for a write accepted")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 2))
+	h.connect(t, 1)
+	if err := h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 1}); err == nil {
+		t.Error("IO without Done accepted")
+	}
+	if err := h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 0, Done: func(Result) {}}); err == nil {
+		t.Error("zero-length read accepted")
+	}
+}
+
+func TestErrorStatusCountsAsError(t *testing.T) {
+	h := newHarness(t, Config{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 1, NSID: 1})
+	h.connect(t, 1)
+	var st nvme.Status
+	_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 1, Done: func(r Result) { st = r.Status }})
+	cid := h.lastCmd(t).Cmd.CID
+	if err := h.sess.HandlePDU(&proto.CapsuleResp{Cpl: nvme.Completion{CID: cid, Status: nvme.StatusLBAOutOfRange}}); err != nil {
+		t.Fatal(err)
+	}
+	if st != nvme.StatusLBAOutOfRange {
+		t.Fatalf("status = %v", st)
+	}
+	if h.sess.Stats().Errors != 1 {
+		t.Fatalf("errors = %d", h.sess.Stats().Errors)
+	}
+}
+
+func TestLatencyMeasuredWithClock(t *testing.T) {
+	h := newHarness(t, Config{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 1, NSID: 1})
+	h.connect(t, 1)
+	var res Result
+	_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 1, Done: func(r Result) { res = r }})
+	cid := h.lastCmd(t).Cmd.CID
+	_ = h.sess.HandlePDU(&proto.CapsuleResp{Cpl: nvme.Completion{CID: cid}})
+	if res.Latency() <= 0 {
+		t.Fatalf("latency = %d", res.Latency())
+	}
+}
+
+func TestDynamicWindowWiring(t *testing.T) {
+	cfg := tcConfig(4, 64)
+	cfg.Dynamic = core.NewDynamicWindow(4, 64, 1)
+	h := newHarness(t, cfg)
+	h.connect(t, 1)
+	before := h.sess.Window()
+	// Complete a few windows; the tuner should move the window.
+	for w := 0; w < 4; w++ {
+		var drainCID nvme.CID
+		n := h.sess.Window()
+		for i := 0; i < n; i++ {
+			_ = h.sess.Submit(IO{Op: nvme.OpWrite, LBA: uint64(i), Blocks: 1, Data: make([]byte, 4096), Done: func(Result) {}})
+			c := h.lastCmd(t)
+			if c.Prio.Draining() {
+				drainCID = c.Cmd.CID
+			}
+		}
+		if err := h.sess.HandlePDU(&proto.CapsuleResp{Cpl: nvme.Completion{CID: drainCID}, Coalesced: true}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.sess.Window() == before {
+		t.Fatal("dynamic window never moved")
+	}
+}

@@ -1,0 +1,163 @@
+package nvme
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	in := Command{
+		Opcode: OpWrite,
+		Flags:  0x40,
+		CID:    0xBEEF,
+		NSID:   3,
+		SLBA:   0x123456789A,
+		NLB:    255,
+	}
+	var buf [CommandSize]byte
+	in.Marshal(buf[:])
+	var out Command
+	if err := out.Unmarshal(buf[:]); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+}
+
+func TestCommandRoundTripProperty(t *testing.T) {
+	f := func(op, flags uint8, cid uint16, nsid uint32, slba uint64, nlb uint16) bool {
+		in := Command{Opcode: Opcode(op), Flags: flags, CID: cid, NSID: nsid, SLBA: slba, NLB: nlb}
+		var buf [CommandSize]byte
+		in.Marshal(buf[:])
+		var out Command
+		if err := out.Unmarshal(buf[:]); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommandUnmarshalShort(t *testing.T) {
+	var c Command
+	if err := c.Unmarshal(make([]byte, 10)); err == nil {
+		t.Fatal("want error for short buffer")
+	}
+}
+
+func TestCompletionRoundTripProperty(t *testing.T) {
+	f := func(result uint32, sqhead, sqid, cid uint16, status uint16) bool {
+		in := Completion{Result: result, SQHead: sqhead, SQID: sqid, CID: cid, Status: Status(status & 0x7FFF)}
+		var buf [CompletionSize]byte
+		in.Marshal(buf[:])
+		var out Completion
+		if err := out.Unmarshal(buf[:]); err != nil {
+			return false
+		}
+		return out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletionUnmarshalShort(t *testing.T) {
+	var c Completion
+	if err := c.Unmarshal(make([]byte, 3)); err == nil {
+		t.Fatal("want error for short buffer")
+	}
+}
+
+func TestMarshalPanicsOnShortDst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for short dst")
+		}
+	}()
+	(&Command{}).Marshal(make([]byte, 8))
+}
+
+func TestStatusStrings(t *testing.T) {
+	if !StatusSuccess.OK() {
+		t.Fatal("success should be OK")
+	}
+	if StatusLBAOutOfRange.OK() {
+		t.Fatal("LBA out of range should not be OK")
+	}
+	for _, s := range []Status{StatusSuccess, StatusInvalidOpcode, StatusInvalidField,
+		StatusIDConflict, StatusDataXferError, StatusAborted, StatusInvalidNSID,
+		StatusLBAOutOfRange, StatusCapacityExceed, StatusQueueFull, StatusInternalError} {
+		if s.String() == "" {
+			t.Errorf("empty string for %#x", uint16(s))
+		}
+	}
+	if Status(0x7777).String() != "Status(0x7777)" {
+		t.Errorf("unknown status string = %q", Status(0x7777).String())
+	}
+}
+
+func TestOpcodeStrings(t *testing.T) {
+	cases := map[Opcode]string{OpFlush: "Flush", OpWrite: "Write", OpRead: "Read", Opcode(0x99): "Opcode(0x99)"}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("%v.String() = %q, want %q", uint8(op), got, want)
+		}
+	}
+}
+
+func TestCommandBlocks(t *testing.T) {
+	c := Command{NLB: 0}
+	if c.Blocks() != 1 {
+		t.Errorf("NLB 0 should mean 1 block (zero-based), got %d", c.Blocks())
+	}
+	c.NLB = 7
+	if c.Blocks() != 8 {
+		t.Errorf("Blocks = %d, want 8", c.Blocks())
+	}
+}
+
+func TestNamespaceValidate(t *testing.T) {
+	good := Namespace{ID: 1, BlockSize: 4096, Capacity: 1024}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good namespace rejected: %v", err)
+	}
+	bad := []Namespace{
+		{ID: 0, BlockSize: 4096, Capacity: 1},
+		{ID: 1, BlockSize: 0, Capacity: 1},
+		{ID: 1, BlockSize: 4095, Capacity: 1},
+		{ID: 1, BlockSize: 4096, Capacity: 0},
+	}
+	for i, ns := range bad {
+		if err := ns.Validate(); err == nil {
+			t.Errorf("bad namespace %d accepted: %+v", i, ns)
+		}
+	}
+}
+
+func TestNamespaceCheckRange(t *testing.T) {
+	ns := Namespace{ID: 1, BlockSize: 512, Capacity: 100}
+	cases := []struct {
+		slba uint64
+		nlb  uint32
+		want Status
+	}{
+		{0, 1, StatusSuccess},
+		{99, 1, StatusSuccess},
+		{0, 100, StatusSuccess},
+		{0, 0, StatusInvalidField},
+		{100, 1, StatusLBAOutOfRange},
+		{99, 2, StatusLBAOutOfRange},
+		{^uint64(0), 1, StatusLBAOutOfRange},
+	}
+	for _, c := range cases {
+		if got := ns.CheckRange(c.slba, c.nlb); got != c.want {
+			t.Errorf("CheckRange(%d, %d) = %v, want %v", c.slba, c.nlb, got, c.want)
+		}
+	}
+	if ns.Bytes(3) != 1536 {
+		t.Errorf("Bytes(3) = %d", ns.Bytes(3))
+	}
+}

@@ -1,0 +1,274 @@
+package nvme
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSQBasics(t *testing.T) {
+	q := NewSQ(4)
+	if q.Size() != 4 || q.Len() != 0 || !q.Empty() || q.Full() {
+		t.Fatalf("fresh queue state wrong: len=%d", q.Len())
+	}
+	for i := 0; i < 3; i++ {
+		if !q.Push(Command{CID: CID(i)}) {
+			t.Fatalf("push %d failed", i)
+		}
+	}
+	if !q.Full() {
+		t.Fatal("queue of size 4 should be full at 3 entries")
+	}
+	if q.Push(Command{CID: 99}) {
+		t.Fatal("push into full queue succeeded")
+	}
+	for i := 0; i < 3; i++ {
+		c, ok := q.Pop()
+		if !ok || c.CID != CID(i) {
+			t.Fatalf("pop %d: got %v ok=%v", i, c.CID, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestSQWrapAround(t *testing.T) {
+	q := NewSQ(4)
+	next := uint16(0)
+	expect := uint16(0)
+	for round := 0; round < 100; round++ {
+		for q.Push(Command{CID: next}) {
+			next++
+		}
+		for !q.Empty() {
+			c, _ := q.Pop()
+			if c.CID != expect {
+				t.Fatalf("round %d: got CID %d, want %d", round, c.CID, expect)
+			}
+			expect++
+		}
+	}
+	if next != expect {
+		t.Fatalf("pushed %d != popped %d", next, expect)
+	}
+}
+
+func TestSQPanicsOnTinySize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for size < 2")
+		}
+	}()
+	NewSQ(1)
+}
+
+func TestCQPanicsOnTinySize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for size < 2")
+		}
+	}()
+	NewCQ(0)
+}
+
+func TestCQBasics(t *testing.T) {
+	q := NewCQ(3)
+	if !q.Push(Completion{CID: 1}) || !q.Push(Completion{CID: 2}) {
+		t.Fatal("push failed")
+	}
+	if !q.Full() {
+		t.Fatal("size-3 CQ should be full at 2")
+	}
+	if q.Push(Completion{CID: 3}) {
+		t.Fatal("push into full CQ succeeded")
+	}
+	c, ok := q.Pop()
+	if !ok || c.CID != 1 {
+		t.Fatalf("pop = %v, %v", c.CID, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("len = %d", q.Len())
+	}
+}
+
+// Property: an SQ behaves exactly like a bounded FIFO for any sequence of
+// push/pop operations.
+func TestSQFIFOProperty(t *testing.T) {
+	f := func(ops []bool, sizeSeed uint8) bool {
+		size := int(sizeSeed%14) + 2
+		q := NewSQ(size)
+		var model []CID
+		next := CID(0)
+		for _, push := range ops {
+			if push {
+				ok := q.Push(Command{CID: next})
+				wantOK := len(model) < size-1
+				if ok != wantOK {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+					next++
+				}
+			} else {
+				c, ok := q.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if c.CID != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) || q.Empty() != (len(model) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCQFIFOProperty(t *testing.T) {
+	f := func(ops []bool, sizeSeed uint8) bool {
+		size := int(sizeSeed%14) + 2
+		q := NewCQ(size)
+		var model []CID
+		next := CID(0)
+		for _, push := range ops {
+			if push {
+				ok := q.Push(Completion{CID: next})
+				if ok != (len(model) < size-1) {
+					return false
+				}
+				if ok {
+					model = append(model, next)
+					next++
+				}
+			} else {
+				c, ok := q.Pop()
+				if ok != (len(model) > 0) {
+					return false
+				}
+				if ok {
+					if c.CID != model[0] {
+						return false
+					}
+					model = model[1:]
+				}
+			}
+			if q.Len() != len(model) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCIDAllocatorUnique(t *testing.T) {
+	a := NewCIDAllocator(128)
+	seen := make(map[CID]bool)
+	for i := 0; i < 128; i++ {
+		cid, ok := a.Alloc()
+		if !ok {
+			t.Fatalf("alloc %d failed", i)
+		}
+		if seen[cid] {
+			t.Fatalf("duplicate CID %d", cid)
+		}
+		seen[cid] = true
+	}
+	if _, ok := a.Alloc(); ok {
+		t.Fatal("alloc beyond max succeeded")
+	}
+	if a.Outstanding() != 128 {
+		t.Fatalf("outstanding = %d", a.Outstanding())
+	}
+}
+
+func TestCIDAllocatorRecycle(t *testing.T) {
+	a := NewCIDAllocator(2)
+	c1, _ := a.Alloc()
+	c2, _ := a.Alloc()
+	if err := a.Release(c1); err != nil {
+		t.Fatal(err)
+	}
+	c3, ok := a.Alloc()
+	if !ok {
+		t.Fatal("alloc after release failed")
+	}
+	if c3 != c1 {
+		t.Fatalf("expected recycled CID %d, got %d", c1, c3)
+	}
+	if err := a.Release(c1); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Release(c1); err == nil {
+		t.Fatal("double release succeeded")
+	}
+	if err := a.Release(c2); err != nil {
+		t.Fatal(err)
+	}
+	if a.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", a.Outstanding())
+	}
+}
+
+func TestCIDAllocatorPanicsOnBadMax(t *testing.T) {
+	for _, n := range []int{0, -1, 1 << 17} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("want panic for max=%d", n)
+				}
+			}()
+			NewCIDAllocator(n)
+		}()
+	}
+}
+
+// Property: alloc/release in arbitrary order never hands out a CID that is
+// currently outstanding.
+func TestCIDAllocatorProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		a := NewCIDAllocator(16)
+		live := map[CID]bool{}
+		var liveList []CID
+		for _, alloc := range ops {
+			if alloc {
+				cid, ok := a.Alloc()
+				if ok != (len(live) < 16) {
+					return false
+				}
+				if ok {
+					if live[cid] {
+						return false // duplicate!
+					}
+					live[cid] = true
+					liveList = append(liveList, cid)
+				}
+			} else if len(liveList) > 0 {
+				cid := liveList[len(liveList)-1]
+				liveList = liveList[:len(liveList)-1]
+				delete(live, cid)
+				if a.Release(cid) != nil {
+					return false
+				}
+			}
+			if a.Outstanding() != len(live) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

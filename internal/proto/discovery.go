@@ -1,0 +1,179 @@
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Discovery PDU types (this dialect's analogue of the NVMe-oF discovery
+// controller: a host asks one well-known endpoint which subsystems exist
+// and where).
+const (
+	TypeDiscReq      Type = 0x08
+	TypeDiscResp     Type = 0x09
+	TypeDiscRegister Type = 0x0A
+)
+
+// DiscReq asks a discovery endpoint for its log of subsystems.
+type DiscReq struct{}
+
+// discReqSize is the wire size of a DiscReq.
+const discReqSize = chSize + 8
+
+// PDUType implements PDU.
+func (*DiscReq) PDUType() Type { return TypeDiscReq }
+
+// WireSize implements PDU.
+func (*DiscReq) WireSize() int { return discReqSize }
+
+func (*DiscReq) encodeBody(dst []byte) {}
+func (*DiscReq) decodeBody(src []byte) error {
+	if len(src) < discReqSize-chSize {
+		return fmt.Errorf("proto: short DiscReq body: %d", len(src))
+	}
+	return nil
+}
+func (*DiscReq) headerFlags() uint8     { return 0 }
+func (*DiscReq) setHeaderFlags(f uint8) {}
+
+// DiscEntry is one discovery log entry: a subsystem name (an NQN-style
+// string), the address it serves, and the target mode byte (0 baseline,
+// 1 NVMe-oPF).
+type DiscEntry struct {
+	NQN  string
+	Addr string
+	Mode uint8
+}
+
+// Validate bounds entry fields.
+func (e DiscEntry) Validate() error {
+	if e.NQN == "" || len(e.NQN) > 223 { // NVMe NQN length bound
+		return fmt.Errorf("proto: NQN length %d out of range", len(e.NQN))
+	}
+	if e.Addr == "" || len(e.Addr) > 255 {
+		return fmt.Errorf("proto: address length %d out of range", len(e.Addr))
+	}
+	return nil
+}
+
+// DiscRegister adds (or updates) one subsystem in a discovery endpoint's
+// log; the endpoint acknowledges with its updated DiscResp.
+type DiscRegister struct {
+	Entry DiscEntry
+}
+
+// PDUType implements PDU.
+func (*DiscRegister) PDUType() Type { return TypeDiscRegister }
+
+// WireSize implements PDU.
+func (p *DiscRegister) WireSize() int {
+	return chSize + 2 + len(p.Entry.NQN) + 2 + len(p.Entry.Addr) + 1
+}
+
+func (p *DiscRegister) encodeBody(dst []byte) {
+	e := p.Entry
+	binary.LittleEndian.PutUint16(dst[0:], uint16(len(e.NQN)))
+	off := 2
+	copy(dst[off:], e.NQN)
+	off += len(e.NQN)
+	binary.LittleEndian.PutUint16(dst[off:], uint16(len(e.Addr)))
+	off += 2
+	copy(dst[off:], e.Addr)
+	off += len(e.Addr)
+	dst[off] = e.Mode
+}
+
+func (p *DiscRegister) decodeBody(src []byte) error {
+	if len(src) < 2 {
+		return fmt.Errorf("proto: short DiscRegister body: %d", len(src))
+	}
+	nl := int(binary.LittleEndian.Uint16(src[0:]))
+	off := 2
+	if off+nl+2 > len(src) {
+		return fmt.Errorf("proto: truncated DiscRegister NQN")
+	}
+	p.Entry.NQN = string(src[off : off+nl])
+	off += nl
+	al := int(binary.LittleEndian.Uint16(src[off:]))
+	off += 2
+	if off+al+1 > len(src) {
+		return fmt.Errorf("proto: truncated DiscRegister address")
+	}
+	p.Entry.Addr = string(src[off : off+al])
+	off += al
+	p.Entry.Mode = src[off]
+	return p.Entry.Validate()
+}
+
+func (p *DiscRegister) headerFlags() uint8     { return 0 }
+func (p *DiscRegister) setHeaderFlags(f uint8) {}
+
+// DiscResp carries the discovery log.
+type DiscResp struct {
+	Entries []DiscEntry
+}
+
+// PDUType implements PDU.
+func (*DiscResp) PDUType() Type { return TypeDiscResp }
+
+// WireSize implements PDU.
+func (p *DiscResp) WireSize() int {
+	n := chSize + 2
+	for _, e := range p.Entries {
+		n += 2 + len(e.NQN) + 2 + len(e.Addr) + 1
+	}
+	return n
+}
+
+func (p *DiscResp) encodeBody(dst []byte) {
+	binary.LittleEndian.PutUint16(dst[0:], uint16(len(p.Entries)))
+	off := 2
+	for _, e := range p.Entries {
+		binary.LittleEndian.PutUint16(dst[off:], uint16(len(e.NQN)))
+		off += 2
+		copy(dst[off:], e.NQN)
+		off += len(e.NQN)
+		binary.LittleEndian.PutUint16(dst[off:], uint16(len(e.Addr)))
+		off += 2
+		copy(dst[off:], e.Addr)
+		off += len(e.Addr)
+		dst[off] = e.Mode
+		off++
+	}
+}
+
+func (p *DiscResp) decodeBody(src []byte) error {
+	if len(src) < 2 {
+		return fmt.Errorf("proto: short DiscResp body: %d", len(src))
+	}
+	count := int(binary.LittleEndian.Uint16(src[0:]))
+	off := 2
+	entries := make([]DiscEntry, 0, count)
+	for i := 0; i < count; i++ {
+		if off+2 > len(src) {
+			return fmt.Errorf("proto: truncated DiscResp entry %d", i)
+		}
+		nl := int(binary.LittleEndian.Uint16(src[off:]))
+		off += 2
+		if off+nl+2 > len(src) {
+			return fmt.Errorf("proto: truncated NQN in entry %d", i)
+		}
+		nqn := string(src[off : off+nl])
+		off += nl
+		al := int(binary.LittleEndian.Uint16(src[off:]))
+		off += 2
+		if off+al+1 > len(src) {
+			return fmt.Errorf("proto: truncated address in entry %d", i)
+		}
+		addr := string(src[off : off+al])
+		off += al
+		mode := src[off]
+		off++
+		entries = append(entries, DiscEntry{NQN: nqn, Addr: addr, Mode: mode})
+	}
+	p.Entries = entries
+	return nil
+}
+
+func (p *DiscResp) headerFlags() uint8     { return 0 }
+func (p *DiscResp) setHeaderFlags(f uint8) {}

@@ -1,0 +1,505 @@
+// Package proto implements the NVMe/TCP-like PDU layer that NVMe-oPF
+// initiators and targets exchange, including the paper's protocol
+// extension: two reserved bits of each command capsule carry the
+// latency-sensitive / throughput-critical / draining priority flags, and
+// eight reserved bits carry the per-initiator tenant ID (§IV-A).
+//
+// The layout follows the NVMe/TCP transport specification's structure
+// (8-byte common header, capsule/data PDUs) but is a simplified dialect,
+// not byte-compatible with the spec: digests, R2T and PDU data alignment
+// are omitted because the runtime always sends command data in-capsule
+// (as SPDK's target does for small I/O). Field semantics — and crucially
+// the placement of the priority flags and tenant IDs in bytes that the
+// base protocol reserves — are preserved, so PDU sizes on the wire match
+// what the paper's modified SPDK would transmit: the priority extension
+// adds zero bytes to any PDU (§IV-A, "the size of the PDUs remains
+// unchanged").
+package proto
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"nvmeopf/internal/nvme"
+)
+
+// Type identifies a PDU type (values follow the NVMe/TCP spec).
+type Type uint8
+
+// PDU types.
+const (
+	TypeICReq       Type = 0x00
+	TypeICResp      Type = 0x01
+	TypeH2CTermReq  Type = 0x02
+	TypeC2HTermReq  Type = 0x03
+	TypeCapsuleCmd  Type = 0x04
+	TypeCapsuleResp Type = 0x05
+	TypeH2CData     Type = 0x06
+	TypeC2HData     Type = 0x07
+)
+
+// String implements fmt.Stringer.
+func (t Type) String() string {
+	switch t {
+	case TypeICReq:
+		return "ICReq"
+	case TypeICResp:
+		return "ICResp"
+	case TypeH2CTermReq:
+		return "H2CTermReq"
+	case TypeC2HTermReq:
+		return "C2HTermReq"
+	case TypeCapsuleCmd:
+		return "CapsuleCmd"
+	case TypeCapsuleResp:
+		return "CapsuleResp"
+	case TypeH2CData:
+		return "H2CData"
+	case TypeC2HData:
+		return "C2HData"
+	default:
+		return fmt.Sprintf("Type(0x%02x)", uint8(t))
+	}
+}
+
+// Priority is the 2-bit priority field the paper adds to command capsules.
+// Draining implies throughput-critical: a draining request is the last
+// request of a TC window and instructs the target to execute and complete
+// the whole pending batch (§III-C).
+type Priority uint8
+
+// Priority values (exactly the paper's three flags, packed into two bits).
+const (
+	PrioNormal             Priority = 0 // legacy NVMe-oF request, FIFO path
+	PrioLatencySensitive   Priority = 1
+	PrioThroughputCritical Priority = 2
+	PrioTCDraining         Priority = 3
+)
+
+// LatencySensitive reports whether the request asked for the LS bypass.
+func (p Priority) LatencySensitive() bool { return p == PrioLatencySensitive }
+
+// ThroughputCritical reports whether the request joins a TC queue
+// (draining requests are TC requests too).
+func (p Priority) ThroughputCritical() bool {
+	return p == PrioThroughputCritical || p == PrioTCDraining
+}
+
+// Draining reports whether the request carries the draining flag.
+func (p Priority) Draining() bool { return p == PrioTCDraining }
+
+// String implements fmt.Stringer.
+func (p Priority) String() string {
+	switch p {
+	case PrioNormal:
+		return "normal"
+	case PrioLatencySensitive:
+		return "latency-sensitive"
+	case PrioThroughputCritical:
+		return "throughput-critical"
+	case PrioTCDraining:
+		return "throughput-critical+draining"
+	default:
+		return fmt.Sprintf("Priority(%d)", uint8(p))
+	}
+}
+
+// TenantID identifies an initiator within a target (8 reserved bits in the
+// command capsule carry it on the wire, §IV-A).
+type TenantID uint8
+
+// Offsets of the priority extension inside the 64-byte SQE: bytes 8 and 9
+// sit in the region the base NVMe spec reserves for command dwords the I/O
+// command set does not use over fabrics, which is where the paper stashes
+// its bits.
+const (
+	sqePrioOffset   = 8
+	sqeTenantOffset = 9
+)
+
+// chSize is the PDU common header size: Type(1) Flags(1) HLen(1) PDO(1)
+// PLen(4).
+const chSize = 8
+
+// Common-header flag bits.
+const (
+	// FlagCoalesced marks a CapsuleResp that completes a drained window:
+	// it implicitly completes every TC request of the same tenant queued
+	// before the CID it names (§III-B).
+	FlagCoalesced uint8 = 1 << 0
+)
+
+// PDU is implemented by every protocol data unit. WireSize is the exact
+// encoded size and is what the network model charges for transmission.
+type PDU interface {
+	PDUType() Type
+	WireSize() int
+	encodeBody(dst []byte) // dst has WireSize()-chSize bytes
+	decodeBody(src []byte) error
+	headerFlags() uint8
+	setHeaderFlags(uint8)
+}
+
+// ICReq opens a queue pair: the host proposes protocol version, its queue
+// depth, the priority class it wants this connection to run under, and the
+// namespace whose geometry the ICResp should describe (0 selects the
+// target's default namespace).
+type ICReq struct {
+	PFV        uint16 // protocol format version
+	QueueDepth uint16
+	Prio       Priority
+	NSID       uint32
+}
+
+// ICReqSize is the wire size of an ICReq.
+const ICReqSize = chSize + 16
+
+// PDUType implements PDU.
+func (*ICReq) PDUType() Type { return TypeICReq }
+
+// WireSize implements PDU.
+func (*ICReq) WireSize() int { return ICReqSize }
+
+func (p *ICReq) encodeBody(dst []byte) {
+	binary.LittleEndian.PutUint16(dst[0:], p.PFV)
+	binary.LittleEndian.PutUint16(dst[2:], p.QueueDepth)
+	dst[4] = uint8(p.Prio)
+	binary.LittleEndian.PutUint32(dst[8:], p.NSID)
+}
+
+func (p *ICReq) decodeBody(src []byte) error {
+	if len(src) < ICReqSize-chSize {
+		return fmt.Errorf("proto: short ICReq body: %d", len(src))
+	}
+	p.PFV = binary.LittleEndian.Uint16(src[0:])
+	p.QueueDepth = binary.LittleEndian.Uint16(src[2:])
+	p.Prio = Priority(src[4] & 0x3)
+	p.NSID = binary.LittleEndian.Uint32(src[8:])
+	return nil
+}
+
+func (p *ICReq) headerFlags() uint8     { return 0 }
+func (p *ICReq) setHeaderFlags(f uint8) {}
+
+// ICResp accepts a queue pair, assigns the tenant ID the host must stamp
+// into every subsequent command capsule, and describes the namespace so
+// the host learns the device geometry during the handshake (the fabrics
+// analogue of Identify Namespace).
+type ICResp struct {
+	PFV        uint16
+	Tenant     TenantID
+	MaxDataLen uint32 // largest in-capsule data the target accepts
+	BlockSize  uint32 // namespace logical block size in bytes
+	Capacity   uint64 // namespace capacity in logical blocks
+}
+
+// ICRespSize is the wire size of an ICResp.
+const ICRespSize = chSize + 24
+
+// PDUType implements PDU.
+func (*ICResp) PDUType() Type { return TypeICResp }
+
+// WireSize implements PDU.
+func (*ICResp) WireSize() int { return ICRespSize }
+
+func (p *ICResp) encodeBody(dst []byte) {
+	binary.LittleEndian.PutUint16(dst[0:], p.PFV)
+	dst[2] = uint8(p.Tenant)
+	binary.LittleEndian.PutUint32(dst[4:], p.MaxDataLen)
+	binary.LittleEndian.PutUint32(dst[8:], p.BlockSize)
+	binary.LittleEndian.PutUint64(dst[12:], p.Capacity)
+}
+
+func (p *ICResp) decodeBody(src []byte) error {
+	if len(src) < ICRespSize-chSize {
+		return fmt.Errorf("proto: short ICResp body: %d", len(src))
+	}
+	p.PFV = binary.LittleEndian.Uint16(src[0:])
+	p.Tenant = TenantID(src[2])
+	p.MaxDataLen = binary.LittleEndian.Uint32(src[4:])
+	p.BlockSize = binary.LittleEndian.Uint32(src[8:])
+	p.Capacity = binary.LittleEndian.Uint64(src[12:])
+	return nil
+}
+
+func (p *ICResp) headerFlags() uint8     { return 0 }
+func (p *ICResp) setHeaderFlags(f uint8) {}
+
+// CapsuleCmd carries one NVMe command, the priority extension, and (for
+// writes) the in-capsule data.
+type CapsuleCmd struct {
+	Cmd    nvme.Command
+	Prio   Priority
+	Tenant TenantID
+	Data   []byte // in-capsule write payload; nil for reads/flush
+}
+
+// PDUType implements PDU.
+func (*CapsuleCmd) PDUType() Type { return TypeCapsuleCmd }
+
+// WireSize implements PDU.
+func (p *CapsuleCmd) WireSize() int { return chSize + nvme.CommandSize + len(p.Data) }
+
+func (p *CapsuleCmd) encodeBody(dst []byte) {
+	p.Cmd.Marshal(dst)
+	// The priority extension lives in reserved SQE bytes, so it costs no
+	// extra wire bytes (§IV-A).
+	dst[sqePrioOffset] = uint8(p.Prio) & 0x3
+	dst[sqeTenantOffset] = uint8(p.Tenant)
+	copy(dst[nvme.CommandSize:], p.Data)
+}
+
+func (p *CapsuleCmd) decodeBody(src []byte) error {
+	if len(src) < nvme.CommandSize {
+		return fmt.Errorf("proto: short CapsuleCmd body: %d", len(src))
+	}
+	if err := p.Cmd.Unmarshal(src); err != nil {
+		return err
+	}
+	p.Prio = Priority(src[sqePrioOffset] & 0x3)
+	p.Tenant = TenantID(src[sqeTenantOffset])
+	if len(src) > nvme.CommandSize {
+		p.Data = append([]byte(nil), src[nvme.CommandSize:]...)
+	} else {
+		p.Data = nil
+	}
+	return nil
+}
+
+func (p *CapsuleCmd) headerFlags() uint8     { return 0 }
+func (p *CapsuleCmd) setHeaderFlags(f uint8) {}
+
+// CapsuleResp carries one NVMe completion. When Coalesced is set, this is
+// the single completion notification for a drained TC window: the host must
+// treat every TC request of the same tenant submitted before the named CID
+// as completed with the same status (§III-B, Alg. 2).
+type CapsuleResp struct {
+	Cpl       nvme.Completion
+	Coalesced bool
+}
+
+// CapsuleRespSize is the wire size of a CapsuleResp: this is the
+// "completion notification packet" whose count the coalescing strategy
+// minimizes (Fig. 6(c)).
+const CapsuleRespSize = chSize + nvme.CompletionSize
+
+// PDUType implements PDU.
+func (*CapsuleResp) PDUType() Type { return TypeCapsuleResp }
+
+// WireSize implements PDU.
+func (*CapsuleResp) WireSize() int { return CapsuleRespSize }
+
+func (p *CapsuleResp) encodeBody(dst []byte) {
+	p.Cpl.Marshal(dst)
+}
+
+func (p *CapsuleResp) decodeBody(src []byte) error {
+	if len(src) < nvme.CompletionSize {
+		return fmt.Errorf("proto: short CapsuleResp body: %d", len(src))
+	}
+	return p.Cpl.Unmarshal(src)
+}
+
+func (p *CapsuleResp) headerFlags() uint8 {
+	if p.Coalesced {
+		return FlagCoalesced
+	}
+	return 0
+}
+
+func (p *CapsuleResp) setHeaderFlags(f uint8) { p.Coalesced = f&FlagCoalesced != 0 }
+
+// C2HData carries read data from the target to the host.
+type C2HData struct {
+	CCCID  nvme.CID // CID of the command this data answers
+	Offset uint32   // byte offset within the command's buffer
+	Data   []byte
+}
+
+// c2hPSHSize is the size of the C2HData PDU-specific header.
+const c2hPSHSize = 16
+
+// PDUType implements PDU.
+func (*C2HData) PDUType() Type { return TypeC2HData }
+
+// WireSize implements PDU.
+func (p *C2HData) WireSize() int { return chSize + c2hPSHSize + len(p.Data) }
+
+func (p *C2HData) encodeBody(dst []byte) {
+	binary.LittleEndian.PutUint16(dst[0:], p.CCCID)
+	binary.LittleEndian.PutUint32(dst[4:], p.Offset)
+	binary.LittleEndian.PutUint32(dst[8:], uint32(len(p.Data)))
+	copy(dst[c2hPSHSize:], p.Data)
+}
+
+func (p *C2HData) decodeBody(src []byte) error {
+	if len(src) < c2hPSHSize {
+		return fmt.Errorf("proto: short C2HData body: %d", len(src))
+	}
+	p.CCCID = binary.LittleEndian.Uint16(src[0:])
+	p.Offset = binary.LittleEndian.Uint32(src[4:])
+	n := binary.LittleEndian.Uint32(src[8:])
+	if int(n) != len(src)-c2hPSHSize {
+		return fmt.Errorf("proto: C2HData length field %d != payload %d", n, len(src)-c2hPSHSize)
+	}
+	p.Data = append([]byte(nil), src[c2hPSHSize:]...)
+	return nil
+}
+
+func (p *C2HData) headerFlags() uint8     { return 0 }
+func (p *C2HData) setHeaderFlags(f uint8) {}
+
+// H2CData carries write data from host to target when it does not fit
+// in-capsule. The runtime prefers in-capsule data; this PDU exists for
+// completeness and large-I/O tests.
+type H2CData struct {
+	CCCID  nvme.CID
+	Offset uint32
+	Data   []byte
+}
+
+// PDUType implements PDU.
+func (*H2CData) PDUType() Type { return TypeH2CData }
+
+// WireSize implements PDU.
+func (p *H2CData) WireSize() int { return chSize + c2hPSHSize + len(p.Data) }
+
+func (p *H2CData) encodeBody(dst []byte) {
+	binary.LittleEndian.PutUint16(dst[0:], p.CCCID)
+	binary.LittleEndian.PutUint32(dst[4:], p.Offset)
+	binary.LittleEndian.PutUint32(dst[8:], uint32(len(p.Data)))
+	copy(dst[c2hPSHSize:], p.Data)
+}
+
+func (p *H2CData) decodeBody(src []byte) error {
+	if len(src) < c2hPSHSize {
+		return fmt.Errorf("proto: short H2CData body: %d", len(src))
+	}
+	p.CCCID = binary.LittleEndian.Uint16(src[0:])
+	p.Offset = binary.LittleEndian.Uint32(src[4:])
+	n := binary.LittleEndian.Uint32(src[8:])
+	if int(n) != len(src)-c2hPSHSize {
+		return fmt.Errorf("proto: H2CData length field %d != payload %d", n, len(src)-c2hPSHSize)
+	}
+	p.Data = append([]byte(nil), src[c2hPSHSize:]...)
+	return nil
+}
+
+func (p *H2CData) headerFlags() uint8     { return 0 }
+func (p *H2CData) setHeaderFlags(f uint8) {}
+
+// TermReq aborts a connection with a fatal error status (both directions
+// use the same body).
+type TermReq struct {
+	Dir    Type // TypeH2CTermReq or TypeC2HTermReq
+	FES    uint16
+	Reason string
+}
+
+// PDUType implements PDU.
+func (p *TermReq) PDUType() Type { return p.Dir }
+
+// WireSize implements PDU.
+func (p *TermReq) WireSize() int { return chSize + 4 + len(p.Reason) }
+
+func (p *TermReq) encodeBody(dst []byte) {
+	binary.LittleEndian.PutUint16(dst[0:], p.FES)
+	copy(dst[4:], p.Reason)
+}
+
+func (p *TermReq) decodeBody(src []byte) error {
+	if len(src) < 4 {
+		return fmt.Errorf("proto: short TermReq body: %d", len(src))
+	}
+	p.FES = binary.LittleEndian.Uint16(src[0:])
+	p.Reason = string(src[4:])
+	return nil
+}
+
+func (p *TermReq) headerFlags() uint8     { return 0 }
+func (p *TermReq) setHeaderFlags(f uint8) {}
+
+// MaxPDUSize bounds the accepted PLen to prevent hostile or corrupt
+// headers from triggering huge allocations.
+const MaxPDUSize = 16 << 20
+
+// Marshal encodes a PDU into a fresh byte slice.
+func Marshal(p PDU) []byte {
+	size := p.WireSize()
+	buf := make([]byte, size)
+	buf[0] = uint8(p.PDUType())
+	buf[1] = p.headerFlags()
+	buf[2] = chSize
+	buf[3] = chSize // data begins after PSH; informational in this dialect
+	binary.LittleEndian.PutUint32(buf[4:], uint32(size))
+	p.encodeBody(buf[chSize:])
+	return buf
+}
+
+// Unmarshal decodes one full PDU from buf.
+func Unmarshal(buf []byte) (PDU, error) {
+	if len(buf) < chSize {
+		return nil, fmt.Errorf("proto: short PDU: %d bytes", len(buf))
+	}
+	typ := Type(buf[0])
+	flags := buf[1]
+	plen := binary.LittleEndian.Uint32(buf[4:])
+	if int(plen) != len(buf) {
+		return nil, fmt.Errorf("proto: PLen %d != buffer %d", plen, len(buf))
+	}
+	var p PDU
+	switch typ {
+	case TypeICReq:
+		p = &ICReq{}
+	case TypeICResp:
+		p = &ICResp{}
+	case TypeCapsuleCmd:
+		p = &CapsuleCmd{}
+	case TypeCapsuleResp:
+		p = &CapsuleResp{}
+	case TypeC2HData:
+		p = &C2HData{}
+	case TypeH2CData:
+		p = &H2CData{}
+	case TypeH2CTermReq, TypeC2HTermReq:
+		p = &TermReq{Dir: typ}
+	case TypeDiscReq:
+		p = &DiscReq{}
+	case TypeDiscResp:
+		p = &DiscResp{}
+	case TypeDiscRegister:
+		p = &DiscRegister{}
+	default:
+		return nil, fmt.Errorf("proto: unknown PDU type 0x%02x", uint8(typ))
+	}
+	if err := p.decodeBody(buf[chSize:]); err != nil {
+		return nil, err
+	}
+	p.setHeaderFlags(flags)
+	return p, nil
+}
+
+// WritePDU encodes p and writes it to w.
+func WritePDU(w io.Writer, p PDU) error {
+	_, err := w.Write(Marshal(p))
+	return err
+}
+
+// ReadPDU reads exactly one PDU from r.
+func ReadPDU(r io.Reader) (PDU, error) {
+	var ch [chSize]byte
+	if _, err := io.ReadFull(r, ch[:]); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(ch[4:])
+	if plen < chSize || plen > MaxPDUSize {
+		return nil, fmt.Errorf("proto: bad PLen %d", plen)
+	}
+	buf := make([]byte, plen)
+	copy(buf, ch[:])
+	if _, err := io.ReadFull(r, buf[chSize:]); err != nil {
+		return nil, err
+	}
+	return Unmarshal(buf)
+}

@@ -1,0 +1,357 @@
+package proto
+
+import (
+	"bytes"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"nvmeopf/internal/nvme"
+)
+
+func roundTrip(t *testing.T, p PDU) PDU {
+	t.Helper()
+	buf := Marshal(p)
+	if len(buf) != p.WireSize() {
+		t.Fatalf("%v: Marshal len %d != WireSize %d", p.PDUType(), len(buf), p.WireSize())
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatalf("%v: Unmarshal: %v", p.PDUType(), err)
+	}
+	return out
+}
+
+func TestICReqRoundTrip(t *testing.T) {
+	in := &ICReq{PFV: 1, QueueDepth: 128, Prio: PrioThroughputCritical}
+	out := roundTrip(t, in).(*ICReq)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestICRespRoundTrip(t *testing.T) {
+	in := &ICResp{PFV: 1, Tenant: 42, MaxDataLen: 1 << 20}
+	out := roundTrip(t, in).(*ICResp)
+	if *out != *in {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestCapsuleCmdRoundTrip(t *testing.T) {
+	in := &CapsuleCmd{
+		Cmd:    nvme.Command{Opcode: nvme.OpWrite, CID: 7, NSID: 1, SLBA: 100, NLB: 7},
+		Prio:   PrioTCDraining,
+		Tenant: 200,
+		Data:   []byte("hello, in-capsule world"),
+	}
+	out := roundTrip(t, in).(*CapsuleCmd)
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+func TestCapsuleCmdNoData(t *testing.T) {
+	in := &CapsuleCmd{
+		Cmd:  nvme.Command{Opcode: nvme.OpRead, CID: 9, NSID: 1, SLBA: 5, NLB: 0},
+		Prio: PrioLatencySensitive,
+	}
+	out := roundTrip(t, in).(*CapsuleCmd)
+	if out.Data != nil {
+		t.Fatalf("read capsule grew data: %v", out.Data)
+	}
+	if out.Prio != PrioLatencySensitive || out.Cmd != in.Cmd {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+}
+
+// The priority extension must not change PDU sizes (§IV-A): a flagged
+// capsule is byte-for-byte the same length as an unflagged one.
+func TestPriorityExtensionAddsNoBytes(t *testing.T) {
+	cmd := nvme.Command{Opcode: nvme.OpRead, CID: 1, NSID: 1, SLBA: 0, NLB: 7}
+	plain := &CapsuleCmd{Cmd: cmd, Prio: PrioNormal, Tenant: 0}
+	flagged := &CapsuleCmd{Cmd: cmd, Prio: PrioTCDraining, Tenant: 255}
+	if plain.WireSize() != flagged.WireSize() {
+		t.Fatalf("priority flags changed wire size: %d vs %d", plain.WireSize(), flagged.WireSize())
+	}
+	if len(Marshal(plain)) != len(Marshal(flagged)) {
+		t.Fatal("encoded sizes differ")
+	}
+}
+
+func TestCapsuleRespCoalescedFlag(t *testing.T) {
+	in := &CapsuleResp{
+		Cpl:       nvme.Completion{CID: 11, Status: nvme.StatusSuccess, SQHead: 4},
+		Coalesced: true,
+	}
+	out := roundTrip(t, in).(*CapsuleResp)
+	if !out.Coalesced {
+		t.Fatal("coalesced flag lost")
+	}
+	if out.Cpl != in.Cpl {
+		t.Fatalf("completion mismatch: %+v vs %+v", out.Cpl, in.Cpl)
+	}
+	in.Coalesced = false
+	out = roundTrip(t, in).(*CapsuleResp)
+	if out.Coalesced {
+		t.Fatal("coalesced flag appeared from nowhere")
+	}
+}
+
+func TestC2HDataRoundTrip(t *testing.T) {
+	in := &C2HData{CCCID: 5, Offset: 4096, Data: bytes.Repeat([]byte{0xAB}, 4096)}
+	out := roundTrip(t, in).(*C2HData)
+	if !reflect.DeepEqual(out, in) {
+		t.Fatal("C2HData round trip mismatch")
+	}
+}
+
+func TestH2CDataRoundTrip(t *testing.T) {
+	in := &H2CData{CCCID: 6, Offset: 0, Data: []byte{1, 2, 3}}
+	out := roundTrip(t, in).(*H2CData)
+	if !reflect.DeepEqual(out, in) {
+		t.Fatal("H2CData round trip mismatch")
+	}
+}
+
+func TestTermReqRoundTrip(t *testing.T) {
+	for _, dir := range []Type{TypeH2CTermReq, TypeC2HTermReq} {
+		in := &TermReq{Dir: dir, FES: 2, Reason: "bad tenant id"}
+		out := roundTrip(t, in).(*TermReq)
+		if !reflect.DeepEqual(out, in) {
+			t.Fatalf("TermReq round trip mismatch: %+v vs %+v", out, in)
+		}
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Error("nil buffer accepted")
+	}
+	if _, err := Unmarshal(make([]byte, 4)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	// Unknown type.
+	buf := Marshal(&ICReq{})
+	buf[0] = 0xEE
+	if _, err := Unmarshal(buf); err == nil {
+		t.Error("unknown type accepted")
+	}
+	// PLen mismatch.
+	buf = Marshal(&ICReq{})
+	buf[4] = 0xFF
+	if _, err := Unmarshal(buf); err == nil {
+		t.Error("PLen mismatch accepted")
+	}
+	// Truncated capsule body.
+	buf = Marshal(&CapsuleCmd{Cmd: nvme.Command{Opcode: nvme.OpRead}})
+	short := buf[:20]
+	// Fix PLen to claim the short length so the body decoder sees it.
+	short[4] = 20
+	short[5], short[6], short[7] = 0, 0, 0
+	if _, err := Unmarshal(short); err == nil {
+		t.Error("truncated capsule accepted")
+	}
+	// C2HData with lying length field.
+	c2h := Marshal(&C2HData{CCCID: 1, Data: []byte{1, 2, 3}})
+	c2h[16] = 99 // corrupt DATAL
+	if _, err := Unmarshal(c2h); err == nil {
+		t.Error("corrupt C2HData length accepted")
+	}
+}
+
+func TestReadWritePDUStream(t *testing.T) {
+	var buf bytes.Buffer
+	pdus := []PDU{
+		&ICReq{PFV: 1, QueueDepth: 128, Prio: PrioLatencySensitive},
+		&ICResp{PFV: 1, Tenant: 3, MaxDataLen: 65536},
+		&CapsuleCmd{Cmd: nvme.Command{Opcode: nvme.OpWrite, CID: 1, NSID: 1, NLB: 7}, Prio: PrioThroughputCritical, Tenant: 3, Data: []byte("abc")},
+		&CapsuleResp{Cpl: nvme.Completion{CID: 1}, Coalesced: true},
+		&C2HData{CCCID: 2, Data: []byte("xyz")},
+	}
+	for _, p := range pdus {
+		if err := WritePDU(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i, want := range pdus {
+		got, err := ReadPDU(&buf)
+		if err != nil {
+			t.Fatalf("pdu %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("pdu %d: got %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := ReadPDU(&buf); err != io.EOF {
+		t.Fatalf("want EOF at stream end, got %v", err)
+	}
+}
+
+func TestReadPDUBadPLen(t *testing.T) {
+	// PLen below header size.
+	raw := []byte{byte(TypeICReq), 0, 8, 8, 2, 0, 0, 0}
+	if _, err := ReadPDU(bytes.NewReader(raw)); err == nil {
+		t.Error("PLen < header accepted")
+	}
+	// PLen over the cap.
+	raw = []byte{byte(TypeICReq), 0, 8, 8, 0xFF, 0xFF, 0xFF, 0x7F}
+	if _, err := ReadPDU(bytes.NewReader(raw)); err == nil {
+		t.Error("giant PLen accepted")
+	}
+	// Truncated body.
+	buf := Marshal(&ICResp{})
+	if _, err := ReadPDU(bytes.NewReader(buf[:10])); err == nil {
+		t.Error("truncated stream accepted")
+	}
+}
+
+func TestPriorityPredicates(t *testing.T) {
+	cases := []struct {
+		p Priority
+		ls, tc,
+		drain bool
+	}{
+		{PrioNormal, false, false, false},
+		{PrioLatencySensitive, true, false, false},
+		{PrioThroughputCritical, false, true, false},
+		{PrioTCDraining, false, true, true},
+	}
+	for _, c := range cases {
+		if c.p.LatencySensitive() != c.ls || c.p.ThroughputCritical() != c.tc || c.p.Draining() != c.drain {
+			t.Errorf("%v predicates wrong", c.p)
+		}
+		if c.p.String() == "" {
+			t.Errorf("%v has empty string", uint8(c.p))
+		}
+	}
+}
+
+func TestTypeStrings(t *testing.T) {
+	for ty := Type(0); ty < 8; ty++ {
+		if ty.String() == "" {
+			t.Errorf("empty string for type %d", ty)
+		}
+	}
+	if Type(0xAA).String() != "Type(0xaa)" {
+		t.Errorf("unknown type string = %q", Type(0xAA).String())
+	}
+}
+
+// Property: any CapsuleCmd round-trips, preserving flags and tenant ID for
+// arbitrary command fields and payloads.
+func TestCapsuleCmdProperty(t *testing.T) {
+	f := func(op uint8, cid uint16, nsid uint32, slba uint64, nlb uint16, prio uint8, tenant uint8, data []byte) bool {
+		in := &CapsuleCmd{
+			Cmd:    nvme.Command{Opcode: nvme.Opcode(op), CID: cid, NSID: nsid, SLBA: slba, NLB: nlb},
+			Prio:   Priority(prio % 4),
+			Tenant: TenantID(tenant),
+			Data:   data,
+		}
+		if len(data) == 0 {
+			in.Data = nil
+		}
+		out, err := Unmarshal(Marshal(in))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(out, in)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Unmarshal never panics on arbitrary bytes with a consistent
+// PLen header (fuzz-style robustness).
+func TestUnmarshalRobustness(t *testing.T) {
+	f := func(body []byte, typ uint8) bool {
+		buf := make([]byte, chSize+len(body))
+		buf[0] = typ % 10
+		buf[2] = chSize
+		buf[3] = chSize
+		buf[4] = byte(len(buf))
+		buf[5] = byte(len(buf) >> 8)
+		buf[6] = byte(len(buf) >> 16)
+		buf[7] = byte(len(buf) >> 24)
+		copy(buf[chSize:], body)
+		_, _ = Unmarshal(buf) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscoveryPDURoundTrip(t *testing.T) {
+	in := &DiscResp{Entries: []DiscEntry{
+		{NQN: "nqn.2024-01.io.nvmeopf:sub1", Addr: "10.0.0.1:4420", Mode: 1},
+		{NQN: "nqn.2024-01.io.nvmeopf:sub2", Addr: "[::1]:4421", Mode: 0},
+	}}
+	out := roundTrip(t, in).(*DiscResp)
+	if !reflect.DeepEqual(out, in) {
+		t.Fatalf("got %+v, want %+v", out, in)
+	}
+	req := roundTrip(t, &DiscReq{}).(*DiscReq)
+	_ = req
+	// Empty log round-trips to zero entries.
+	empty := roundTrip(t, &DiscResp{}).(*DiscResp)
+	if len(empty.Entries) != 0 {
+		t.Fatalf("empty log decoded to %+v", empty.Entries)
+	}
+}
+
+func TestDiscRespTruncationDetected(t *testing.T) {
+	buf := Marshal(&DiscResp{Entries: []DiscEntry{{NQN: "nqn.a", Addr: "x:1", Mode: 1}}})
+	short := buf[:len(buf)-2]
+	short[4] = byte(len(short))
+	short[5], short[6], short[7] = byte(len(short)>>8), 0, 0
+	if _, err := Unmarshal(short); err == nil {
+		t.Fatal("truncated DiscResp accepted")
+	}
+}
+
+func TestDiscEntryValidate(t *testing.T) {
+	good := DiscEntry{NQN: "nqn.x", Addr: "h:1"}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []DiscEntry{
+		{NQN: "", Addr: "h:1"},
+		{NQN: string(make([]byte, 300)), Addr: "h:1"},
+		{NQN: "nqn.x", Addr: ""},
+		{NQN: "nqn.x", Addr: string(make([]byte, 300))},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad entry %d accepted", i)
+		}
+	}
+}
+
+// FuzzUnmarshal ensures the PDU decoder never panics on arbitrary framed
+// bytes (run with `go test -fuzz=FuzzUnmarshal ./internal/proto/` to
+// explore; the seed corpus runs in every normal `go test`).
+func FuzzUnmarshal(f *testing.F) {
+	f.Add(Marshal(&ICReq{PFV: 1, QueueDepth: 8}))
+	f.Add(Marshal(&ICResp{PFV: 1, Tenant: 2, BlockSize: 4096, Capacity: 100}))
+	f.Add(Marshal(&CapsuleCmd{Cmd: nvme.Command{Opcode: nvme.OpWrite, CID: 1}, Data: []byte("abc")}))
+	f.Add(Marshal(&CapsuleResp{Cpl: nvme.Completion{CID: 5}, Coalesced: true}))
+	f.Add(Marshal(&C2HData{CCCID: 3, Data: []byte{1, 2, 3, 4}}))
+	f.Add(Marshal(&DiscResp{Entries: []DiscEntry{{NQN: "nqn.x", Addr: "a:1", Mode: 1}}}))
+	f.Add(Marshal(&DiscRegister{Entry: DiscEntry{NQN: "nqn.y", Addr: "b:2"}}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		p, err := Unmarshal(raw)
+		if err != nil {
+			return
+		}
+		// Whatever decoded must re-encode without panicking, at its own
+		// declared size.
+		buf := Marshal(p)
+		if len(buf) != p.WireSize() {
+			t.Fatalf("re-encode size %d != WireSize %d for %v", len(buf), p.WireSize(), p.PDUType())
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package simcluster
+
+import (
+	"fmt"
+
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/simnet"
+	"nvmeopf/internal/ssdsim"
+	"nvmeopf/internal/targetqp"
+)
+
+// Cluster is one simulated deployment: an engine plus the nodes built on
+// it. Build target nodes first, then initiator nodes, then Connect
+// initiators; run the engine through Run/RunFor.
+type Cluster struct {
+	Eng     *simnet.Engine
+	profile Profile
+	mode    targetqp.Mode
+	shared  bool // shared-queue ablation
+	seed    uint64
+	errs    []error
+}
+
+// Options configures cluster-wide behaviour.
+type Options struct {
+	Profile Profile
+	Mode    targetqp.Mode
+	// SharedQueueAblation disables per-tenant queue isolation at every
+	// target (ablation benchmark only).
+	SharedQueueAblation bool
+	// Seed drives every stochastic component (SSD jitter). Same seed,
+	// same results.
+	Seed uint64
+}
+
+// New creates an empty cluster.
+func New(opts Options) *Cluster {
+	return &Cluster{
+		Eng:     simnet.NewEngine(),
+		profile: opts.Profile,
+		mode:    opts.Mode,
+		shared:  opts.SharedQueueAblation,
+		seed:    opts.Seed,
+	}
+}
+
+// Profile returns the cluster's platform profile.
+func (c *Cluster) Profile() Profile { return c.profile }
+
+// Mode returns the target operating mode (baseline or oPF).
+func (c *Cluster) Mode() targetqp.Mode { return c.mode }
+
+// Errors returns protocol errors recorded during the run. A correct
+// simulation finishes with none.
+func (c *Cluster) Errors() []error { return c.errs }
+
+func (c *Cluster) fail(err error) {
+	if err != nil {
+		c.errs = append(c.errs, err)
+	}
+}
+
+// TargetNode is one storage server: a poller CPU, a NIC, one SSD, and one
+// NVMe-oPF (or baseline) target serving every connected initiator.
+type TargetNode struct {
+	c      *Cluster
+	Name   string
+	CPU    *simnet.CPU
+	NIC    *simnet.Link // shared ingress/egress pipe of this node
+	SSD    *ssdsim.SSD
+	Target *targetqp.Target
+}
+
+// NewTargetNode builds a target node. backed enables the SSD's in-memory
+// data store (needed by data-integrity tests and the HDF5 experiments;
+// timing-only experiments leave it off).
+func (c *Cluster) NewTargetNode(name string, backed bool) (*TargetNode, error) {
+	cpu := simnet.NewCPU(c.Eng, name+"/cpu", c.profile.TargetCPU)
+	// The node NIC is modelled as a link with zero propagation: it only
+	// adds the node's serialization bottleneck shared by all peers.
+	nicCfg := c.profile.Link
+	nicCfg.PropagationDelay = 0
+	nic := simnet.NewLink(c.Eng, name+"/nic", nicCfg)
+
+	ssdCfg := c.profile.SSD
+	ssdCfg.Seed = c.seed*1315423911 + uint64(len(name)) + 1
+	ssdCfg.Backed = backed
+	ssd, err := ssdsim.New(c.Eng, ssdCfg)
+	if err != nil {
+		return nil, err
+	}
+	tn := &TargetNode{c: c, Name: name, CPU: cpu, NIC: nic, SSD: ssd}
+	tgt, err := targetqp.NewTarget(targetqp.Config{
+		Mode:                c.mode,
+		MaxPending:          4096,
+		SharedQueueAblation: c.shared,
+	}, &ssdBackend{node: tn})
+	if err != nil {
+		return nil, err
+	}
+	tn.Target = tgt
+	return tn, nil
+}
+
+// ssdBackend adapts the simulated SSD to the targetqp.Backend interface,
+// charging the target poller's submission cost.
+type ssdBackend struct {
+	node *TargetNode
+}
+
+// Namespace implements targetqp.Backend.
+func (b *ssdBackend) Namespace() nvme.Namespace { return b.node.SSD.Namespace() }
+
+// Submit implements targetqp.Backend.
+func (b *ssdBackend) Submit(cmd nvme.Command, data []byte, highPrio bool, done func(nvme.Completion, []byte)) {
+	node := b.node
+	node.CPU.Exec(node.CPU.SubmitCost(), func() {
+		node.SSD.Submit(ssdsim.Request{Cmd: cmd, Data: data, Done: done}, highPrio)
+	})
+}
+
+// InitiatorNode is one client machine: a poller CPU and a NIC-link to its
+// target node. Several initiators (tenants) may run on one node, sharing
+// both — the contention that scaling pattern 1 (Fig. 8(a–c)) measures.
+type InitiatorNode struct {
+	c      *Cluster
+	Name   string
+	CPU    *simnet.CPU
+	Link   *simnet.Link // host NIC + cable to the target node
+	target *TargetNode
+}
+
+// NewInitiatorNode builds a client node wired to one target node (the
+// paper's experiments pair each initiator-node with a single target-node).
+func (c *Cluster) NewInitiatorNode(name string, target *TargetNode) *InitiatorNode {
+	cpu := simnet.NewCPU(c.Eng, name+"/cpu", c.profile.HostCPU)
+	link := simnet.NewLink(c.Eng, name+"<->"+target.Name, c.profile.Link)
+	return &InitiatorNode{c: c, Name: name, CPU: cpu, Link: link, target: target}
+}
+
+// Initiator is one tenant: a host queue pair connected over the node's
+// link to the target node.
+type Initiator struct {
+	Node    *InitiatorNode
+	Session *hostqp.Session
+	tsess   *targetqp.Session
+}
+
+// payloadBytes returns the data bytes a PDU carries, which drive per-byte
+// CPU costs (headers are covered by the fixed per-PDU cost).
+func payloadBytes(p proto.PDU) int {
+	switch pdu := p.(type) {
+	case *proto.CapsuleCmd:
+		return len(pdu.Data)
+	case *proto.C2HData:
+		return len(pdu.Data)
+	case *proto.H2CData:
+		return len(pdu.Data)
+	default:
+		return 0
+	}
+}
+
+// standalonePDU reports whether a PDU is emitted as an isolated small send
+// (a completion notification triggered by a device-completion event) as
+// opposed to the batched submission/data path.
+func standalonePDU(p proto.PDU) bool {
+	_, isResp := p.(*proto.CapsuleResp)
+	return isResp
+}
+
+// Connect creates one initiator of the given host configuration on this
+// node and starts its handshake. Run the engine (even one event batch)
+// before submitting I/O; Session.OnConnect sequences that naturally.
+func (n *InitiatorNode) Connect(cfg hostqp.Config) (*Initiator, error) {
+	c := n.c
+	ini := &Initiator{Node: n}
+
+	tsess, err := n.target.Target.NewSession(func(p proto.PDU) {
+		// Target -> host: poller tx, target NIC, host link, host rx.
+		size := p.WireSize()
+		payload := payloadBytes(p)
+		tn := n.target
+		tn.CPU.Exec(tn.CPU.TxCost(payload, standalonePDU(p)), func() {
+			tn.NIC.Send(simnet.DirBtoA, size, func() {
+				n.Link.Send(simnet.DirBtoA, size, func() {
+					n.CPU.Exec(n.CPU.RxCost(payload, standalonePDU(p)), func() {
+						c.fail(ini.Session.HandlePDU(p))
+					})
+				})
+			})
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	ini.tsess = tsess
+
+	sess, err := hostqp.New(cfg, func(p proto.PDU) {
+		// Host -> target: poller tx, host link, target NIC, target rx.
+		size := p.WireSize()
+		payload := payloadBytes(p)
+		tn := n.target
+		n.CPU.Exec(n.CPU.TxCost(payload, false), func() {
+			n.Link.Send(simnet.DirAtoB, size, func() {
+				tn.NIC.Send(simnet.DirAtoB, size, func() {
+					tn.CPU.Exec(tn.CPU.RxCost(payload, standalonePDU(p)), func() {
+						c.fail(tsess.HandlePDU(p))
+					})
+				})
+			})
+		})
+	}, c.Eng.Now)
+	if err != nil {
+		return nil, err
+	}
+	ini.Session = sess
+	sess.Start()
+	return ini, nil
+}
+
+// Run processes events until the queue empties; RunFor advances the
+// virtual clock by d nanoseconds.
+func (c *Cluster) Run() int64 { return c.Eng.Run() }
+
+// RunFor advances the cluster by d nanoseconds of virtual time.
+func (c *Cluster) RunFor(d int64) int64 { return c.Eng.RunUntil(c.Eng.Now() + d) }
+
+// CheckHealthy returns an error if any protocol error was recorded.
+func (c *Cluster) CheckHealthy() error {
+	if len(c.errs) > 0 {
+		return fmt.Errorf("simcluster: %d protocol errors, first: %w", len(c.errs), c.errs[0])
+	}
+	return nil
+}

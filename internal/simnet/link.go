@@ -1,0 +1,144 @@
+package simnet
+
+import "fmt"
+
+// LinkConfig describes one full-duplex point-to-point Ethernet link.
+type LinkConfig struct {
+	// BitsPerSec is the line rate (10e9, 25e9, 100e9 in the paper).
+	BitsPerSec int64
+	// MTU is the maximum transmission unit; payload bytes per packet.
+	MTU int
+	// PacketOverhead is added to every packet on the wire: Ethernet
+	// preamble+header+FCS+IFG plus IP and TCP headers (~78 bytes for the
+	// paper's TCP transport).
+	PacketOverhead int
+	// PropagationDelay is the one-way latency added after serialization.
+	PropagationDelay Time
+}
+
+// Validate checks the configuration.
+func (c LinkConfig) Validate() error {
+	if c.BitsPerSec <= 0 {
+		return fmt.Errorf("simnet: link rate %d <= 0", c.BitsPerSec)
+	}
+	if c.MTU <= 0 {
+		return fmt.Errorf("simnet: MTU %d <= 0", c.MTU)
+	}
+	if c.PacketOverhead < 0 {
+		return fmt.Errorf("simnet: negative packet overhead")
+	}
+	if c.PropagationDelay < 0 {
+		return fmt.Errorf("simnet: negative propagation delay")
+	}
+	return nil
+}
+
+// Link models one direction pair of a full-duplex link. Each direction
+// serializes messages FIFO at the line rate; concurrent messages queue
+// behind each other, which is how the model expresses congestion from
+// per-request completion packets (§V-A3).
+type Link struct {
+	eng  *Engine
+	cfg  LinkConfig
+	name string
+
+	// busyUntil per direction (0 = A->B, 1 = B->A).
+	busyUntil [2]Time
+
+	// Stats per direction.
+	stats [2]LinkStats
+}
+
+// LinkStats accumulates per-direction transmission counters.
+type LinkStats struct {
+	Messages int64 // PDUs sent
+	Packets  int64 // MTU-sized packets on the wire
+	Bytes    int64 // wire bytes including per-packet overhead
+	BusyTime Time  // total serialization time
+}
+
+// DirAtoB and DirBtoA select a link direction.
+const (
+	DirAtoB = 0
+	DirBtoA = 1
+)
+
+// NewLink creates a link on the engine.
+func NewLink(eng *Engine, name string, cfg LinkConfig) *Link {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Link{eng: eng, cfg: cfg, name: name}
+}
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// Config returns the link configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Packets returns how many wire packets a message of size bytes needs.
+func (l *Link) PacketsFor(size int) int {
+	if size <= 0 {
+		return 1 // a header-only PDU still occupies one packet
+	}
+	return (size + l.cfg.MTU - 1) / l.cfg.MTU
+}
+
+// wireBytes returns the on-the-wire byte count for a message of size bytes.
+func (l *Link) wireBytes(size int) int64 {
+	return int64(size) + int64(l.PacketsFor(size))*int64(l.cfg.PacketOverhead)
+}
+
+// txTime returns serialization time for a message of size bytes.
+func (l *Link) txTime(size int) Time {
+	bits := l.wireBytes(size) * 8
+	// ns = bits / (bits/sec) * 1e9, computed to avoid overflow for any
+	// realistic size (bits < 2^40, 1e9 multiplier fits in int64 via
+	// float64 intermediate kept exact for these magnitudes).
+	return Time(float64(bits) / float64(l.cfg.BitsPerSec) * 1e9)
+}
+
+// Send transmits a message of size bytes in direction dir and runs deliver
+// when the last bit arrives at the far end. It returns the scheduled
+// delivery time.
+func (l *Link) Send(dir int, size int, deliver func()) Time {
+	if dir != DirAtoB && dir != DirBtoA {
+		panic(fmt.Sprintf("simnet: bad link direction %d", dir))
+	}
+	now := l.eng.Now()
+	start := l.busyUntil[dir]
+	if start < now {
+		start = now
+	}
+	tx := l.txTime(size)
+	done := start + tx
+	l.busyUntil[dir] = done
+	st := &l.stats[dir]
+	st.Messages++
+	st.Packets += int64(l.PacketsFor(size))
+	st.Bytes += l.wireBytes(size)
+	st.BusyTime += tx
+	at := done + l.cfg.PropagationDelay
+	if deliver != nil {
+		l.eng.At(at, deliver)
+	}
+	return at
+}
+
+// Stats returns the accumulated counters for a direction.
+func (l *Link) Stats(dir int) LinkStats { return l.stats[dir] }
+
+// Utilization returns the fraction of the interval [0, now] a direction
+// spent serializing.
+func (l *Link) Utilization(dir int) float64 {
+	now := l.eng.Now()
+	if now <= 0 {
+		return 0
+	}
+	busy := l.stats[dir].BusyTime
+	if busy > now {
+		busy = now
+	}
+	return float64(busy) / float64(now)
+}

@@ -1,0 +1,132 @@
+package ssdsim
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/simnet"
+)
+
+func TestQueuePairSizeValidation(t *testing.T) {
+	eng := simnet.NewEngine()
+	s := newSSD(t, eng, false)
+	if _, err := NewQueuePair(eng, s, 1); err == nil {
+		t.Fatal("size 1 accepted")
+	}
+}
+
+func TestQueuePairSubmitPollRoundTrip(t *testing.T) {
+	eng := simnet.NewEngine()
+	s := newSSD(t, eng, true)
+	qp, err := NewQueuePair(eng, s, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x9C}, 4096)
+	if !qp.Submit(nvme.Command{Opcode: nvme.OpWrite, CID: 1, NSID: 1, SLBA: 3, NLB: 0}, payload) {
+		t.Fatal("submit failed")
+	}
+	if !qp.Submit(nvme.Command{Opcode: nvme.OpRead, CID: 2, NSID: 1, SLBA: 3, NLB: 0}, nil) {
+		t.Fatal("submit failed")
+	}
+	qp.Ring()
+	eng.Run()
+	cpls := qp.Poll(0)
+	if len(cpls) != 2 {
+		t.Fatalf("polled %d completions", len(cpls))
+	}
+	var readBack []byte
+	for _, pc := range cpls {
+		if !pc.Cpl.Status.OK() {
+			t.Fatalf("CID %d status %v", pc.Cpl.CID, pc.Cpl.Status)
+		}
+		if pc.Cpl.CID == 2 {
+			readBack = pc.Data
+		}
+	}
+	// Write (120us) and read (50us) to the same LBA run concurrently on
+	// different channels: the read may legally complete first and see the
+	// pre-write contents. This test only checks it saw *something* of the
+	// right size; ordering is the host's job (flush or completion-chain).
+	if len(readBack) != 4096 {
+		t.Fatalf("read data = %d bytes", len(readBack))
+	}
+	if qp.Outstanding() != 0 {
+		t.Fatalf("outstanding = %d", qp.Outstanding())
+	}
+}
+
+func TestQueuePairOrderedReadAfterWrite(t *testing.T) {
+	eng := simnet.NewEngine()
+	s := newSSD(t, eng, true)
+	qp, _ := NewQueuePair(eng, s, 16)
+	payload := bytes.Repeat([]byte{0x5D}, 4096)
+	qp.Submit(nvme.Command{Opcode: nvme.OpWrite, CID: 1, NSID: 1, SLBA: 9, NLB: 0}, payload)
+	qp.Ring()
+	eng.Run()
+	if got := qp.Poll(0); len(got) != 1 || !got[0].Cpl.Status.OK() {
+		t.Fatalf("write completion: %+v", got)
+	}
+	qp.Submit(nvme.Command{Opcode: nvme.OpRead, CID: 2, NSID: 1, SLBA: 9, NLB: 0}, nil)
+	qp.Ring()
+	eng.Run()
+	got := qp.Poll(0)
+	if len(got) != 1 || !bytes.Equal(got[0].Data, payload) {
+		t.Fatal("ordered read-after-write mismatch")
+	}
+}
+
+func TestQueuePairOutOfOrderCompletions(t *testing.T) {
+	eng := simnet.NewEngine()
+	s := newSSD(t, eng, false)
+	qp, _ := NewQueuePair(eng, s, 128)
+	for i := 0; i < 64; i++ {
+		if !qp.Submit(nvme.Command{Opcode: nvme.OpRead, CID: nvme.CID(i), NSID: 1, SLBA: uint64(i)}, nil) {
+			t.Fatalf("submit %d failed", i)
+		}
+	}
+	qp.Ring()
+	eng.Run()
+	cpls := qp.Poll(0)
+	if len(cpls) != 64 {
+		t.Fatalf("polled %d", len(cpls))
+	}
+	ooo := false
+	for i := 1; i < len(cpls); i++ {
+		if cpls[i].Cpl.CID < cpls[i-1].Cpl.CID {
+			ooo = true
+		}
+	}
+	if !ooo {
+		t.Fatal("jittered device produced perfectly ordered CQEs")
+	}
+}
+
+func TestQueuePairBackpressure(t *testing.T) {
+	eng := simnet.NewEngine()
+	s := newSSD(t, eng, false)
+	qp, _ := NewQueuePair(eng, s, 4) // 3 usable slots
+	for i := 0; i < 3; i++ {
+		if !qp.Submit(nvme.Command{Opcode: nvme.OpRead, CID: nvme.CID(i), NSID: 1}, nil) {
+			t.Fatalf("submit %d failed", i)
+		}
+	}
+	if qp.SQSpace() != 0 {
+		t.Fatalf("space = %d", qp.SQSpace())
+	}
+	if qp.Submit(nvme.Command{Opcode: nvme.OpRead, CID: 99, NSID: 1}, nil) {
+		t.Fatal("submit into full ring succeeded")
+	}
+	qp.Ring()
+	if qp.SQSpace() != 3 {
+		t.Fatalf("space after ring = %d", qp.SQSpace())
+	}
+	eng.Run()
+	if got := qp.Poll(2); len(got) != 2 {
+		t.Fatalf("bounded poll returned %d", len(got))
+	}
+	if got := qp.Poll(0); len(got) != 1 {
+		t.Fatalf("drain returned %d", len(got))
+	}
+}

@@ -1,0 +1,135 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counter accumulates an operation count and byte count over a known
+// duration, and derives IOPS and bandwidth. The zero value is ready to use.
+type Counter struct {
+	Ops   int64
+	Bytes int64
+}
+
+// Add records n operations moving total bytes.
+func (c *Counter) Add(ops, bytes int64) {
+	c.Ops += ops
+	c.Bytes += bytes
+}
+
+// Merge adds o into c.
+func (c *Counter) Merge(o Counter) {
+	c.Ops += o.Ops
+	c.Bytes += o.Bytes
+}
+
+// IOPS returns operations per second over a duration of durNanos.
+func (c Counter) IOPS(durNanos int64) float64 {
+	if durNanos <= 0 {
+		return 0
+	}
+	return float64(c.Ops) / (float64(durNanos) / 1e9)
+}
+
+// Bandwidth returns bytes per second over a duration of durNanos.
+func (c Counter) Bandwidth(durNanos int64) float64 {
+	if durNanos <= 0 {
+		return 0
+	}
+	return float64(c.Bytes) / (float64(durNanos) / 1e9)
+}
+
+// Table renders aligned fixed-width rows for terminal reports. Rows are
+// added as string slices; columns are sized to the widest cell.
+type Table struct {
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given header.
+func NewTable(header ...string) *Table { return &Table{Header: header} }
+
+// AddRow appends a row; cells beyond the header width are kept as-is.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of formatted cells, one format-arg pair per cell is
+// not enforced; callers pass pre-formatted strings via fmt.Sprintf when
+// needed. This helper formats every value with %v.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i >= len(widths) {
+				widths = append(widths, len(c))
+			} else if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(c)
+			if i < len(cells)-1 {
+				b.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(esc(c))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,167 @@
+package targetqp
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmeopf/internal/bdev"
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+)
+
+// nsBackend is a fakeBackend with a configurable namespace ID.
+type nsBackend struct {
+	fakeBackend
+}
+
+func newNSBackend(t *testing.T, nsid uint32) *nsBackend {
+	t.Helper()
+	b := &nsBackend{}
+	b.ns = nvme.Namespace{ID: nsid, BlockSize: 512, Capacity: 2048}
+	store, err := bdev.NewMemory(512, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.store = store
+	b.auto = true
+	return b
+}
+
+func TestAddNamespaceValidation(t *testing.T) {
+	be1 := newNSBackend(t, 1)
+	tgt, err := NewTarget(Config{Mode: ModeOPF}, be1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.AddNamespace(nil); err == nil {
+		t.Error("nil backend accepted")
+	}
+	if err := tgt.AddNamespace(newNSBackend(t, 1)); err == nil {
+		t.Error("duplicate NSID accepted")
+	}
+	if err := tgt.AddNamespace(newNSBackend(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tgt.Namespaces()); got != 2 {
+		t.Fatalf("namespaces = %d", got)
+	}
+}
+
+func TestNewTargetRejectsInvalidNamespace(t *testing.T) {
+	b := &nsBackend{}
+	b.ns = nvme.Namespace{ID: 0, BlockSize: 512, Capacity: 10}
+	if _, err := NewTarget(Config{}, b); err == nil {
+		t.Fatal("NSID 0 backend accepted")
+	}
+}
+
+func TestCommandsRouteByNSID(t *testing.T) {
+	be1 := newNSBackend(t, 1)
+	be2 := newNSBackend(t, 2)
+	tgt, err := NewTarget(Config{Mode: ModeOPF, MaxPending: 64}, be1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.AddNamespace(be2); err != nil {
+		t.Fatal(err)
+	}
+
+	// Two hosts, one per namespace, writing distinct data to LBA 0.
+	h1, _ := pair(t, tgt, hostqp.Config{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 2, NSID: 1})
+	h2, _ := pair(t, tgt, hostqp.Config{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 2, NSID: 2})
+	d1 := bytes.Repeat([]byte{0x11}, 512)
+	d2 := bytes.Repeat([]byte{0x22}, 512)
+	for _, w := range []struct {
+		h *hostqp.Session
+		d []byte
+	}{{h1, d1}, {h2, d2}} {
+		ok := false
+		if err := w.h.Submit(hostqp.IO{Op: nvme.OpWrite, LBA: 0, Blocks: 1, Data: w.d,
+			Done: func(r hostqp.Result) { ok = r.Status.OK() }}); err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Fatal("write failed")
+		}
+	}
+	// Each namespace holds only its own data.
+	got1 := make([]byte, 512)
+	got2 := make([]byte, 512)
+	if err := be1.store.ReadBlocks(got1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := be2.store.ReadBlocks(got2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, d1) || !bytes.Equal(got2, d2) {
+		t.Fatal("namespace data interleaved")
+	}
+}
+
+func TestConnectToUnknownNamespaceTerminated(t *testing.T) {
+	tgt, err := NewTarget(Config{Mode: ModeOPF}, newNSBackend(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []proto.PDU
+	tsess, _ := tgt.NewSession(func(p proto.PDU) { got = append(got, p) })
+	if err := tsess.HandlePDU(&proto.ICReq{PFV: ProtocolVersion, NSID: 9}); err == nil {
+		t.Fatal("connect to unknown namespace accepted")
+	}
+	if len(got) != 1 {
+		t.Fatalf("pdus = %d", len(got))
+	}
+	if _, ok := got[0].(*proto.TermReq); !ok {
+		t.Fatalf("want TermReq, got %v", got[0].PDUType())
+	}
+}
+
+func TestCommandToUnknownNamespaceErrors(t *testing.T) {
+	tgt, err := NewTarget(Config{Mode: ModeOPF, MaxPending: 64}, newNSBackend(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Connect against NS 1, then craft a command naming NS 7 directly on
+	// the target session (the host helper always uses its config NSID).
+	var got []proto.PDU
+	tsess, _ := tgt.NewSession(func(p proto.PDU) { got = append(got, p) })
+	if err := tsess.HandlePDU(&proto.ICReq{PFV: ProtocolVersion, NSID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tsess.HandlePDU(&proto.CapsuleCmd{
+		Cmd:  nvme.Command{Opcode: nvme.OpRead, CID: 3, NSID: 7},
+		Prio: proto.PrioLatencySensitive,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range got {
+		if r, ok := p.(*proto.CapsuleResp); ok && r.Cpl.Status == nvme.StatusInvalidNSID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no InvalidNSID response among %d PDUs", len(got))
+	}
+}
+
+// Geometry in ICResp must describe the requested namespace.
+func TestICRespDescribesRequestedNamespace(t *testing.T) {
+	big := &nsBackend{}
+	big.ns = nvme.Namespace{ID: 2, BlockSize: 4096, Capacity: 1 << 20}
+	store, _ := bdev.NewMemory(4096, 1<<20)
+	big.store, big.auto = store, true
+
+	tgt, err := NewTarget(Config{Mode: ModeOPF}, newNSBackend(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tgt.AddNamespace(big); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := pair(t, tgt, hostqp.Config{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 1, NSID: 2})
+	if h.BlockSize() != 4096 || h.Capacity() != 1<<20 {
+		t.Fatalf("geometry %d/%d, want namespace 2's", h.BlockSize(), h.Capacity())
+	}
+}

@@ -1,0 +1,365 @@
+// Package targetqp implements the NVMe-oPF target: a Target that owns the
+// target-side priority manager, the backing device, and tenant-ID
+// assignment, plus one sans-IO Session per initiator connection. Sessions
+// consume inbound PDUs via HandlePDU and emit outbound PDUs through a
+// caller-provided send function, so the same code serves the TCP transport
+// and the simulator.
+//
+// Two modes are provided:
+//
+//   - ModeOPF: the paper's design. Latency-sensitive requests bypass all
+//     queues (target-side and device-side), throughput-critical requests
+//     batch per tenant until a draining flag, and batch completions
+//     coalesce into one response (Fig. 5, Algorithms 3–4).
+//   - ModeBaseline: the unmodified SPDK-equivalent. Priority flags are
+//     ignored, every request executes FIFO, and every completion produces
+//     its own response PDU.
+package targetqp
+
+import (
+	"errors"
+	"fmt"
+
+	"nvmeopf/internal/core"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+)
+
+// ProtocolVersion is the PFV this runtime speaks.
+const ProtocolVersion = 1
+
+// Mode selects baseline (SPDK-equivalent) or NVMe-oPF behaviour.
+type Mode int
+
+// Modes.
+const (
+	ModeBaseline Mode = iota
+	ModeOPF
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeOPF {
+		return "nvme-opf"
+	}
+	return "spdk-baseline"
+}
+
+// Backend abstracts the device under the target: the simulator SSD or a
+// bdev-backed executor. Submit hands over one command; done must be
+// invoked exactly once with the completion (and read data when the command
+// is a successful read). highPrio requests jump the device queue — the
+// LS bypass; baseline mode never sets it.
+type Backend interface {
+	Submit(cmd nvme.Command, data []byte, highPrio bool, done func(cpl nvme.Completion, data []byte))
+	Namespace() nvme.Namespace
+}
+
+// Config describes a target.
+type Config struct {
+	Mode Mode
+	// MaxPending is the per-tenant safety valve passed to the PM.
+	MaxPending int
+	// SharedQueueAblation disables per-tenant queue isolation (for the
+	// ablation benchmark only).
+	SharedQueueAblation bool
+	// MaxDataLen is the largest in-capsule data accepted (advertised in
+	// ICResp). Zero means 1 MiB.
+	MaxDataLen uint32
+}
+
+// Stats counts target-level PDU and request traffic. RespPDUs is the
+// completion-notification count that Fig. 6(c) compares across designs.
+type Stats struct {
+	Connections int64
+	CmdPDUs     int64
+	RespPDUs    int64
+	DataPDUs    int64
+	Reads       int64
+	Writes      int64
+	Errors      int64
+}
+
+// Target is one NVMe-oPF target instance: one backing namespace served to
+// many tenants. Create Sessions with NewSession as initiators connect.
+//
+// Target is not synchronized; in the simulator everything runs on the
+// event loop, and the TCP transport serializes access through a single
+// poller goroutine, mirroring the single-reactor SPDK deployment the paper
+// measures.
+type Target struct {
+	cfg        Config
+	backends   map[uint32]Backend // NSID -> device
+	defaultNS  uint32
+	pm         *core.TargetPM
+	nextTenant int
+	stats      Stats
+	sessions   map[proto.TenantID]*Session
+}
+
+// NewTarget creates a target whose backend serves its namespace's own ID
+// (commands are routed by NSID; AddNamespace attaches more devices).
+func NewTarget(cfg Config, backend Backend) (*Target, error) {
+	if backend == nil {
+		return nil, errors.New("targetqp: nil backend")
+	}
+	if cfg.MaxDataLen == 0 {
+		cfg.MaxDataLen = 1 << 20
+	}
+	ns := backend.Namespace()
+	if err := ns.Validate(); err != nil {
+		return nil, err
+	}
+	return &Target{
+		cfg:       cfg,
+		backends:  map[uint32]Backend{ns.ID: backend},
+		defaultNS: ns.ID,
+		pm: core.NewTargetPM(core.TargetPMConfig{
+			Isolated:   !cfg.SharedQueueAblation,
+			MaxPending: cfg.MaxPending,
+		}),
+		sessions: make(map[proto.TenantID]*Session),
+	}, nil
+}
+
+// AddNamespace attaches another device to the target, served under its
+// namespace's ID ("multiple tenants accessing single or many NVMe SSDs").
+func (t *Target) AddNamespace(backend Backend) error {
+	if backend == nil {
+		return errors.New("targetqp: nil backend")
+	}
+	ns := backend.Namespace()
+	if err := ns.Validate(); err != nil {
+		return err
+	}
+	if _, dup := t.backends[ns.ID]; dup {
+		return fmt.Errorf("targetqp: namespace %d already attached", ns.ID)
+	}
+	t.backends[ns.ID] = backend
+	return nil
+}
+
+// Namespaces returns the attached namespace IDs.
+func (t *Target) Namespaces() []uint32 {
+	out := make([]uint32, 0, len(t.backends))
+	for id := range t.backends {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Stats returns a copy of the target counters.
+func (t *Target) Stats() Stats { return t.stats }
+
+// PMStats returns the priority manager's counters.
+func (t *Target) PMStats() core.TargetPMStats { return t.pm.Stats() }
+
+// Mode returns the target's operating mode.
+func (t *Target) Mode() Mode { return t.cfg.Mode }
+
+// NewSession creates the server side of one initiator connection. send
+// emits PDUs back to that initiator.
+func (t *Target) NewSession(send func(proto.PDU)) (*Session, error) {
+	if send == nil {
+		return nil, errors.New("targetqp: nil send")
+	}
+	if t.nextTenant > 255 {
+		return nil, errors.New("targetqp: tenant ID space exhausted (256 initiators)")
+	}
+	s := &Session{
+		target: t,
+		send:   send,
+		reqs:   make(map[nvme.CID]*tReq),
+	}
+	return s, nil
+}
+
+// tReq is the target-side request pool entry: the single owner of the
+// command and its in-capsule payload while the request waits in a PM
+// queue (the PM itself stores only CIDs — the zero-copy property of
+// §IV-B: this pool holds one reference per request, never copies).
+type tReq struct {
+	cmd  nvme.Command
+	prio proto.Priority
+	data []byte
+}
+
+// Session is the target side of one initiator connection.
+type Session struct {
+	target    *Target
+	send      func(proto.PDU)
+	tenant    proto.TenantID
+	connected bool
+	reqs      map[nvme.CID]*tReq
+}
+
+// Tenant returns the tenant ID assigned to this connection.
+func (s *Session) Tenant() proto.TenantID { return s.tenant }
+
+// HandlePDU processes one inbound PDU from the initiator.
+func (s *Session) HandlePDU(p proto.PDU) error {
+	switch pdu := p.(type) {
+	case *proto.ICReq:
+		return s.handleICReq(pdu)
+	case *proto.CapsuleCmd:
+		return s.handleCmd(pdu)
+	case *proto.TermReq:
+		return fmt.Errorf("targetqp: connection terminated by host: FES=%d %s", pdu.FES, pdu.Reason)
+	default:
+		return fmt.Errorf("targetqp: unexpected PDU %v", p.PDUType())
+	}
+}
+
+func (s *Session) handleICReq(pdu *proto.ICReq) error {
+	if s.connected {
+		return errors.New("targetqp: duplicate ICReq")
+	}
+	if pdu.PFV != ProtocolVersion {
+		s.send(&proto.TermReq{Dir: proto.TypeC2HTermReq, FES: 1, Reason: "bad PFV"})
+		return fmt.Errorf("targetqp: protocol version mismatch: %d", pdu.PFV)
+	}
+	t := s.target
+	nsid := pdu.NSID
+	if nsid == 0 {
+		nsid = t.defaultNS
+	}
+	be, ok := t.backends[nsid]
+	if !ok {
+		s.send(&proto.TermReq{Dir: proto.TypeC2HTermReq, FES: 2,
+			Reason: fmt.Sprintf("unknown namespace %d", nsid)})
+		return fmt.Errorf("targetqp: connect to unknown namespace %d", nsid)
+	}
+	s.tenant = proto.TenantID(t.nextTenant)
+	t.nextTenant++
+	t.sessions[s.tenant] = s
+	t.stats.Connections++
+	s.connected = true
+	ns := be.Namespace()
+	s.send(&proto.ICResp{
+		PFV:        ProtocolVersion,
+		Tenant:     s.tenant,
+		MaxDataLen: t.cfg.MaxDataLen,
+		BlockSize:  ns.BlockSize,
+		Capacity:   ns.Capacity,
+	})
+	return nil
+}
+
+func (s *Session) handleCmd(pdu *proto.CapsuleCmd) error {
+	if !s.connected {
+		return errors.New("targetqp: command before handshake")
+	}
+	t := s.target
+	t.stats.CmdPDUs++
+	cid := pdu.Cmd.CID
+	if _, dup := s.reqs[cid]; dup {
+		s.respond(cid, nvme.StatusIDConflict, false)
+		return nil
+	}
+	if len(pdu.Data) > int(t.cfg.MaxDataLen) {
+		s.respond(cid, nvme.StatusInvalidField, false)
+		return nil
+	}
+
+	prio := pdu.Prio
+	if t.cfg.Mode == ModeBaseline {
+		// Unmodified SPDK: the flag bits are reserved and ignored; all
+		// requests take the FIFO path with per-request completions.
+		prio = proto.PrioNormal
+	}
+	req := &tReq{cmd: pdu.Cmd, prio: prio, data: pdu.Data}
+	s.reqs[cid] = req
+
+	disposition, batch := t.pm.OnCommand(s.tenant, cid, prio)
+	switch disposition {
+	case core.DispositionExecute:
+		s.execute(req)
+	case core.DispositionQueued:
+		// Absorbed; the drain will release it.
+	case core.DispositionDrainBatch:
+		// Alg. 3: transition the whole window to the execution state.
+		for _, m := range batch {
+			owner := t.sessions[m.Tenant]
+			if owner == nil {
+				return fmt.Errorf("targetqp: batch member for unknown tenant %d", m.Tenant)
+			}
+			r, ok := owner.reqs[m.CID]
+			if !ok {
+				return fmt.Errorf("targetqp: batch member CID %d missing from pool", m.CID)
+			}
+			owner.execute(r)
+		}
+	}
+	return nil
+}
+
+// execute hands one request to its namespace's backend, routed by the
+// command's NSID. LS requests jump the device queue in oPF mode.
+func (s *Session) execute(req *tReq) {
+	t := s.target
+	tenant := s.tenant
+	cid := req.cmd.CID
+	be, ok := t.backends[req.cmd.NSID]
+	if !ok {
+		// Unknown namespace: complete with an error through the normal
+		// completion path so PM window accounting stays exact.
+		s.onDeviceCompletion(tenant, cid, nvme.StatusInvalidNSID, nil)
+		return
+	}
+	high := t.cfg.Mode == ModeOPF && req.prio.LatencySensitive()
+	switch req.cmd.Opcode {
+	case nvme.OpRead:
+		t.stats.Reads++
+	case nvme.OpWrite:
+		t.stats.Writes++
+	}
+	be.Submit(req.cmd, req.data, high, func(cpl nvme.Completion, data []byte) {
+		s.onDeviceCompletion(tenant, cid, cpl.Status, data)
+	})
+}
+
+// onDeviceCompletion runs Alg. 4: ship read data, then ask the PM whether
+// a response PDU goes on the wire.
+func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvme.Status, data []byte) {
+	t := s.target
+	req := s.reqs[cid]
+	if req == nil {
+		// Completion for a request we no longer track — a backend bug.
+		return
+	}
+	// Retire the pool entry before any PDU goes out: the host is entitled
+	// to reuse the CID the moment it sees the response, and with an
+	// in-process transport the reused command can arrive re-entrantly,
+	// before this function returns.
+	delete(s.reqs, cid)
+	if !st.OK() {
+		t.stats.Errors++
+	}
+	if req.cmd.Opcode == nvme.OpRead && st.OK() && len(data) > 0 {
+		// Read data always flows per request; only the completion
+		// notification is coalesced (§III-B).
+		t.stats.DataPDUs++
+		s.send(&proto.C2HData{CCCID: cid, Offset: 0, Data: data})
+	}
+	for _, rd := range t.pm.OnDeviceCompletion(tenant, cid, st) {
+		if !rd.Send {
+			continue
+		}
+		dest := t.sessions[rd.Tenant]
+		if dest == nil {
+			continue
+		}
+		dest.respond(rd.CID, rd.Status, rd.Coalesced)
+	}
+}
+
+// respond emits one CapsuleResp. For coalesced responses, every pool
+// entry the response covers is retired.
+func (s *Session) respond(cid nvme.CID, st nvme.Status, coalesced bool) {
+	t := s.target
+	t.stats.RespPDUs++
+	s.send(&proto.CapsuleResp{
+		Cpl:       nvme.Completion{CID: cid, Status: st},
+		Coalesced: coalesced,
+	})
+}

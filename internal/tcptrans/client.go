@@ -1,0 +1,373 @@
+package tcptrans
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+)
+
+// ErrClosed is returned for operations on a closed connection.
+var ErrClosed = errors.New("tcptrans: connection closed")
+
+// ConnConfig configures one initiator connection (class, window, queue
+// depth, namespace).
+type ConnConfig = hostqp.Config
+
+// Conn is one initiator connection to a TCP target. Submissions from any
+// goroutine are serialized onto the connection's reactor, which owns the
+// hostqp session. Synchronous helpers (Read/Write/Flush) block the caller
+// until the request completes; Submit is the asynchronous primitive.
+type Conn struct {
+	conn    net.Conn
+	sess    *hostqp.Session
+	events  chan func()
+	quit    chan struct{}
+	dead    chan struct{} // closed when the transport breaks
+	idle    *time.Timer
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	closed  bool
+	waiting []hostqp.IO
+	connErr error
+}
+
+// idleDrainDelay bounds how long a partial throughput-critical window may
+// sit undrained while the application goes quiet. Coalescing defers
+// completions until a draining request arrives (§III-C); an application
+// that stops submitting mid-window would otherwise wait forever, so — like
+// the timeout fallback every interrupt-coalescing scheme carries — the
+// connection flushes the tail after this delay.
+const idleDrainDelay = 2 * time.Millisecond
+
+// Dial connects to a target and completes the handshake. cfg.Window and
+// cfg.QueueDepth govern the connection exactly as in the simulator.
+func Dial(addr string, cfg hostqp.Config) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Conn{
+		conn:   nc,
+		events: make(chan func(), 1024),
+		quit:   make(chan struct{}),
+		dead:   make(chan struct{}),
+	}
+	out := make(chan proto.PDU, 256)
+	sess, err := hostqp.New(cfg, func(p proto.PDU) {
+		select {
+		case out <- p:
+		case <-c.quit:
+		}
+	}, func() int64 { return time.Now().UnixNano() })
+	if err != nil {
+		nc.Close()
+		return nil, err
+	}
+	c.sess = sess
+
+	// Writer.
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case p := <-out:
+				if err := proto.WritePDU(nc, p); err != nil {
+					nc.Close()
+					return
+				}
+			case <-c.quit:
+				return
+			}
+		}
+	}()
+	// Reactor: owns the session.
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case fn := <-c.events:
+				fn()
+			case <-c.quit:
+				return
+			}
+		}
+	}()
+	// Reader.
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			p, err := proto.ReadPDU(nc)
+			if err != nil {
+				c.post(func() { c.failAll(fmt.Errorf("tcptrans: read: %w", err)) })
+				return
+			}
+			ok := c.post(func() {
+				if herr := sess.HandlePDU(p); herr != nil {
+					c.failAll(herr)
+					return
+				}
+				c.pump()
+			})
+			if !ok {
+				return
+			}
+		}
+	}()
+
+	// Handshake.
+	connected := make(chan error, 1)
+	c.post(func() {
+		sess.OnConnect(func() { connected <- nil })
+		sess.Start()
+	})
+	select {
+	case <-connected:
+	case <-time.After(10 * time.Second):
+		c.Close()
+		return nil, errors.New("tcptrans: handshake timeout")
+	}
+	return c, nil
+}
+
+// post schedules fn on the reactor.
+func (c *Conn) post(fn func()) bool {
+	select {
+	case c.events <- fn:
+		return true
+	case <-c.quit:
+		return false
+	}
+}
+
+// failAll marks the connection broken and fails queued ops; runs on the
+// reactor.
+func (c *Conn) failAll(err error) {
+	if c.connErr == nil {
+		c.connErr = err
+		close(c.dead)
+	}
+	for _, io := range c.waiting {
+		io.Done(hostqp.Result{Status: nvme.StatusInternalError})
+	}
+	c.waiting = nil
+}
+
+// pump submits queued ops while the session has queue-depth headroom.
+// Runs on the reactor.
+func (c *Conn) pump() {
+	for len(c.waiting) > 0 {
+		io := c.waiting[0]
+		if io.Op == nvme.OpFlush {
+			// A flush is a durability barrier: make it drain the current
+			// TC window so everything before it completes with it.
+			c.sess.Flush()
+		}
+		if err := c.sess.Submit(io); err != nil {
+			if errors.Is(err, hostqp.ErrQueueFull) {
+				return
+			}
+			c.waiting = c.waiting[1:]
+			io.Done(hostqp.Result{Status: nvme.StatusInternalError})
+			continue
+		}
+		c.waiting = c.waiting[1:]
+	}
+	c.armIdleDrain()
+}
+
+// armIdleDrain (re)starts the tail-flush timer; runs on the reactor.
+func (c *Conn) armIdleDrain() {
+	if c.idle != nil {
+		c.idle.Stop()
+	}
+	if c.sess.PendingTC() == 0 {
+		return
+	}
+	c.idle = time.AfterFunc(idleDrainDelay, func() {
+		c.post(func() {
+			if c.connErr != nil || c.sess.PendingTC() == 0 || !c.sess.CanSubmit() {
+				return
+			}
+			c.sess.Flush()
+			_ = c.sess.Submit(hostqp.IO{Op: nvme.OpFlush, Done: func(hostqp.Result) {}})
+		})
+	})
+}
+
+// Submit issues an asynchronous I/O; the Done callback runs on the
+// connection's reactor goroutine. Ops beyond the queue depth wait
+// internally.
+func (c *Conn) Submit(io hostqp.IO) error {
+	if io.Done == nil {
+		return errors.New("tcptrans: IO without Done callback")
+	}
+	if !c.post(func() {
+		if c.connErr != nil {
+			io.Done(hostqp.Result{Status: nvme.StatusInternalError})
+			return
+		}
+		c.waiting = append(c.waiting, io)
+		c.pump()
+	}) {
+		return ErrClosed
+	}
+	return nil
+}
+
+// result pairs a Result with transport-level errors for the sync API.
+type result struct {
+	r hostqp.Result
+}
+
+// do runs one I/O synchronously.
+func (c *Conn) do(io hostqp.IO) (hostqp.Result, error) {
+	ch := make(chan result, 1)
+	io.Done = func(r hostqp.Result) { ch <- result{r} }
+	if err := c.Submit(io); err != nil {
+		return hostqp.Result{}, err
+	}
+	select {
+	case res := <-ch:
+		if !res.r.Status.OK() {
+			return res.r, fmt.Errorf("tcptrans: I/O failed: %v", res.r.Status)
+		}
+		return res.r, nil
+	case <-c.dead:
+		return hostqp.Result{}, fmt.Errorf("tcptrans: connection broken: %w", ErrClosed)
+	case <-c.quit:
+		return hostqp.Result{}, ErrClosed
+	}
+}
+
+// Read fetches blocks synchronously. prio overrides the connection class
+// when nonzero.
+func (c *Conn) Read(lba uint64, blocks uint32, prio proto.Priority) ([]byte, error) {
+	r, err := c.do(hostqp.IO{Op: nvme.OpRead, LBA: lba, Blocks: blocks, Prio: prio})
+	if err != nil {
+		return nil, err
+	}
+	return r.Data, nil
+}
+
+// Write stores data (a multiple of the namespace block size) synchronously.
+func (c *Conn) Write(lba uint64, data []byte, prio proto.Priority) error {
+	bs := c.BlockSize()
+	if bs == 0 {
+		bs = 4096
+	}
+	if len(data) == 0 || len(data)%int(bs) != 0 {
+		return fmt.Errorf("tcptrans: %d bytes is not a multiple of the %dB block size", len(data), bs)
+	}
+	_, err := c.do(hostqp.IO{Op: nvme.OpWrite, LBA: lba, Blocks: uint32(len(data) / int(bs)), Data: data, Prio: prio})
+	return err
+}
+
+// BlockSize returns the namespace block size discovered at handshake.
+func (c *Conn) BlockSize() uint32 {
+	ch := make(chan uint32, 1)
+	if !c.post(func() { ch <- c.sess.BlockSize() }) {
+		return 0
+	}
+	select {
+	case v := <-ch:
+		return v
+	case <-c.quit:
+		return 0
+	}
+}
+
+// Capacity returns the namespace capacity in blocks discovered at
+// handshake.
+func (c *Conn) Capacity() uint64 {
+	ch := make(chan uint64, 1)
+	if !c.post(func() { ch <- c.sess.Capacity() }) {
+		return 0
+	}
+	select {
+	case v := <-ch:
+		return v
+	case <-c.quit:
+		return 0
+	}
+}
+
+// WriteBlocks stores data of arbitrary block geometry.
+func (c *Conn) WriteBlocks(lba uint64, data []byte, blockSize uint32, prio proto.Priority) error {
+	if blockSize == 0 || len(data)%int(blockSize) != 0 {
+		return fmt.Errorf("tcptrans: %d bytes not a multiple of block size %d", len(data), blockSize)
+	}
+	_, err := c.do(hostqp.IO{Op: nvme.OpWrite, LBA: lba, Blocks: uint32(len(data) / int(blockSize)), Data: data, Prio: prio})
+	return err
+}
+
+// Flush issues a flush command.
+func (c *Conn) Flush() error {
+	_, err := c.do(hostqp.IO{Op: nvme.OpFlush})
+	return err
+}
+
+// DrainNext forces the next TC submission to carry the draining flag.
+func (c *Conn) DrainNext() {
+	c.post(func() { c.sess.Flush() })
+}
+
+// Defer runs fn on the connection's reactor goroutine — the context every
+// Submit completion callback runs on. Single-goroutine state machines
+// (e.g. the h5bench kernels) use it to serialize their own transitions
+// with their I/O callbacks.
+func (c *Conn) Defer(fn func()) { c.post(fn) }
+
+// Stats snapshots the session counters.
+func (c *Conn) Stats() hostqp.Stats {
+	ch := make(chan hostqp.Stats, 1)
+	if !c.post(func() { ch <- c.sess.Stats() }) {
+		return hostqp.Stats{}
+	}
+	select {
+	case st := <-ch:
+		return st
+	case <-c.quit:
+		return hostqp.Stats{}
+	}
+}
+
+// Tenant returns the target-assigned tenant ID.
+func (c *Conn) Tenant() proto.TenantID {
+	ch := make(chan proto.TenantID, 1)
+	if !c.post(func() { ch <- c.sess.Tenant() }) {
+		return 0
+	}
+	select {
+	case t := <-ch:
+		return t
+	case <-c.quit:
+		return 0
+	}
+}
+
+// Close tears the connection down.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	err := c.conn.Close()
+	close(c.quit)
+	c.wg.Wait()
+	if c.idle != nil {
+		c.idle.Stop()
+	}
+	return err
+}

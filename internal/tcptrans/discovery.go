@@ -1,0 +1,207 @@
+package tcptrans
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"time"
+
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+)
+
+// DiscoveryServer is the dialect's discovery controller: a well-known
+// endpoint that answers "which NVMe-oPF subsystems exist and where?".
+// Targets register themselves; hosts call Discover.
+type DiscoveryServer struct {
+	ln     net.Listener
+	mu     sync.Mutex
+	log    map[string]proto.DiscEntry // NQN -> entry
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	closed bool
+}
+
+// ListenDiscovery starts a discovery endpoint on addr.
+func ListenDiscovery(addr string) (*DiscoveryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DiscoveryServer{
+		ln:   ln,
+		log:  make(map[string]proto.DiscEntry),
+		quit: make(chan struct{}),
+	}
+	d.wg.Add(1)
+	go func() {
+		defer d.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			d.wg.Add(1)
+			go func() {
+				defer d.wg.Done()
+				d.serve(conn)
+			}()
+		}
+	}()
+	return d, nil
+}
+
+// Addr returns the bound address.
+func (d *DiscoveryServer) Addr() string { return d.ln.Addr().String() }
+
+// Register adds (or updates) one subsystem in the discovery log.
+func (d *DiscoveryServer) Register(nqn, addr string, mode targetqp.Mode) error {
+	e := proto.DiscEntry{NQN: nqn, Addr: addr, Mode: uint8(mode)}
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.log[nqn] = e
+	return nil
+}
+
+// Unregister removes a subsystem.
+func (d *DiscoveryServer) Unregister(nqn string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	delete(d.log, nqn)
+}
+
+// Entries snapshots the log, sorted by NQN.
+func (d *DiscoveryServer) Entries() []proto.DiscEntry {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]proto.DiscEntry, 0, len(d.log))
+	for _, e := range d.log {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].NQN < out[j].NQN })
+	return out
+}
+
+// serve answers one discovery request (or registration) per connection.
+func (d *DiscoveryServer) serve(conn net.Conn) {
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	p, err := proto.ReadPDU(conn)
+	if err != nil {
+		return
+	}
+	switch pdu := p.(type) {
+	case *proto.DiscReq:
+		_ = proto.WritePDU(conn, &proto.DiscResp{Entries: d.Entries()})
+	case *proto.DiscRegister:
+		e := pdu.Entry
+		if err := e.Validate(); err != nil {
+			_ = proto.WritePDU(conn, &proto.TermReq{
+				Dir: proto.TypeC2HTermReq, FES: 4, Reason: err.Error(),
+			})
+			return
+		}
+		d.mu.Lock()
+		d.log[e.NQN] = e
+		d.mu.Unlock()
+		_ = proto.WritePDU(conn, &proto.DiscResp{Entries: d.Entries()})
+	default:
+		_ = proto.WritePDU(conn, &proto.TermReq{
+			Dir: proto.TypeC2HTermReq, FES: 3, Reason: "expected DiscReq or DiscRegister",
+		})
+	}
+}
+
+// Close shuts down the endpoint.
+func (d *DiscoveryServer) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+	err := d.ln.Close()
+	close(d.quit)
+	d.wg.Wait()
+	return err
+}
+
+// Discover queries a discovery endpoint and returns its log.
+func Discover(addr string) ([]proto.DiscEntry, error) {
+	conn, err := net.DialTimeout("tcp", addr, 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := proto.WritePDU(conn, &proto.DiscReq{}); err != nil {
+		return nil, err
+	}
+	p, err := proto.ReadPDU(conn)
+	if err != nil {
+		return nil, err
+	}
+	switch resp := p.(type) {
+	case *proto.DiscResp:
+		return resp.Entries, nil
+	case *proto.TermReq:
+		return nil, fmt.Errorf("tcptrans: discovery refused: %s", resp.Reason)
+	default:
+		return nil, errors.New("tcptrans: unexpected discovery response")
+	}
+}
+
+// RegisterRemote registers a subsystem in a remote discovery endpoint's
+// log (what opf-target does at startup when given -discovery).
+func RegisterRemote(discoveryAddr, nqn, addr string, mode targetqp.Mode) error {
+	e := proto.DiscEntry{NQN: nqn, Addr: addr, Mode: uint8(mode)}
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	conn, err := net.DialTimeout("tcp", discoveryAddr, 10*time.Second)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(10 * time.Second))
+	if err := proto.WritePDU(conn, &proto.DiscRegister{Entry: e}); err != nil {
+		return err
+	}
+	p, err := proto.ReadPDU(conn)
+	if err != nil {
+		return err
+	}
+	switch resp := p.(type) {
+	case *proto.DiscResp:
+		for _, got := range resp.Entries {
+			if got.NQN == nqn {
+				return nil
+			}
+		}
+		return errors.New("tcptrans: registration not reflected in log")
+	case *proto.TermReq:
+		return fmt.Errorf("tcptrans: registration refused: %s", resp.Reason)
+	default:
+		return errors.New("tcptrans: unexpected registration response")
+	}
+}
+
+// DialDiscovered resolves nqn through a discovery endpoint and connects.
+func DialDiscovered(discoveryAddr, nqn string, cfg ConnConfig) (*Conn, error) {
+	entries, err := Discover(discoveryAddr)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if e.NQN == nqn {
+			return Dial(e.Addr, cfg)
+		}
+	}
+	return nil, fmt.Errorf("tcptrans: subsystem %q not in discovery log", nqn)
+}

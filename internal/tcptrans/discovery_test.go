@@ -1,0 +1,145 @@
+package tcptrans
+
+import (
+	"net"
+	"reflect"
+	"testing"
+	"time"
+
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+)
+
+func TestDiscoveryRoundTrip(t *testing.T) {
+	disc, err := ListenDiscovery("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disc.Close()
+
+	srv := startServer(t, targetqp.ModeOPF)
+	if err := disc.Register("nqn.2024-01.io.nvmeopf:sub1", srv.Addr(), targetqp.ModeOPF); err != nil {
+		t.Fatal(err)
+	}
+	if err := disc.Register("nqn.2024-01.io.nvmeopf:sub2", "10.0.0.9:4420", targetqp.ModeBaseline); err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := Discover(disc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := disc.Entries()
+	if !reflect.DeepEqual(entries, want) {
+		t.Fatalf("discovered %+v, want %+v", entries, want)
+	}
+	if len(entries) != 2 || entries[0].NQN != "nqn.2024-01.io.nvmeopf:sub1" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	if entries[0].Mode != uint8(targetqp.ModeOPF) {
+		t.Fatal("mode lost")
+	}
+}
+
+func TestDiscoveryRegisterValidation(t *testing.T) {
+	disc, err := ListenDiscovery("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disc.Close()
+	if err := disc.Register("", "addr:1", targetqp.ModeOPF); err == nil {
+		t.Error("empty NQN accepted")
+	}
+	if err := disc.Register("nqn.x", "", targetqp.ModeOPF); err == nil {
+		t.Error("empty address accepted")
+	}
+}
+
+func TestDiscoveryUnregister(t *testing.T) {
+	disc, _ := ListenDiscovery("127.0.0.1:0")
+	defer disc.Close()
+	_ = disc.Register("nqn.a", "x:1", targetqp.ModeOPF)
+	disc.Unregister("nqn.a")
+	entries, err := Discover(disc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("entries = %+v", entries)
+	}
+}
+
+func TestDialDiscovered(t *testing.T) {
+	disc, _ := ListenDiscovery("127.0.0.1:0")
+	defer disc.Close()
+	srv := startServer(t, targetqp.ModeOPF)
+	_ = disc.Register("nqn.sub", srv.Addr(), targetqp.ModeOPF)
+
+	c, err := DialDiscovered(disc.Addr(), "nqn.sub", hostqp.Config{
+		Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 1, NSID: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Write(0, make([]byte, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DialDiscovered(disc.Addr(), "nqn.missing", hostqp.Config{
+		Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 1, NSID: 1,
+	}); err == nil {
+		t.Fatal("missing NQN resolved")
+	}
+}
+
+func TestDiscoveryRejectsNonDiscReq(t *testing.T) {
+	disc, _ := ListenDiscovery("127.0.0.1:0")
+	defer disc.Close()
+	conn, err := net.Dial("tcp", disc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := proto.WritePDU(conn, &proto.ICReq{PFV: 1}); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	p, err := proto.ReadPDU(conn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.(*proto.TermReq); !ok {
+		t.Fatalf("want TermReq, got %v", p.PDUType())
+	}
+}
+
+func TestRegisterRemote(t *testing.T) {
+	disc, err := ListenDiscovery("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disc.Close()
+	if err := RegisterRemote(disc.Addr(), "nqn.remote", "10.1.2.3:4420", targetqp.ModeOPF); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Discover(disc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].NQN != "nqn.remote" || entries[0].Addr != "10.1.2.3:4420" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	// Re-registration updates in place.
+	if err := RegisterRemote(disc.Addr(), "nqn.remote", "10.1.2.3:9999", targetqp.ModeBaseline); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ = Discover(disc.Addr())
+	if len(entries) != 1 || entries[0].Addr != "10.1.2.3:9999" {
+		t.Fatalf("update failed: %+v", entries)
+	}
+	// Invalid registrations rejected locally.
+	if err := RegisterRemote(disc.Addr(), "", "x:1", targetqp.ModeOPF); err == nil {
+		t.Fatal("empty NQN registered")
+	}
+}

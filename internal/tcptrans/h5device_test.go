@@ -1,0 +1,181 @@
+package tcptrans
+
+import (
+	"testing"
+	"time"
+
+	"nvmeopf/internal/h5bench"
+	"nvmeopf/internal/hdf5"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+)
+
+func TestH5DeviceGeometry(t *testing.T) {
+	srv := startServer(t, targetqp.ModeOPF)
+	c := dial(t, srv, proto.PrioThroughputCritical, 8, 32)
+	if c.BlockSize() != 4096 || c.Capacity() != 1<<16 {
+		t.Fatalf("discovered geometry %d/%d", c.BlockSize(), c.Capacity())
+	}
+	if _, err := c.H5Device(1<<16, 0); err == nil {
+		t.Error("partition beyond capacity accepted")
+	}
+	if _, err := c.H5Device(0, 1<<17); err == nil {
+		t.Error("oversized partition accepted")
+	}
+	dev, err := c.H5Device(1024, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.NumBlocks() != 1<<16-1024 {
+		t.Fatalf("open-ended partition = %d blocks", dev.NumBlocks())
+	}
+}
+
+func TestH5FileOverTCP(t *testing.T) {
+	srv := startServer(t, targetqp.ModeOPF)
+	c := dial(t, srv, proto.PrioThroughputCritical, 8, 64)
+	dev, err := c.H5Device(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type writeResult struct {
+		data []byte
+		err  error
+	}
+	done := make(chan writeResult, 1)
+	want := make([]byte, 8192)
+	for i := range want {
+		want[i] = byte(i * 7)
+	}
+	hdf5.Create(dev, func(f *hdf5.File, err error) {
+		if err != nil {
+			done <- writeResult{err: err}
+			return
+		}
+		f.CreateDataset("/d", hdf5.UInt8, 1<<16, func(ds *hdf5.Dataset, err error) {
+			if err != nil {
+				done <- writeResult{err: err}
+				return
+			}
+			ds.Write(100, want, func(err error) {
+				if err != nil {
+					done <- writeResult{err: err}
+					return
+				}
+				ds.Read(100, uint64(len(want)), func(got []byte, err error) {
+					done <- writeResult{data: got, err: err}
+				})
+			})
+		})
+	})
+	select {
+	case res := <-done:
+		if res.err != nil {
+			t.Fatal(res.err)
+		}
+		for i := range want {
+			if res.data[i] != want[i] {
+				t.Fatalf("byte %d mismatch", i)
+			}
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("mini-HDF5 over TCP hung")
+	}
+
+	// Reopen from a second connection: metadata persisted on the target.
+	c2 := dial(t, srv, proto.PrioLatencySensitive, 1, 4)
+	dev2, err := c2.H5Device(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	open := make(chan error, 1)
+	hdf5.Open(dev2, func(f *hdf5.File, err error) {
+		if err != nil {
+			open <- err
+			return
+		}
+		if _, derr := f.OpenDataset("/d"); derr != nil {
+			open <- derr
+			return
+		}
+		open <- nil
+	})
+	select {
+	case err := <-open:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("reopen hung")
+	}
+}
+
+func TestH5BenchKernelOverTCP(t *testing.T) {
+	srv := startServer(t, targetqp.ModeOPF)
+	c := dial(t, srv, proto.PrioThroughputCritical, 16, 64)
+	dev, err := c.H5Device(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h5bench.Config{
+		Particles:   64 * 1024,
+		Timesteps:   2,
+		AccessBytes: 4096,
+		QD:          16,
+		Clock:       func() int64 { return time.Now().UnixNano() },
+		// Kernel state must stay on the connection reactor: sleeps hop
+		// back via Defer.
+		Sleep: func(d int64, fn func()) {
+			time.AfterFunc(time.Duration(d), func() { c.Defer(fn) })
+		},
+	}
+	wdone := make(chan *h5bench.Result, 1)
+	werr := make(chan error, 1)
+	c.Defer(func() {
+		h5bench.RunWrite(dev, cfg, func(res *h5bench.Result, err error) {
+			if err != nil {
+				werr <- err
+				return
+			}
+			wdone <- res
+		})
+	})
+	select {
+	case err := <-werr:
+		t.Fatal(err)
+	case res := <-wdone:
+		if res.Bytes != int64(cfg.Particles)*4*int64(cfg.Timesteps) {
+			t.Fatalf("bytes = %d", res.Bytes)
+		}
+		if res.Bandwidth() <= 0 {
+			t.Fatal("no bandwidth")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("write kernel hung over TCP")
+	}
+
+	// Read kernel with dataset-load sleeps.
+	rcfg := cfg
+	rcfg.DatasetLoadNs = 1_000_000
+	rdone := make(chan *h5bench.Result, 1)
+	c.Defer(func() {
+		h5bench.RunRead(dev, rcfg, func(res *h5bench.Result, err error) {
+			if err != nil {
+				werr <- err
+				return
+			}
+			rdone <- res
+		})
+	})
+	select {
+	case err := <-werr:
+		t.Fatal(err)
+	case res := <-rdone:
+		if res.Bytes != int64(cfg.Particles)*4*int64(cfg.Timesteps) {
+			t.Fatalf("read bytes = %d", res.Bytes)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("read kernel hung over TCP")
+	}
+}

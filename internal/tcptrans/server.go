@@ -1,0 +1,369 @@
+// Package tcptrans carries the NVMe-oPF protocol over real TCP sockets:
+// a Server exposes a block device as an NVMe-oPF (or baseline NVMe-oF)
+// target, and Dial opens initiator connections. The same sans-IO state
+// machines as the simulator (internal/hostqp, internal/targetqp) run the
+// protocol; this package only moves PDUs and provides the threading
+// model: one reactor goroutine owns each target's (or connection's)
+// state, mirroring SPDK's single-reactor deployment, with reader/writer
+// goroutines per socket and a worker pool executing device I/O.
+package tcptrans
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"nvmeopf/internal/bdev"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+)
+
+// ServerConfig describes a TCP target.
+type ServerConfig struct {
+	// Mode selects oPF or baseline behaviour.
+	Mode targetqp.Mode
+	// Device is the backing store.
+	Device bdev.Device
+	// MaxPending is the PM safety valve (default 4096).
+	MaxPending int
+	// Workers is the device executor pool size (default 8).
+	Workers int
+	// ReadLatency/WriteLatency optionally inject device service time, so
+	// a RAM-backed target behaves like flash.
+	ReadLatency, WriteLatency time.Duration
+	// ExtraNamespaces attaches additional devices under explicit NSIDs
+	// (Device itself serves NSID 1).
+	ExtraNamespaces map[uint32]bdev.Device
+}
+
+// Server is a TCP NVMe-oPF target bound to a listener.
+type Server struct {
+	cfg    ServerConfig
+	ln     net.Listener
+	target *targetqp.Target
+	events chan func()
+	jobs   chan func()
+	quit   chan struct{}
+	wg     sync.WaitGroup
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+}
+
+// Listen starts a target on addr (e.g. "127.0.0.1:0").
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	if cfg.Device == nil {
+		return nil, errors.New("tcptrans: nil device")
+	}
+	if cfg.MaxPending == 0 {
+		cfg.MaxPending = 4096
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 8
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		ln:     ln,
+		events: make(chan func(), 1024),
+		jobs:   make(chan func(), 1024),
+		quit:   make(chan struct{}),
+		conns:  make(map[net.Conn]struct{}),
+	}
+	tgt, err := targetqp.NewTarget(targetqp.Config{
+		Mode:       cfg.Mode,
+		MaxPending: cfg.MaxPending,
+	}, &execBackend{s: s, nsid: 1, dev: cfg.Device})
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	for nsid, dev := range cfg.ExtraNamespaces {
+		if err := tgt.AddNamespace(&execBackend{s: s, nsid: nsid, dev: dev}); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	s.target = tgt
+
+	// Reactor: sole owner of the target state machine.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case fn := <-s.events:
+				fn()
+			case <-s.quit:
+				return
+			}
+		}
+	}()
+	// Device executor pool.
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case job := <-s.jobs:
+					job()
+				case <-s.quit:
+					return
+				}
+			}
+		}()
+	}
+	// Acceptor.
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				conn.Close()
+				return
+			}
+			s.conns[conn] = struct{}{}
+			s.mu.Unlock()
+			s.wg.Add(1)
+			go func() {
+				defer s.wg.Done()
+				s.serveConn(conn)
+			}()
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Stats returns the target's counters (snapshotted on the reactor).
+func (s *Server) Stats() targetqp.Stats {
+	ch := make(chan targetqp.Stats, 1)
+	if !s.post(func() { ch <- s.target.Stats() }) {
+		return targetqp.Stats{}
+	}
+	select {
+	case st := <-ch:
+		return st
+	case <-s.quit:
+		return targetqp.Stats{}
+	}
+}
+
+// Close shuts the server down and waits for its goroutines.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	err := s.ln.Close()
+	for _, c := range conns {
+		c.Close()
+	}
+	close(s.quit)
+	s.wg.Wait()
+	return err
+}
+
+// serveConn runs one initiator connection: a writer goroutine serializes
+// outbound PDUs; the read loop forwards inbound PDUs to the reactor.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	out := make(chan proto.PDU, 256)
+	connDone := make(chan struct{}) // closed when this connection ends
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for {
+			select {
+			case p := <-out:
+				if err := proto.WritePDU(conn, p); err != nil {
+					conn.Close() // unblocks the read loop
+					return
+				}
+			case <-connDone:
+				return
+			}
+		}
+	}()
+
+	// Session creation must run on the reactor. The send closure may be
+	// invoked (by late device completions) long after the connection is
+	// gone, so it must never block or touch a closed channel: it selects
+	// against connDone and drops PDUs for dead connections.
+	sessCh := make(chan *targetqp.Session, 1)
+	posted := s.post(func() {
+		sess, err := s.target.NewSession(func(p proto.PDU) {
+			select {
+			case out <- p:
+			case <-connDone:
+			case <-s.quit:
+			}
+		})
+		if err != nil {
+			sessCh <- nil
+			return
+		}
+		sessCh <- sess
+	})
+	var sess *targetqp.Session
+	if posted {
+		sess = <-sessCh
+	}
+	if sess == nil {
+		close(connDone)
+		writerWG.Wait()
+		return
+	}
+
+	for {
+		p, err := proto.ReadPDU(conn)
+		if err != nil {
+			break
+		}
+		done := make(chan error, 1)
+		if !s.post(func() { done <- sess.HandlePDU(p) }) {
+			break
+		}
+		var herr error
+		select {
+		case herr = <-done:
+		case <-s.quit:
+			herr = errors.New("server closed")
+		}
+		if herr != nil {
+			break
+		}
+	}
+	close(connDone)
+	writerWG.Wait()
+}
+
+// post schedules fn on the reactor; false if the server is closed.
+func (s *Server) post(fn func()) bool {
+	select {
+	case s.events <- fn:
+		return true
+	case <-s.quit:
+		return false
+	}
+}
+
+// execBackend runs device commands on the worker pool with optional
+// injected latency, delivering completions back on the reactor. One
+// instance serves one namespace.
+type execBackend struct {
+	s    *Server
+	nsid uint32
+	dev  bdev.Device
+}
+
+// Namespace implements targetqp.Backend.
+func (b *execBackend) Namespace() nvme.Namespace {
+	return nvme.Namespace{ID: b.nsid, BlockSize: b.dev.BlockSize(), Capacity: b.dev.NumBlocks()}
+}
+
+// Submit implements targetqp.Backend. highPrio maps to executor priority:
+// high-priority jobs run on a dedicated fast path (direct goroutine) so a
+// deep TC backlog in the job queue cannot delay them — the real-transport
+// analogue of the simulator's device-queue bypass.
+func (b *execBackend) Submit(cmd nvme.Command, data []byte, highPrio bool, done func(nvme.Completion, []byte)) {
+	run := func() {
+		cpl, out := b.execute(cmd, data)
+		b.s.post(func() { done(cpl, out) })
+	}
+	if highPrio {
+		go run()
+		return
+	}
+	select {
+	case b.s.jobs <- run:
+	case <-b.s.quit:
+	default:
+		// Job queue saturated: spill to a goroutine rather than dropping
+		// or blocking the reactor.
+		go run()
+	}
+}
+
+// execute performs the device operation.
+func (b *execBackend) execute(cmd nvme.Command, data []byte) (nvme.Completion, []byte) {
+	dev := b.dev
+	ns := b.Namespace()
+	cpl := nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess}
+	if cmd.Opcode != nvme.OpFlush {
+		if st := ns.CheckRange(cmd.SLBA, cmd.Blocks()); !st.OK() {
+			cpl.Status = st
+			return cpl, nil
+		}
+	}
+	switch cmd.Opcode {
+	case nvme.OpRead:
+		if b.s.cfg.ReadLatency > 0 {
+			time.Sleep(b.s.cfg.ReadLatency)
+		}
+		out := make([]byte, ns.Bytes(cmd.Blocks()))
+		if err := dev.ReadBlocks(out, cmd.SLBA); err != nil {
+			cpl.Status = nvme.StatusInternalError
+			return cpl, nil
+		}
+		return cpl, out
+	case nvme.OpWrite:
+		if b.s.cfg.WriteLatency > 0 {
+			time.Sleep(b.s.cfg.WriteLatency)
+		}
+		if len(data) != ns.Bytes(cmd.Blocks()) {
+			cpl.Status = nvme.StatusDataXferError
+			return cpl, nil
+		}
+		if err := dev.WriteBlocks(data, cmd.SLBA); err != nil {
+			cpl.Status = nvme.StatusInternalError
+		}
+		return cpl, nil
+	case nvme.OpFlush:
+		if err := dev.Flush(); err != nil {
+			cpl.Status = nvme.StatusInternalError
+		}
+		return cpl, nil
+	default:
+		cpl.Status = nvme.StatusInvalidOpcode
+		return cpl, nil
+	}
+}
+
+// NewMemoryServer is a convenience: an in-memory target of the given
+// geometry, for tests and examples.
+func NewMemoryServer(addr string, mode targetqp.Mode, blockSize uint32, blocks uint64) (*Server, error) {
+	dev, err := bdev.NewMemory(blockSize, blocks)
+	if err != nil {
+		return nil, err
+	}
+	return Listen(addr, ServerConfig{Mode: mode, Device: dev})
+}

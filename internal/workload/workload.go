@@ -1,0 +1,253 @@
+// Package workload reimplements SPDK's perf benchmark methodology for this
+// runtime: closed-loop generators that keep a fixed queue depth of 4 KiB
+// (by default) requests outstanding per initiator, with sequential or
+// random addressing and read/write/mixed operation mixes, measuring
+// throughput and a latency histogram after a warmup period (§V:
+// "SPDK's perf ... sending 4K sequential I/O requests for read, write,
+// and mixed").
+package workload
+
+import (
+	"fmt"
+
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/simnet"
+	"nvmeopf/internal/stats"
+)
+
+// Mix selects the operation mix.
+type Mix int
+
+// Mixes. Mixed5050 alternates via a seeded PRNG at 50% reads, matching the
+// paper's "mixed 50:50 read/write".
+const (
+	ReadOnly Mix = iota
+	WriteOnly
+	Mixed5050
+)
+
+// String implements fmt.Stringer.
+func (m Mix) String() string {
+	switch m {
+	case ReadOnly:
+		return "read"
+	case WriteOnly:
+		return "write"
+	case Mixed5050:
+		return "mixed50"
+	default:
+		return fmt.Sprintf("Mix(%d)", int(m))
+	}
+}
+
+// Pattern selects the LBA pattern.
+type Pattern int
+
+// Patterns.
+const (
+	Sequential Pattern = iota
+	Random
+)
+
+// Spec describes one initiator's workload.
+type Spec struct {
+	Mix     Mix
+	Pattern Pattern
+	// Blocks per I/O (1 block = 4 KiB on the default namespace).
+	Blocks uint32
+	// QueueDepth to hold open (TC initiators use 128, LS use 1 in §V-A).
+	QueueDepth int
+	// RegionStart/RegionBlocks delimit this initiator's LBA slice so
+	// concurrent tenants do not overlap.
+	RegionStart, RegionBlocks uint64
+	// WarmupUntil / StopAt are virtual-clock bounds: completions inside
+	// [WarmupUntil, StopAt] are recorded; submission stops at StopAt.
+	WarmupUntil, StopAt int64
+	// Seed for the op-mix / random-address stream.
+	Seed uint64
+	// UniqueBuffers allocates a fresh write payload per request (needed
+	// when the target stores data); timing-only runs share one buffer.
+	UniqueBuffers bool
+	// BlockSize is the namespace block size in bytes (default 4096).
+	BlockSize uint32
+}
+
+// Result accumulates a runner's measurements.
+type Result struct {
+	Recorded  stats.Counter   // ops/bytes completed inside the window
+	Latency   stats.Histogram // per-request latency, recorded window only
+	Submitted int64
+	Completed int64
+	Errors    int64
+}
+
+// MeasuredNanos returns the measurement window length.
+func (s Spec) MeasuredNanos() int64 { return s.StopAt - s.WarmupUntil }
+
+// Validate checks the spec.
+func (s Spec) Validate() error {
+	if s.QueueDepth < 1 {
+		return fmt.Errorf("workload: queue depth %d", s.QueueDepth)
+	}
+	if s.Blocks < 1 {
+		return fmt.Errorf("workload: %d blocks per IO", s.Blocks)
+	}
+	if s.RegionBlocks < uint64(s.Blocks) {
+		return fmt.Errorf("workload: region %d blocks < IO size %d", s.RegionBlocks, s.Blocks)
+	}
+	if s.StopAt <= s.WarmupUntil {
+		return fmt.Errorf("workload: empty measurement window")
+	}
+	return nil
+}
+
+// Runner drives one initiator session closed-loop. All callbacks run on
+// the session's event context (the simulator loop); Runner is therefore
+// not synchronized.
+type Runner struct {
+	sess    *hostqp.Session
+	clock   func() int64
+	spec    Spec
+	rng     *simnet.Rand
+	nextLBA uint64
+	buf     []byte
+	res     Result
+	done    bool
+	flushed bool
+}
+
+// NewRunner prepares a runner over a connected (or connecting) session.
+func NewRunner(sess *hostqp.Session, clock func() int64, spec Spec) (*Runner, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if spec.BlockSize == 0 {
+		spec.BlockSize = 4096
+	}
+	r := &Runner{
+		sess:    sess,
+		clock:   clock,
+		spec:    spec,
+		rng:     simnet.NewRand(spec.Seed),
+		nextLBA: spec.RegionStart,
+	}
+	if !spec.UniqueBuffers {
+		r.buf = make([]byte, int(spec.Blocks)*int(spec.BlockSize))
+	}
+	return r, nil
+}
+
+// Start begins submitting once the session connects.
+func (r *Runner) Start() {
+	r.sess.OnConnect(func() {
+		for i := 0; i < r.spec.QueueDepth && r.sess.CanSubmit(); i++ {
+			if !r.submitOne() {
+				break
+			}
+		}
+	})
+}
+
+// Result returns the measurements so far.
+func (r *Runner) Result() *Result { return &r.res }
+
+// Done reports whether the runner has stopped submitting and drained.
+func (r *Runner) Done() bool { return r.done && r.sess.Outstanding() == 0 }
+
+// pickOp draws the next opcode from the mix.
+func (r *Runner) pickOp() nvme.Opcode {
+	switch r.spec.Mix {
+	case ReadOnly:
+		return nvme.OpRead
+	case WriteOnly:
+		return nvme.OpWrite
+	default:
+		if r.rng.Uint64()&1 == 0 {
+			return nvme.OpRead
+		}
+		return nvme.OpWrite
+	}
+}
+
+// pickLBA draws the next starting LBA.
+func (r *Runner) pickLBA() uint64 {
+	n := uint64(r.spec.Blocks)
+	if r.spec.Pattern == Random {
+		slots := r.spec.RegionBlocks / n
+		return r.spec.RegionStart + uint64(r.rng.Int63n(int64(slots)))*n
+	}
+	lba := r.nextLBA
+	r.nextLBA += n
+	if r.nextLBA+n > r.spec.RegionStart+r.spec.RegionBlocks {
+		r.nextLBA = r.spec.RegionStart
+	}
+	return lba
+}
+
+// submitOne issues the next request; returns false once past StopAt.
+func (r *Runner) submitOne() bool {
+	now := r.clock()
+	if now >= r.spec.StopAt {
+		r.done = true
+		r.flushTail()
+		return false
+	}
+	op := r.pickOp()
+	var data []byte
+	if op == nvme.OpWrite {
+		if r.spec.UniqueBuffers {
+			data = make([]byte, int(r.spec.Blocks)*int(r.spec.BlockSize))
+			for i := range data {
+				data[i] = byte(r.rng.Uint64())
+			}
+		} else {
+			data = r.buf
+		}
+	}
+	err := r.sess.Submit(hostqp.IO{
+		Op:     op,
+		LBA:    r.pickLBA(),
+		Blocks: r.spec.Blocks,
+		Data:   data,
+		Done:   r.onDone,
+	})
+	if err != nil {
+		// Queue full or disconnected; closed loop retries on the next
+		// completion, so just account it.
+		return false
+	}
+	r.res.Submitted++
+	return true
+}
+
+// flushTail sends one final draining request so a partial TC window left
+// at StopAt still completes (its requests would otherwise wait in the
+// target queue forever). The flush command itself is not recorded.
+func (r *Runner) flushTail() {
+	if r.flushed || r.sess.Outstanding() == 0 || !r.sess.CanSubmit() {
+		return
+	}
+	r.sess.Flush()
+	err := r.sess.Submit(hostqp.IO{
+		Op:   nvme.OpFlush,
+		Done: func(hostqp.Result) {},
+	})
+	if err == nil {
+		r.flushed = true
+	}
+}
+
+// onDone records a completion and keeps the loop closed.
+func (r *Runner) onDone(res hostqp.Result) {
+	r.res.Completed++
+	if !res.Status.OK() {
+		r.res.Errors++
+	}
+	if res.CompletedAt >= r.spec.WarmupUntil && res.CompletedAt <= r.spec.StopAt && res.Status.OK() {
+		bytes := int64(r.spec.Blocks) * int64(r.spec.BlockSize)
+		r.res.Recorded.Add(1, bytes)
+		r.res.Latency.Record(res.Latency())
+	}
+	r.submitOne()
+}

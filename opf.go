@@ -1,0 +1,190 @@
+// Package nvmeopf is a from-scratch Go implementation of NVMe-oPF —
+// "NVMe-over-Priority-Fabrics" (Ng et al., IPDPS 2024) — an NVMe-over-
+// Fabrics runtime with multi-tenancy support: applications declare each
+// connection (or individual request) latency-sensitive or
+// throughput-critical, and the runtime honours the declaration end to end.
+// Latency-sensitive requests bypass every queue; throughput-critical
+// requests are batched per tenant at the target and their completion
+// notifications are coalesced into one response per drain window, cutting
+// completion-packet rate and per-completion CPU time.
+//
+// Two transports share the same protocol state machines:
+//
+//   - a real TCP transport (Dial / Listen) for running an actual target
+//     and initiators on sockets, and
+//   - a deterministic discrete-event simulator (NewSimCluster and the
+//     RunExperiment harness) that models 10/25/100 Gbps fabrics, poller
+//     CPUs, and NVMe SSDs, and regenerates every figure of the paper's
+//     evaluation.
+//
+// Quickstart (real TCP, in-process target):
+//
+//	srv, _ := nvmeopf.ListenMemory("127.0.0.1:0", nvmeopf.ModeOPF, 4096, 1<<20)
+//	defer srv.Close()
+//	conn, _ := nvmeopf.Dial(srv.Addr(), nvmeopf.InitiatorConfig{
+//		Class: nvmeopf.LatencySensitive, Window: 1, QueueDepth: 1, NSID: 1,
+//	})
+//	defer conn.Close()
+//	_ = conn.Write(0, make([]byte, 4096), 0)
+//	data, _ := conn.Read(0, 1, 0)
+//	_ = data
+package nvmeopf
+
+import (
+	"nvmeopf/internal/core"
+	"nvmeopf/internal/experiments"
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/simcluster"
+	"nvmeopf/internal/targetqp"
+	"nvmeopf/internal/tcptrans"
+)
+
+// Opcode is an NVMe I/O command opcode.
+type Opcode = nvme.Opcode
+
+// Opcodes.
+const (
+	OpFlush = nvme.OpFlush
+	OpWrite = nvme.OpWrite
+	OpRead  = nvme.OpRead
+)
+
+// Priority classifies a connection or request (two reserved PDU bits on
+// the wire).
+type Priority = proto.Priority
+
+// Priority values.
+const (
+	// Normal is the legacy NVMe-oF behaviour (FIFO, one completion per
+	// request); it is the zero value, and on an individual IO it means
+	// "inherit the connection class".
+	Normal = proto.PrioNormal
+	// LatencySensitive requests bypass target queues and jump the device
+	// queue.
+	LatencySensitive = proto.PrioLatencySensitive
+	// ThroughputCritical requests batch per tenant and complete via
+	// coalesced notifications.
+	ThroughputCritical = proto.PrioThroughputCritical
+)
+
+// Mode selects target behaviour.
+type Mode = targetqp.Mode
+
+// Modes.
+const (
+	// ModeBaseline reproduces unmodified SPDK: flags ignored, FIFO
+	// execution, one completion notification per request.
+	ModeBaseline = targetqp.ModeBaseline
+	// ModeOPF enables the paper's priority schemes.
+	ModeOPF = targetqp.ModeOPF
+)
+
+// InitiatorConfig configures one initiator connection: its priority
+// class, drain window size, and queue depth.
+type InitiatorConfig = hostqp.Config
+
+// IO is one asynchronous I/O request.
+type IO = hostqp.IO
+
+// Result is an I/O completion.
+type Result = hostqp.Result
+
+// Conn is a TCP initiator connection.
+type Conn = tcptrans.Conn
+
+// Server is a TCP target.
+type Server = tcptrans.Server
+
+// ServerConfig configures a TCP target.
+type ServerConfig = tcptrans.ServerConfig
+
+// Dial connects an initiator to a TCP target and completes the handshake.
+func Dial(addr string, cfg InitiatorConfig) (*Conn, error) {
+	return tcptrans.Dial(addr, cfg)
+}
+
+// Listen starts a TCP target.
+func Listen(addr string, cfg ServerConfig) (*Server, error) {
+	return tcptrans.Listen(addr, cfg)
+}
+
+// ListenMemory starts a TCP target over a fresh in-memory device.
+func ListenMemory(addr string, mode Mode, blockSize uint32, blocks uint64) (*Server, error) {
+	return tcptrans.NewMemoryServer(addr, mode, blockSize, blocks)
+}
+
+// OptimalWindow returns the paper's static window-size selection (§IV-D)
+// for a workload kind ("read", "write", or "mixed"), fabric speed, TC
+// tenant count, and queue depth.
+func OptimalWindow(kind string, gbps float64, tcInitiators, qd int) int {
+	k := core.WorkloadRead
+	switch kind {
+	case "write":
+		k = core.WorkloadWrite
+	case "mixed":
+		k = core.WorkloadMixed
+	}
+	return core.OptimalWindow(k, gbps, tcInitiators, qd)
+}
+
+// SimCluster is a deterministic simulated deployment.
+type SimCluster = simcluster.Cluster
+
+// SimOptions configures a simulated deployment.
+type SimOptions = simcluster.Options
+
+// SimProfile describes a simulated platform.
+type SimProfile = simcluster.Profile
+
+// NewSimCluster creates a simulated deployment.
+func NewSimCluster(opts SimOptions) *SimCluster { return simcluster.New(opts) }
+
+// SimProfileFor returns the platform profile the paper used for a line
+// rate (10, 25, or 100 Gbps).
+func SimProfileFor(gbps float64) (SimProfile, error) { return simcluster.ProfileFor(gbps) }
+
+// ExperimentConfig scales the figure-regeneration harness.
+type ExperimentConfig = experiments.Config
+
+// ExperimentReport is one regenerated table/figure.
+type ExperimentReport = experiments.Report
+
+// Experiments lists the regenerable tables/figures.
+func Experiments() []string { return experiments.Names() }
+
+// RunExperiment regenerates one of the paper's tables/figures by ID (see
+// Experiments).
+func RunExperiment(name string, cfg ExperimentConfig) (*ExperimentReport, error) {
+	return experiments.ByName(name, cfg)
+}
+
+// DefaultExperimentConfig is the configuration used for EXPERIMENTS.md;
+// QuickExperimentConfig is a fast smoke-run configuration.
+func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConfig() }
+
+// QuickExperimentConfig returns a fast configuration for smoke runs.
+func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }
+
+// DiscoveryServer is a discovery endpoint: targets register their
+// subsystems, hosts resolve them (the dialect's NVMe-oF discovery
+// controller).
+type DiscoveryServer = tcptrans.DiscoveryServer
+
+// DiscoveryEntry is one discovery log record.
+type DiscoveryEntry = proto.DiscEntry
+
+// ListenDiscovery starts a discovery endpoint.
+func ListenDiscovery(addr string) (*DiscoveryServer, error) {
+	return tcptrans.ListenDiscovery(addr)
+}
+
+// Discover queries a discovery endpoint for its subsystem log.
+func Discover(addr string) ([]DiscoveryEntry, error) { return tcptrans.Discover(addr) }
+
+// DialDiscovered resolves a subsystem NQN through a discovery endpoint and
+// connects to it.
+func DialDiscovered(discoveryAddr, nqn string, cfg InitiatorConfig) (*Conn, error) {
+	return tcptrans.DialDiscovered(discoveryAddr, nqn, cfg)
+}

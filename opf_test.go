@@ -1,0 +1,193 @@
+package nvmeopf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPublicTCPQuickstart(t *testing.T) {
+	srv, err := ListenMemory("127.0.0.1:0", ModeOPF, 4096, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := Dial(srv.Addr(), InitiatorConfig{
+		Class: LatencySensitive, Window: 1, QueueDepth: 2, NSID: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	payload := bytes.Repeat([]byte{0xA5}, 4096)
+	if err := conn.Write(7, payload, 0); err != nil {
+		t.Fatal(err)
+	}
+	got, err := conn.Read(7, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("round trip mismatch")
+	}
+	// Per-request class override.
+	if err := conn.Write(8, payload, ThroughputCritical); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSimCluster(t *testing.T) {
+	prof, err := SimProfileFor(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := NewSimCluster(SimOptions{Profile: prof, Mode: ModeOPF, Seed: 1})
+	tgt, err := cl.NewTargetNode("t", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := cl.NewInitiatorNode("i", tgt)
+	ini, err := node.Connect(InitiatorConfig{Class: LatencySensitive, Window: 1, QueueDepth: 1, NSID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := false
+	ini.Session.OnConnect(func() {
+		_ = ini.Session.Submit(IO{
+			Op: OpWrite, LBA: 1, Blocks: 1, Data: make([]byte, 4096),
+			Done: func(r Result) { done = r.Status.OK() },
+		})
+	})
+	cl.Run()
+	if !done {
+		t.Fatal("simulated write never completed")
+	}
+	if err := cl.CheckHealthy(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExperimentRegistry(t *testing.T) {
+	names := Experiments()
+	if len(names) < 10 {
+		t.Fatalf("experiments = %v", names)
+	}
+	rep, err := RunExperiment("tableI", QuickExperimentConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.String(), "CL-100G") {
+		t.Fatalf("tableI output missing platform:\n%s", rep.String())
+	}
+	if _, err := RunExperiment("bogus", QuickExperimentConfig()); err == nil {
+		t.Fatal("bogus experiment accepted")
+	}
+}
+
+func TestPublicOptimalWindow(t *testing.T) {
+	if w := OptimalWindow("read", 100, 1, 128); w != 32 {
+		t.Fatalf("read window = %d", w)
+	}
+	if w := OptimalWindow("write", 100, 1, 128); w != 16 {
+		t.Fatalf("write window = %d", w)
+	}
+	if w := OptimalWindow("mixed", 25, 1, 8); w > 8 {
+		t.Fatalf("window %d exceeds QD", w)
+	}
+}
+
+func TestPublicH5OverSim(t *testing.T) {
+	prof, _ := SimProfileFor(100)
+	cl := NewSimCluster(SimOptions{Profile: prof, Mode: ModeOPF, Seed: 2})
+	tgt, err := cl.NewTargetNode("t", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := cl.NewInitiatorNode("i", tgt)
+	ini, err := node.Connect(InitiatorConfig{Class: ThroughputCritical, Window: 8, QueueDepth: 32, NSID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dev, err := NewH5SessionDevice(ini.Session, 4096, 0, 1<<20,
+		func(fn func()) { cl.Eng.Schedule(0, fn) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrote, read bool
+	ini.Session.OnConnect(func() {
+		H5Create(dev, func(f *H5File, err error) {
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			f.CreateDataset("/d", H5Float32, 4096, func(ds *H5Dataset, err error) {
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				data := make([]byte, 4096)
+				for i := range data {
+					data[i] = byte(i * 3)
+				}
+				ds.Write(0, data, func(err error) {
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					wrote = true
+					ds.Read(0, 1024, func(got []byte, err error) {
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						read = bytes.Equal(got, data)
+					})
+				})
+			})
+		})
+	})
+	cl.Run()
+	if !wrote || !read {
+		t.Fatalf("wrote=%v read=%v", wrote, read)
+	}
+}
+
+func TestPublicDiscovery(t *testing.T) {
+	disc, err := ListenDiscovery("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer disc.Close()
+	srv, err := ListenMemory("127.0.0.1:0", ModeOPF, 4096, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := disc.Register("nqn.test", srv.Addr(), ModeOPF); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Discover(disc.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].NQN != "nqn.test" {
+		t.Fatalf("entries = %+v", entries)
+	}
+	conn, err := DialDiscovered(disc.Addr(), "nqn.test", InitiatorConfig{
+		Class: LatencySensitive, Window: 1, QueueDepth: 1, NSID: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := conn.Write(0, make([]byte, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicExperimentConfigs(t *testing.T) {
+	d, q := DefaultExperimentConfig(), QuickExperimentConfig()
+	if d.SimMillis <= q.SimMillis {
+		t.Fatalf("default (%d) should exceed quick (%d)", d.SimMillis, q.SimMillis)
+	}
+}
