@@ -22,6 +22,7 @@ import (
 	"nvmeopf/internal/proto"
 	"nvmeopf/internal/stats"
 	"nvmeopf/internal/tcptrans"
+	"nvmeopf/internal/telemetry"
 )
 
 // tenant drives one connection closed-loop.
@@ -113,8 +114,19 @@ func main() {
 		mix      = flag.String("mix", "read", "workload: read, write, mixed")
 		duration = flag.Duration("duration", 10*time.Second, "run duration")
 		span     = flag.Uint64("span", 1<<16, "LBA span per connection")
+		metrics  = flag.String("metrics-addr", "", "serve host-side /metrics and /debug endpoints on this address (empty: off)")
 	)
 	flag.Parse()
+	var tel *telemetry.Registry
+	if *metrics != "" {
+		tel = telemetry.New()
+		exp, err := tel.Serve(*metrics)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer exp.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", exp.Addr())
+	}
 	if *window == 0 {
 		kind := core.WorkloadRead
 		switch *mix {
@@ -134,7 +146,7 @@ func main() {
 			class, depth, w = proto.PrioThroughputCritical, *qd, *window
 		}
 		conn, err := tcptrans.Dial(*addr, hostqp.Config{
-			Class: class, Window: w, QueueDepth: depth, NSID: 1,
+			Class: class, Window: w, QueueDepth: depth, NSID: 1, Telemetry: tel,
 		})
 		if err != nil {
 			log.Fatalf("dial %d: %v", i, err)
@@ -183,5 +195,9 @@ func main() {
 			float64(lsOps)/elapsed,
 			stats.FormatBytesPerSec(float64(lsOps)*4096/elapsed),
 			stats.FormatNanos(lsHist.P50()), stats.FormatNanos(lsHist.P99()), stats.FormatNanos(lsHist.P9999()))
+	}
+	if tel != nil {
+		fmt.Println()
+		fmt.Print(tel.SnapshotTable())
 	}
 }

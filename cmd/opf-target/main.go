@@ -6,6 +6,7 @@
 //	opf-target -addr :4420 -blocks 262144                  # 1 GiB RAM disk
 //	opf-target -addr :4420 -file /tmp/disk.img -blocks 262144
 //	opf-target -mode baseline                              # SPDK-equivalent
+//	opf-target -metrics-addr 127.0.0.1:9110                # live /metrics + /debug
 package main
 
 import (
@@ -19,6 +20,7 @@ import (
 	"nvmeopf/internal/bdev"
 	"nvmeopf/internal/targetqp"
 	"nvmeopf/internal/tcptrans"
+	"nvmeopf/internal/telemetry"
 )
 
 func main() {
@@ -33,6 +35,7 @@ func main() {
 		statsSec  = flag.Int("stats", 10, "stats print interval seconds (0: off)")
 		discovery = flag.String("discovery", "", "discovery endpoint to register with (optional)")
 		nqn       = flag.String("nqn", "nqn.2024-01.io.nvmeopf:target", "subsystem NQN for discovery registration")
+		metrics   = flag.String("metrics-addr", "", "serve /metrics and /debug endpoints on this address (empty: off)")
 	)
 	flag.Parse()
 
@@ -62,17 +65,30 @@ func main() {
 		log.Fatalf("device: %v", err)
 	}
 
+	var tel *telemetry.Registry
+	if *metrics != "" {
+		tel = telemetry.New()
+	}
 	srv, err := tcptrans.Listen(*addr, tcptrans.ServerConfig{
 		Mode:         m,
 		Device:       dev,
 		ReadLatency:  *readLat,
 		WriteLatency: *writeLat,
+		Telemetry:    tel,
 	})
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	defer srv.Close()
 	log.Printf("nvme-opf target (%s) serving %d x %dB blocks on %s", m, *blocks, *blockSize, srv.Addr())
+	if tel != nil {
+		exp, merr := tel.Serve(*metrics)
+		if merr != nil {
+			log.Fatalf("metrics: %v", merr)
+		}
+		defer exp.Close()
+		log.Printf("telemetry on http://%s/metrics (debug: /debug/tenants, /debug/windows)", exp.Addr())
+	}
 	if *discovery != "" {
 		if derr := tcptrans.RegisterRemote(*discovery, *nqn, srv.Addr(), m); derr != nil {
 			log.Printf("discovery registration failed: %v", derr)

@@ -5,6 +5,7 @@ import (
 
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
+	"nvmeopf/internal/telemetry"
 )
 
 // HostPM is the initiator-side priority manager. It stamps outgoing
@@ -25,6 +26,11 @@ type HostPM struct {
 	pending CIDQueue
 	dyn     *DynamicWindow
 	stats   HostPMStats
+	// Observability hooks (optional; see SetTelemetry). tenant is the
+	// target-assigned ID the instruments are keyed by.
+	tel    *telemetry.Registry
+	trace  telemetry.TraceFunc
+	tenant proto.TenantID
 }
 
 // HostPMStats counts host-side PM events.
@@ -72,6 +78,19 @@ func (h *HostPM) EnableDynamicWindow(d *DynamicWindow) {
 	}
 }
 
+// SetTelemetry attaches the live observability hooks, keyed by the
+// target-assigned tenant ID (known only after the handshake, which is why
+// this is not a constructor argument). Either hook may be nil.
+func (h *HostPM) SetTelemetry(tenant proto.TenantID, tel *telemetry.Registry, trace telemetry.TraceFunc) {
+	h.tenant = tenant
+	h.tel = tel
+	h.trace = trace
+	// Only the window gauge: the PM always runs in TC mode (the session
+	// routes non-TC requests around it), so h.prio is not the connection
+	// class — the session records that itself.
+	h.tel.SetWindow(tenant, h.window)
+}
+
 // Stats returns a copy of the PM counters.
 func (h *HostPM) Stats() HostPMStats { return h.stats }
 
@@ -96,6 +115,9 @@ func (h *HostPM) Stamp(cid nvme.CID) proto.Priority {
 	if h.sinceDr >= h.window {
 		h.sinceDr = 0
 		h.stats.DrainsInserted++
+		if h.trace != nil {
+			h.trace(telemetry.Event{Stage: telemetry.StageDrainMark, Tenant: h.tenant, CID: cid, Prio: proto.PrioTCDraining, Aux: int64(h.window)})
+		}
 		return proto.PrioTCDraining
 	}
 	return proto.PrioThroughputCritical
@@ -148,6 +170,18 @@ func (h *HostPM) OnDrainCompleted(bytesMoved int64, now int64) int {
 	if h.dyn == nil {
 		return h.window
 	}
+	prev := h.window
 	h.window = h.dyn.Observe(bytesMoved, now)
+	if h.window != prev {
+		// The optimizer moved a rung: log the decision for
+		// /debug/windows. Happens at most once per epoch — cold path.
+		h.tel.RecordWindowDecision(telemetry.WindowDecision{
+			Tenant:     h.tenant,
+			Window:     h.window,
+			PrevWindow: prev,
+			Bytes:      bytesMoved,
+			Source:     telemetry.SourceDynamic,
+		})
+	}
 	return h.window
 }

@@ -5,6 +5,7 @@ import (
 
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
+	"nvmeopf/internal/telemetry"
 )
 
 // Disposition tells the target qpair what to do with an arriving command
@@ -87,6 +88,7 @@ type drainBatch struct {
 	owner     proto.TenantID // tenant whose drain (or overflow) formed the batch
 	drainCID  nvme.CID
 	hasDrain  bool
+	size      int // window size at formation (remaining counts down)
 	remaining int
 	status    nvme.Status
 	done      bool
@@ -134,6 +136,11 @@ type TargetPM struct {
 	// otherwise report the earlier window complete prematurely.
 	inflight map[proto.TenantID][]*drainBatch
 	stats    TargetPMStats
+	// tel/trace are the live observability hooks. Both are optional: a
+	// nil registry records nothing (its methods are nil-receiver no-ops)
+	// and a nil trace skips event construction entirely.
+	tel   *telemetry.Registry
+	trace telemetry.TraceFunc
 }
 
 // TargetPMStats counts PM-level events for the experiments.
@@ -159,6 +166,12 @@ func NewTargetPM(cfg TargetPMConfig) *TargetPM {
 
 // Stats returns a copy of the PM counters.
 func (pm *TargetPM) Stats() TargetPMStats { return pm.stats }
+
+// SetTelemetry attaches a live metrics registry (nil disables).
+func (pm *TargetPM) SetTelemetry(r *telemetry.Registry) { pm.tel = r }
+
+// SetTrace attaches a lifecycle trace hook (nil disables).
+func (pm *TargetPM) SetTrace(fn telemetry.TraceFunc) { pm.trace = fn }
 
 // key maps a tenant to its queue owner: per-tenant when isolated, one
 // shared slot otherwise.
@@ -199,17 +212,32 @@ func (pm *TargetPM) OnCommand(t proto.TenantID, cid nvme.CID, prio proto.Priorit
 		batch = append(q.popAll(), self)
 		pm.beginBatch(t, cid, true, batch)
 		pm.stats.Drains++
+		pm.tel.ObserveDrain(t, len(batch), false)
+		pm.tel.SetQueueDepth(t, 0)
+		if pm.trace != nil {
+			pm.trace(telemetry.Event{Stage: telemetry.StageDrainStart, Tenant: t, CID: cid, Prio: prio, Aux: int64(len(batch))})
+		}
 		return DispositionDrainBatch, batch
 
 	case prio.ThroughputCritical():
 		q := pm.queue(t)
 		q.push(self)
 		pm.stats.TCQueued++
+		pm.tel.IncTCQueued(t)
+		pm.tel.SetQueueDepth(t, q.depth())
+		if pm.trace != nil {
+			pm.trace(telemetry.Event{Stage: telemetry.StageEnqueue, Tenant: t, CID: cid, Prio: prio, Aux: int64(q.depth())})
+		}
 		if pm.cfg.MaxPending > 0 && q.depth() >= pm.cfg.MaxPending {
 			batch = q.popAll()
 			last := batch[len(batch)-1]
 			pm.beginBatch(last.Tenant, last.CID, false, batch)
 			pm.stats.ForcedDrains++
+			pm.tel.ObserveDrain(last.Tenant, len(batch), true)
+			pm.tel.SetQueueDepth(t, 0)
+			if pm.trace != nil {
+				pm.trace(telemetry.Event{Stage: telemetry.StageDrainStart, Tenant: last.Tenant, CID: last.CID, Prio: prio, Aux: int64(len(batch))})
+			}
 			return DispositionDrainBatch, batch
 		}
 		return DispositionQueued, nil
@@ -217,6 +245,7 @@ func (pm *TargetPM) OnCommand(t proto.TenantID, cid nvme.CID, prio proto.Priorit
 	default:
 		if prio.LatencySensitive() {
 			pm.stats.LSBypassed++
+			pm.tel.IncLSBypass(t)
 		}
 		return DispositionExecute, nil
 	}
@@ -228,6 +257,7 @@ func (pm *TargetPM) beginBatch(owner proto.TenantID, drainCID nvme.CID, hasDrain
 		owner:      owner,
 		drainCID:   drainCID,
 		hasDrain:   hasDrain,
+		size:       len(members),
 		remaining:  len(members),
 		status:     nvme.StatusSuccess,
 		noCoalesce: !pm.cfg.Isolated,
@@ -254,6 +284,7 @@ func (pm *TargetPM) OnDeviceCompletion(t proto.TenantID, cid nvme.CID, st nvme.S
 	if !ok {
 		// Not part of any TC batch: LS or legacy request.
 		pm.stats.RespsSent++
+		pm.tel.IncResponse(t, false)
 		return []RespDecision{{Send: true, Tenant: t, CID: cid, Status: st}}
 	}
 	delete(pm.batches, key)
@@ -264,6 +295,7 @@ func (pm *TargetPM) OnDeviceCompletion(t proto.TenantID, cid nvme.CID, st nvme.S
 		// batch still gates releaseInOrder so pure batches of other
 		// owners behind it stay ordered.
 		pm.stats.RespsSent++
+		pm.tel.IncResponse(t, false)
 		out := []RespDecision{{Send: true, Tenant: t, CID: cid, Status: st}}
 		if b.remaining == 0 {
 			b.done = true
@@ -277,6 +309,7 @@ func (pm *TargetPM) OnDeviceCompletion(t proto.TenantID, cid nvme.CID, st nvme.S
 		// Premature flush victim: respond individually so the victim's
 		// initiator does not hang; its coalescing benefit is lost.
 		pm.stats.RespsSent++
+		pm.tel.IncResponse(t, false)
 		out = append(out, RespDecision{Send: true, Tenant: t, CID: cid, Status: st})
 	} else {
 		if !st.OK() && b.status.OK() {
@@ -287,6 +320,7 @@ func (pm *TargetPM) OnDeviceCompletion(t proto.TenantID, cid nvme.CID, st nvme.S
 			// when the device finished it early (out-of-order): the
 			// coalesced response waits for the whole window regardless.
 			pm.stats.RespsSuppressed++
+			pm.tel.IncSuppressed(t)
 			return []RespDecision{{Send: false}}
 		}
 	}
@@ -317,6 +351,10 @@ func (pm *TargetPM) releaseInOrder(owner proto.TenantID) []RespDecision {
 		// "instead of sending four completion requests, only one will
 		// be sent").
 		pm.stats.RespsSent++
+		pm.tel.IncResponse(b.owner, true)
+		if pm.trace != nil {
+			pm.trace(telemetry.Event{Stage: telemetry.StageCoalescedNotify, Tenant: b.owner, CID: b.drainCID, Aux: int64(b.size)})
+		}
 		out = append(out, RespDecision{
 			Send:      true,
 			Tenant:    b.owner,

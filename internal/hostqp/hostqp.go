@@ -19,6 +19,7 @@ import (
 	"nvmeopf/internal/core"
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
+	"nvmeopf/internal/telemetry"
 )
 
 // ProtocolVersion is the PFV this runtime speaks.
@@ -44,6 +45,14 @@ type Config struct {
 	Dynamic *core.DynamicWindow
 	// NSID is the namespace addressed by Read/Write helpers.
 	NSID uint32
+	// Telemetry optionally attaches a live metrics registry recording
+	// host-side instruments (submitted/completed/bytes/latency, window
+	// decisions) keyed by the target-assigned tenant ID. Nil disables at
+	// zero cost.
+	Telemetry *telemetry.Registry
+	// Trace optionally receives PDU lifecycle events (submit, drain-mark,
+	// replay). Nil disables.
+	Trace telemetry.TraceFunc
 }
 
 // Validate checks the configuration.
@@ -256,6 +265,10 @@ func (s *Session) Submit(io IO) error {
 	s.reqs[cid] = req
 	s.stats.Submitted++
 	s.stats.CmdPDUs++
+	s.cfg.Telemetry.IncSubmitted(s.tenant, int64(len(data)))
+	if s.cfg.Trace != nil {
+		s.cfg.Trace(telemetry.Event{Stage: telemetry.StageSubmit, Tenant: s.tenant, CID: cid, Prio: wire})
+	}
 	s.send(&proto.CapsuleCmd{Cmd: cmd, Prio: wire, Tenant: s.tenant, Data: data})
 	return nil
 }
@@ -292,6 +305,11 @@ func (s *Session) handleICResp(pdu *proto.ICResp) error {
 	s.nsBlockSize = pdu.BlockSize
 	s.nsCapacity = pdu.Capacity
 	s.connected = true
+	// The tenant ID is only known now, so the observability hooks attach
+	// here rather than in New.
+	s.pm.SetTelemetry(s.tenant, s.cfg.Telemetry, s.cfg.Trace)
+	s.cfg.Telemetry.SetClass(s.tenant, s.cfg.Class)
+	s.cfg.Telemetry.IncConnection()
 	for _, fn := range s.onConnect {
 		fn()
 	}
@@ -357,6 +375,10 @@ func (s *Session) handleResp(pdu *proto.CapsuleResp) error {
 		}
 		s.stats.Completed++
 		windowBytes += r.bytesMoved
+		s.cfg.Telemetry.IncCompleted(s.tenant, now-r.submittedAt, int64(r.readBytes), st.OK())
+		if s.cfg.Trace != nil && pdu.Coalesced {
+			s.cfg.Trace(telemetry.Event{Stage: telemetry.StageReplay, Tenant: s.tenant, CID: c, Aux: now - r.submittedAt})
+		}
 		r.io.Done(Result{
 			Status:      st,
 			Data:        r.readBuf,

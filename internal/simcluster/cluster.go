@@ -9,6 +9,7 @@ import (
 	"nvmeopf/internal/simnet"
 	"nvmeopf/internal/ssdsim"
 	"nvmeopf/internal/targetqp"
+	"nvmeopf/internal/telemetry"
 )
 
 // Cluster is one simulated deployment: an engine plus the nodes built on
@@ -20,6 +21,8 @@ type Cluster struct {
 	mode    targetqp.Mode
 	shared  bool // shared-queue ablation
 	seed    uint64
+	tel     *telemetry.Registry
+	trace   telemetry.TraceFunc
 	errs    []error
 }
 
@@ -33,6 +36,15 @@ type Options struct {
 	// Seed drives every stochastic component (SSD jitter). Same seed,
 	// same results.
 	Seed uint64
+	// Telemetry optionally attaches one live metrics registry to every
+	// target node, recording the same target-side instruments the TCP
+	// transport exposes — sim experiments assert on live signal instead
+	// of only post-run histograms. Nil disables at zero cost. (Host-side
+	// instruments attach per initiator via hostqp.Config.Telemetry.)
+	Telemetry *telemetry.Registry
+	// Trace optionally receives target-side PDU lifecycle events. Runs
+	// on the event loop: keep it fast.
+	Trace telemetry.TraceFunc
 }
 
 // New creates an empty cluster.
@@ -43,8 +55,14 @@ func New(opts Options) *Cluster {
 		mode:    opts.Mode,
 		shared:  opts.SharedQueueAblation,
 		seed:    opts.Seed,
+		tel:     opts.Telemetry,
+		trace:   opts.Trace,
 	}
 }
+
+// Telemetry returns the cluster's target-side metrics registry (nil when
+// telemetry is disabled).
+func (c *Cluster) Telemetry() *telemetry.Registry { return c.tel }
 
 // Profile returns the cluster's platform profile.
 func (c *Cluster) Profile() Profile { return c.profile }
@@ -96,6 +114,9 @@ func (c *Cluster) NewTargetNode(name string, backed bool) (*TargetNode, error) {
 		Mode:                c.mode,
 		MaxPending:          4096,
 		SharedQueueAblation: c.shared,
+		Telemetry:           c.tel,
+		Trace:               c.trace,
+		Clock:               c.Eng.Now, // virtual time drives latency samples
 	}, &ssdBackend{node: tn})
 	if err != nil {
 		return nil, err

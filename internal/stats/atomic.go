@@ -1,0 +1,27 @@
+package stats
+
+import "sync/atomic"
+
+// AtomicCounter is the concurrency-safe sibling of Counter: Add may be
+// called from any goroutine (one atomic add per field, no lock) and
+// Snapshot returns a consistent-enough plain Counter for reporting. Use it
+// where several reactors or workers feed one counter; keep plain Counter
+// for single-goroutine hot loops, where the atomics would be pure cost.
+type AtomicCounter struct {
+	ops   atomic.Int64
+	bytes atomic.Int64
+}
+
+// Add records n operations moving total bytes.
+func (c *AtomicCounter) Add(ops, bytes int64) {
+	c.ops.Add(ops)
+	c.bytes.Add(bytes)
+}
+
+// Snapshot returns the current totals as a plain Counter. The two loads
+// are individually atomic but not taken as a pair; between them a
+// concurrent Add may land, so Ops and Bytes can be skewed by at most the
+// in-flight operation — fine for monitoring, which is this type's job.
+func (c *AtomicCounter) Snapshot() Counter {
+	return Counter{Ops: c.ops.Load(), Bytes: c.bytes.Load()}
+}

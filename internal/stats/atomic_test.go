@@ -1,0 +1,33 @@
+package stats
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestAtomicCounterConcurrentAdds(t *testing.T) {
+	const workers, perWorker = 8, 1000
+	var c AtomicCounter
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.Add(1, 4096)
+			}
+		}()
+	}
+	wg.Wait()
+	snap := c.Snapshot()
+	if snap.Ops != workers*perWorker {
+		t.Fatalf("ops = %d, want %d", snap.Ops, workers*perWorker)
+	}
+	if snap.Bytes != workers*perWorker*4096 {
+		t.Fatalf("bytes = %d, want %d", snap.Bytes, workers*perWorker*4096)
+	}
+	// The snapshot is a plain Counter: derived rates work on it directly.
+	if iops := snap.IOPS(1e9); iops != workers*perWorker {
+		t.Fatalf("IOPS over 1s = %v", iops)
+	}
+}

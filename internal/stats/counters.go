@@ -7,6 +7,9 @@ import (
 
 // Counter accumulates an operation count and byte count over a known
 // duration, and derives IOPS and bandwidth. The zero value is ready to use.
+// Counter is not synchronized: confine each instance to one goroutine (the
+// simulator's event loop, a connection's reactor) and Merge results after
+// the run. For counters fed from several goroutines use AtomicCounter.
 type Counter struct {
 	Ops   int64
 	Bytes int64

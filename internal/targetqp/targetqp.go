@@ -23,6 +23,7 @@ import (
 	"nvmeopf/internal/core"
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
+	"nvmeopf/internal/telemetry"
 )
 
 // ProtocolVersion is the PFV this runtime speaks.
@@ -66,6 +67,18 @@ type Config struct {
 	// MaxDataLen is the largest in-capsule data accepted (advertised in
 	// ICResp). Zero means 1 MiB.
 	MaxDataLen uint32
+	// Telemetry optionally attaches a live metrics registry recording
+	// target-side instruments per tenant (commands, queue depths, drains,
+	// suppressions, responses, service latency). Nil disables at zero
+	// cost.
+	Telemetry *telemetry.Registry
+	// Trace optionally receives PDU lifecycle events (enqueue,
+	// drain-start, device-complete, coalesced-notify). Nil disables.
+	Trace telemetry.TraceFunc
+	// Clock provides timestamps for service-latency samples (virtual in
+	// the simulator, wall clock on the TCP transport). Nil disables
+	// latency recording; counters are unaffected.
+	Clock func() int64
 }
 
 // Stats counts target-level PDU and request traffic. RespPDUs is the
@@ -110,15 +123,18 @@ func NewTarget(cfg Config, backend Backend) (*Target, error) {
 	if err := ns.Validate(); err != nil {
 		return nil, err
 	}
+	pm := core.NewTargetPM(core.TargetPMConfig{
+		Isolated:   !cfg.SharedQueueAblation,
+		MaxPending: cfg.MaxPending,
+	})
+	pm.SetTelemetry(cfg.Telemetry)
+	pm.SetTrace(cfg.Trace)
 	return &Target{
 		cfg:       cfg,
 		backends:  map[uint32]Backend{ns.ID: backend},
 		defaultNS: ns.ID,
-		pm: core.NewTargetPM(core.TargetPMConfig{
-			Isolated:   !cfg.SharedQueueAblation,
-			MaxPending: cfg.MaxPending,
-		}),
-		sessions: make(map[proto.TenantID]*Session),
+		pm:        pm,
+		sessions:  make(map[proto.TenantID]*Session),
 	}, nil
 }
 
@@ -154,6 +170,10 @@ func (t *Target) Stats() Stats { return t.stats }
 // PMStats returns the priority manager's counters.
 func (t *Target) PMStats() core.TargetPMStats { return t.pm.Stats() }
 
+// Telemetry returns the live metrics registry the target was configured
+// with (nil when telemetry is disabled).
+func (t *Target) Telemetry() *telemetry.Registry { return t.cfg.Telemetry }
+
 // Mode returns the target's operating mode.
 func (t *Target) Mode() Mode { return t.cfg.Mode }
 
@@ -182,6 +202,9 @@ type tReq struct {
 	cmd  nvme.Command
 	prio proto.Priority
 	data []byte
+	// arrivedAt is the Config.Clock value at command arrival, for
+	// target-side service-latency samples (0 when no clock is wired).
+	arrivedAt int64
 }
 
 // Session is the target side of one initiator connection.
@@ -233,6 +256,8 @@ func (s *Session) handleICReq(pdu *proto.ICReq) error {
 	t.nextTenant++
 	t.sessions[s.tenant] = s
 	t.stats.Connections++
+	t.cfg.Telemetry.IncConnection()
+	t.cfg.Telemetry.SetClass(s.tenant, pdu.Prio)
 	s.connected = true
 	ns := be.Namespace()
 	s.send(&proto.ICResp{
@@ -268,7 +293,11 @@ func (s *Session) handleCmd(pdu *proto.CapsuleCmd) error {
 		prio = proto.PrioNormal
 	}
 	req := &tReq{cmd: pdu.Cmd, prio: prio, data: pdu.Data}
+	if t.cfg.Clock != nil {
+		req.arrivedAt = t.cfg.Clock()
+	}
 	s.reqs[cid] = req
+	t.cfg.Telemetry.IncSubmitted(s.tenant, int64(len(pdu.Data)))
 
 	disposition, batch := t.pm.OnCommand(s.tenant, cid, prio)
 	switch disposition {
@@ -334,6 +363,14 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 	delete(s.reqs, cid)
 	if !st.OK() {
 		t.stats.Errors++
+	}
+	var svcLat int64 = -1 // <0 skips the latency sample
+	if t.cfg.Clock != nil && req.arrivedAt != 0 {
+		svcLat = t.cfg.Clock() - req.arrivedAt
+	}
+	t.cfg.Telemetry.IncCompleted(tenant, svcLat, int64(len(data)), st.OK())
+	if t.cfg.Trace != nil {
+		t.cfg.Trace(telemetry.Event{Stage: telemetry.StageDeviceComplete, Tenant: tenant, CID: cid, Prio: req.prio, Aux: svcLat})
 	}
 	if req.cmd.Opcode == nvme.OpRead && st.OK() && len(data) > 0 {
 		// Read data always flows per request; only the completion

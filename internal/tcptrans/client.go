@@ -10,6 +10,7 @@ import (
 	"nvmeopf/internal/hostqp"
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
+	"nvmeopf/internal/telemetry"
 )
 
 // ErrClosed is returned for operations on a closed connection.
@@ -26,6 +27,7 @@ type ConnConfig = hostqp.Config
 type Conn struct {
 	conn    net.Conn
 	sess    *hostqp.Session
+	tel     *telemetry.Registry
 	events  chan func()
 	quit    chan struct{}
 	dead    chan struct{} // closed when the transport breaks
@@ -54,6 +56,7 @@ func Dial(addr string, cfg hostqp.Config) (*Conn, error) {
 	}
 	c := &Conn{
 		conn:   nc,
+		tel:    cfg.Telemetry,
 		events: make(chan func(), 1024),
 		quit:   make(chan struct{}),
 		dead:   make(chan struct{}),
@@ -133,9 +136,34 @@ func Dial(addr string, cfg hostqp.Config) (*Conn, error) {
 	case <-connected:
 	case <-time.After(10 * time.Second):
 		c.Close()
+		c.tel.IncTransportError()
 		return nil, errors.New("tcptrans: handshake timeout")
 	}
 	return c, nil
+}
+
+// DialRetry dials with up to attempts tries, waiting backoff between
+// failures. Every successful dial after the first failed attempt counts
+// as a reconnect in cfg.Telemetry.
+func DialRetry(addr string, cfg hostqp.Config, attempts int, backoff time.Duration) (*Conn, error) {
+	if attempts < 1 {
+		attempts = 1
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+		}
+		c, err := Dial(addr, cfg)
+		if err == nil {
+			if i > 0 {
+				cfg.Telemetry.IncReconnect()
+			}
+			return c, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
 }
 
 // post schedules fn on the reactor.
@@ -153,6 +181,14 @@ func (c *Conn) post(fn func()) bool {
 func (c *Conn) failAll(err error) {
 	if c.connErr == nil {
 		c.connErr = err
+		c.mu.Lock()
+		closed := c.closed
+		c.mu.Unlock()
+		if !closed {
+			// Count only real failures, not the reader unblocking
+			// during a deliberate Close.
+			c.tel.IncTransportError()
+		}
 		close(c.dead)
 	}
 	for _, io := range c.waiting {
@@ -325,6 +361,11 @@ func (c *Conn) DrainNext() {
 // (e.g. the h5bench kernels) use it to serialize their own transitions
 // with their I/O callbacks.
 func (c *Conn) Defer(fn func()) { c.post(fn) }
+
+// Telemetry returns the live metrics registry the connection was
+// configured with (nil when telemetry is disabled). Safe from any
+// goroutine.
+func (c *Conn) Telemetry() *telemetry.Registry { return c.tel }
 
 // Stats snapshots the session counters.
 func (c *Conn) Stats() hostqp.Stats {

@@ -18,6 +18,7 @@ import (
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
 	"nvmeopf/internal/targetqp"
+	"nvmeopf/internal/telemetry"
 )
 
 // ServerConfig describes a TCP target.
@@ -36,6 +37,13 @@ type ServerConfig struct {
 	// ExtraNamespaces attaches additional devices under explicit NSIDs
 	// (Device itself serves NSID 1).
 	ExtraNamespaces map[uint32]bdev.Device
+	// Telemetry optionally attaches a live metrics registry to the
+	// target (served over HTTP with telemetry.Registry.Serve). Nil
+	// disables at zero cost.
+	Telemetry *telemetry.Registry
+	// Trace optionally receives PDU lifecycle events from the target
+	// state machines. It runs on the reactor goroutine: keep it fast.
+	Trace telemetry.TraceFunc
 }
 
 // Server is a TCP NVMe-oPF target bound to a listener.
@@ -78,6 +86,9 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	tgt, err := targetqp.NewTarget(targetqp.Config{
 		Mode:       cfg.Mode,
 		MaxPending: cfg.MaxPending,
+		Telemetry:  cfg.Telemetry,
+		Trace:      cfg.Trace,
+		Clock:      func() int64 { return time.Now().UnixNano() },
 	}, &execBackend{s: s, nsid: 1, dev: cfg.Device})
 	if err != nil {
 		ln.Close()
@@ -148,6 +159,11 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 
 // Addr returns the bound address.
 func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Telemetry returns the server's live metrics registry (nil when
+// telemetry is disabled). Safe to read from any goroutine — the registry
+// is lock-free.
+func (s *Server) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 
 // Stats returns the target's counters (snapshotted on the reactor).
 func (s *Server) Stats() targetqp.Stats {
@@ -259,6 +275,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			herr = errors.New("server closed")
 		}
 		if herr != nil {
+			// A protocol violation, not a normal disconnect (those
+			// surface as read errors above).
+			s.cfg.Telemetry.IncTransportError()
 			break
 		}
 	}

@@ -1,0 +1,187 @@
+package tcptrans
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"nvmeopf/internal/bdev"
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+	"nvmeopf/internal/telemetry"
+)
+
+// TestServerTelemetryScrape drives real I/O through a telemetry-enabled
+// target and reads the result back the way an operator would: over the
+// HTTP exporter.
+func TestServerTelemetryScrape(t *testing.T) {
+	dev, err := bdev.NewMemory(512, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Mode: targetqp.ModeOPF, Device: dev, Telemetry: tel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if srv.Telemetry() != tel {
+		t.Fatal("Server.Telemetry() accessor mismatch")
+	}
+
+	exp, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	hostTel := telemetry.New()
+	conn, err := Dial(srv.Addr(), hostqp.Config{
+		Class: proto.PrioThroughputCritical, Window: 4, QueueDepth: 16, NSID: 1,
+		Telemetry: hostTel,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if conn.Telemetry() != hostTel {
+		t.Fatal("Conn.Telemetry() accessor mismatch")
+	}
+
+	const n = 16
+	buf := make([]byte, 512)
+	for i := 0; i < n; i++ {
+		buf[0] = byte(i)
+		if err := conn.Write(uint64(i), buf, 0); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		data, err := conn.Read(uint64(i), 1, 0)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if data[0] != byte(i) {
+			t.Fatalf("read %d: got %d", i, data[0])
+		}
+	}
+
+	tenant := conn.Tenant()
+
+	// Both registries saw every request.
+	assertTenant := func(reg *telemetry.Registry, side string) telemetry.TenantSnapshot {
+		t.Helper()
+		for _, s := range reg.Tenants() {
+			if s.Tenant == uint8(tenant) {
+				if s.Submitted < 2*n || s.Completed < 2*n {
+					t.Fatalf("%s: submitted=%d completed=%d, want >= %d", side, s.Submitted, s.Completed, 2*n)
+				}
+				if s.Errors != 0 {
+					t.Fatalf("%s: %d errored completions", side, s.Errors)
+				}
+				return s
+			}
+		}
+		t.Fatalf("%s registry has no tenant %d", side, tenant)
+		return telemetry.TenantSnapshot{}
+	}
+	assertTenant(hostTel, "host")
+	ts := assertTenant(tel, "target")
+	if ts.LatencySamples == 0 {
+		t.Fatal("target recorded no service-latency samples despite wall clock")
+	}
+	if g := tel.Global(); g.Connections != 1 {
+		t.Fatalf("target connections = %d, want 1", g.Connections)
+	}
+
+	// Operator's view: scrape /metrics over HTTP.
+	resp, err := http.Get("http://" + exp.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	want := fmt.Sprintf(`nvmeopf_tenant_submitted_total{tenant="%d"}`, tenant)
+	if !strings.Contains(text, want) {
+		t.Fatalf("/metrics missing %q:\n%s", want, text)
+	}
+	for _, series := range []string{
+		"nvmeopf_tenant_completed_total",
+		"nvmeopf_tenant_drain_window",
+		"nvmeopf_connections_total",
+	} {
+		if !strings.Contains(text, series) {
+			t.Fatalf("/metrics missing series %q", series)
+		}
+	}
+
+	// And the JSON debug endpoint agrees it is non-empty.
+	dresp, err := http.Get("http://" + exp.Addr() + "/debug/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dbody, err := io.ReadAll(dresp.Body)
+	dresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(dbody), `"submitted"`) {
+		t.Fatalf("/debug/tenants unexpected body: %s", dbody)
+	}
+}
+
+// TestDialRetryCountsReconnects verifies the reconnect counter: the first
+// attempts hit a dead address, then the target comes up.
+func TestDialRetryCountsReconnects(t *testing.T) {
+	dev, err := bdev.NewMemory(512, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve an address, then close it so the first dial fails.
+	srv0, err := Listen("127.0.0.1:0", ServerConfig{Mode: targetqp.ModeOPF, Device: dev})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv0.Addr()
+	srv0.Close()
+
+	tel := telemetry.New()
+	started := make(chan *Server, 1)
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		srv, err := Listen(addr, ServerConfig{Mode: targetqp.ModeOPF, Device: dev})
+		if err != nil {
+			started <- nil
+			return
+		}
+		started <- srv
+	}()
+	conn, err := DialRetry(addr, hostqp.Config{
+		Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 1, NSID: 1,
+		Telemetry: tel,
+	}, 50, 20*time.Millisecond)
+	srv := <-started
+	if srv != nil {
+		defer srv.Close()
+	}
+	if err != nil {
+		t.Fatalf("DialRetry never connected: %v", err)
+	}
+	defer conn.Close()
+	if g := tel.Global(); g.Reconnects != 1 {
+		t.Fatalf("reconnects = %d, want 1", g.Reconnects)
+	}
+	if _, err := conn.Read(0, 1, 0); err != nil {
+		t.Fatalf("post-reconnect read: %v", err)
+	}
+}

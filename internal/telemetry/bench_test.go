@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"testing"
+)
+
+// TestDisabledRegistryZeroAllocs is the hard guarantee behind "nil
+// registry = zero cost": the full submit-path instrument sequence on a
+// disabled (nil) registry must not allocate. testing.AllocsPerRun makes
+// this a test failure, not just a benchmark number.
+func TestDisabledRegistryZeroAllocs(t *testing.T) {
+	var r *Registry
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.IncSubmitted(3, 4096)
+		r.IncTCQueued(3)
+		r.SetQueueDepth(3, 7)
+		r.IncCompleted(3, 1500, 4096, true)
+		r.IncSuppressed(3)
+		r.IncResponse(3, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled registry allocated %.1f allocs/op on the submit path, want 0", allocs)
+	}
+}
+
+// TestEnabledRegistryZeroAllocs: the enabled record path is atomics into
+// pre-allocated slots — it must not allocate either.
+func TestEnabledRegistryZeroAllocs(t *testing.T) {
+	r := New()
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.IncSubmitted(3, 4096)
+		r.IncTCQueued(3)
+		r.SetQueueDepth(3, 7)
+		r.IncCompleted(3, 1500, 4096, true)
+		r.IncSuppressed(3)
+		r.IncResponse(3, true)
+	})
+	if allocs != 0 {
+		t.Fatalf("enabled registry allocated %.1f allocs/op on the record path, want 0", allocs)
+	}
+}
+
+// BenchmarkDisabledSubmitPath measures the cost a telemetry-disabled
+// datapath pays per request: one nil check per instrument call.
+func BenchmarkDisabledSubmitPath(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.IncSubmitted(3, 4096)
+		r.IncCompleted(3, 1500, 4096, true)
+	}
+}
+
+// BenchmarkEnabledSubmitPath measures the enabled cost: atomic adds plus
+// one ring sample store.
+func BenchmarkEnabledSubmitPath(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.IncSubmitted(3, 4096)
+		r.IncCompleted(3, 1500, 4096, true)
+	}
+}
+
+// BenchmarkEnabledSubmitPathParallel exercises contention: many
+// goroutines recording into the same tenant slot.
+func BenchmarkEnabledSubmitPathParallel(b *testing.B) {
+	r := New()
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.IncSubmitted(3, 4096)
+			r.IncCompleted(3, 1500, 4096, true)
+		}
+	})
+}

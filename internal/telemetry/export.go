@@ -1,0 +1,158 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Handler returns an http.Handler exposing the registry:
+//
+//	/metrics        Prometheus text exposition (counters + gauges)
+//	/debug/tenants  JSON: live per-tenant instrument table
+//	/debug/windows  JSON: recent window-optimizer decisions
+//
+// The handler only reads snapshots; it never blocks the record path.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, r.PrometheusText())
+	})
+	mux.HandleFunc("/debug/tenants", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Global  GlobalSnapshot   `json:"global"`
+			Tenants []TenantSnapshot `json:"tenants"`
+		}{r.Global(), r.Tenants()})
+	})
+	mux.HandleFunc("/debug/windows", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Windows []WindowDecision `json:"windows"`
+		}{r.WindowLog()})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// metricDef maps one per-tenant instrument to a Prometheus series.
+type metricDef struct {
+	name  string
+	kind  string // "counter" or "gauge"
+	help  string
+	value func(TenantSnapshot) int64
+}
+
+// tenantMetrics is emitted in this fixed order so the exposition is
+// deterministic (golden-tested).
+var tenantMetrics = []metricDef{
+	{"nvmeopf_tenant_submitted_total", "counter", "Requests submitted.", func(t TenantSnapshot) int64 { return t.Submitted }},
+	{"nvmeopf_tenant_completed_total", "counter", "Application-visible completions.", func(t TenantSnapshot) int64 { return t.Completed }},
+	{"nvmeopf_tenant_errors_total", "counter", "Completions with a non-success status.", func(t TenantSnapshot) int64 { return t.Errors }},
+	{"nvmeopf_tenant_bytes_read_total", "counter", "Payload bytes read.", func(t TenantSnapshot) int64 { return t.BytesRead }},
+	{"nvmeopf_tenant_bytes_written_total", "counter", "Payload bytes written.", func(t TenantSnapshot) int64 { return t.BytesWritten }},
+	{"nvmeopf_tenant_ls_bypass_total", "counter", "Latency-sensitive requests that bypassed the TC queues.", func(t TenantSnapshot) int64 { return t.LSBypassed }},
+	{"nvmeopf_tenant_tc_queued_total", "counter", "Throughput-critical requests absorbed into the tenant queue.", func(t TenantSnapshot) int64 { return t.TCQueued }},
+	{"nvmeopf_tenant_queue_depth", "gauge", "Pending TC requests in the tenant queue.", func(t TenantSnapshot) int64 { return t.QueueDepth }},
+	{"nvmeopf_tenant_drain_window", "gauge", "Drain window size (chosen on the host, observed at the target).", func(t TenantSnapshot) int64 { return t.Window }},
+	{"nvmeopf_tenant_drains_total", "counter", "Windows released by a draining flag.", func(t TenantSnapshot) int64 { return t.Drains }},
+	{"nvmeopf_tenant_forced_drains_total", "counter", "Windows released by the safety valve.", func(t TenantSnapshot) int64 { return t.ForcedDrains }},
+	{"nvmeopf_tenant_suppressed_total", "counter", "Device completions absorbed by coalescing.", func(t TenantSnapshot) int64 { return t.Suppressed }},
+	{"nvmeopf_tenant_responses_total", "counter", "Wire responses emitted.", func(t TenantSnapshot) int64 { return t.Responses }},
+	{"nvmeopf_tenant_coalesced_responses_total", "counter", "Wire responses covering a whole window.", func(t TenantSnapshot) int64 { return t.Coalesced }},
+}
+
+// PrometheusText renders the registry in the Prometheus text exposition
+// format, deterministically: fixed metric order, tenants in ID order.
+func (r *Registry) PrometheusText() string {
+	var b strings.Builder
+	if r == nil {
+		b.WriteString("# telemetry disabled\n")
+		return b.String()
+	}
+	tenants := r.Tenants()
+	for _, m := range tenantMetrics {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", m.name, m.help, m.name, m.kind)
+		for _, t := range tenants {
+			fmt.Fprintf(&b, "%s{tenant=\"%d\"} %d\n", m.name, t.Tenant, m.value(t))
+		}
+	}
+	b.WriteString("# HELP nvmeopf_tenant_coalescing_ratio Completions per wire response (>1 means coalescing).\n" +
+		"# TYPE nvmeopf_tenant_coalescing_ratio gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "nvmeopf_tenant_coalescing_ratio{tenant=\"%d\"} %.4f\n", t.Tenant, t.CoalescingRatio)
+	}
+	b.WriteString("# HELP nvmeopf_tenant_latency_ns Sampled end-to-end latency quantiles.\n" +
+		"# TYPE nvmeopf_tenant_latency_ns gauge\n")
+	for _, t := range tenants {
+		if t.LatencySamples == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "nvmeopf_tenant_latency_ns{tenant=\"%d\",quantile=\"0.5\"} %d\n", t.Tenant, t.LatencyP50)
+		fmt.Fprintf(&b, "nvmeopf_tenant_latency_ns{tenant=\"%d\",quantile=\"0.99\"} %d\n", t.Tenant, t.LatencyP99)
+		fmt.Fprintf(&b, "nvmeopf_tenant_latency_ns{tenant=\"%d\",quantile=\"1\"} %d\n", t.Tenant, t.LatencyMax)
+	}
+	g := r.Global()
+	fmt.Fprintf(&b, "# HELP nvmeopf_connections_total Connections established.\n# TYPE nvmeopf_connections_total counter\nnvmeopf_connections_total %d\n", g.Connections)
+	fmt.Fprintf(&b, "# HELP nvmeopf_reconnects_total Connections re-established after failure.\n# TYPE nvmeopf_reconnects_total counter\nnvmeopf_reconnects_total %d\n", g.Reconnects)
+	fmt.Fprintf(&b, "# HELP nvmeopf_transport_errors_total Transport-level failures.\n# TYPE nvmeopf_transport_errors_total counter\nnvmeopf_transport_errors_total %d\n", g.TransportErrors)
+	return b.String()
+}
+
+// Exporter is a running HTTP endpoint serving a registry.
+type Exporter struct {
+	ln   net.Listener
+	srv  *http.Server
+	once sync.Once
+}
+
+// Serve binds addr (e.g. "127.0.0.1:9464", ":0") and serves the
+// registry's Handler until Close. It returns once the listener is bound,
+// so Addr is immediately valid.
+func (r *Registry) Serve(addr string) (*Exporter, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	e := &Exporter{ln: ln, srv: &http.Server{Handler: r.Handler()}}
+	go func() { _ = e.srv.Serve(ln) }()
+	return e, nil
+}
+
+// Addr returns the bound address.
+func (e *Exporter) Addr() string { return e.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (e *Exporter) Close() error {
+	var err error
+	e.once.Do(func() { err = e.srv.Close() })
+	return err
+}
+
+// SnapshotTable renders the per-tenant table as fixed-width text for
+// terminal reports (examples and CLI tools).
+func (r *Registry) SnapshotTable() string {
+	if r == nil {
+		return "telemetry disabled\n"
+	}
+	tenants := r.Tenants()
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Tenant < tenants[j].Tenant })
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-7s %-28s %10s %10s %6s %8s %7s %9s\n",
+		"tenant", "class", "submitted", "completed", "depth", "window", "drains", "coalesce")
+	for _, t := range tenants {
+		fmt.Fprintf(&b, "%-7d %-28s %10d %10d %6d %8d %7d %8.2fx\n",
+			t.Tenant, t.Class, t.Submitted, t.Completed, t.QueueDepth, t.Window,
+			t.Drains+t.ForcedDrains, t.CoalescingRatio)
+	}
+	return b.String()
+}

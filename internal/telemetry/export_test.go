@@ -1,0 +1,230 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// goldenRegistry builds a registry with fixed, deterministic contents.
+func goldenRegistry() *Registry {
+	r := New()
+	r.SetClass(0, 1) // latency-sensitive
+	r.IncSubmitted(0, 0)
+	r.IncCompleted(0, 1500, 4096, true)
+	r.IncLSBypass(0)
+
+	r.SetClass(3, 2) // throughput-critical
+	for i := 0; i < 16; i++ {
+		r.IncSubmitted(3, 4096)
+		r.IncTCQueued(3)
+	}
+	for i := 0; i < 16; i++ {
+		r.IncCompleted(3, -1, 0, true) // no latency samples: deterministic
+	}
+	for i := 0; i < 15; i++ {
+		r.IncSuppressed(3)
+	}
+	r.SetQueueDepth(3, 0)
+	r.ObserveDrain(3, 16, false)
+	r.IncResponse(3, true)
+	r.IncConnection()
+	r.IncConnection()
+	return r
+}
+
+// goldenText is the exact exposition the golden registry must render. The
+// format is a contract: Prometheus scrapers parse it, so any change must
+// be deliberate.
+const goldenText = `# HELP nvmeopf_tenant_submitted_total Requests submitted.
+# TYPE nvmeopf_tenant_submitted_total counter
+nvmeopf_tenant_submitted_total{tenant="0"} 1
+nvmeopf_tenant_submitted_total{tenant="3"} 16
+# HELP nvmeopf_tenant_completed_total Application-visible completions.
+# TYPE nvmeopf_tenant_completed_total counter
+nvmeopf_tenant_completed_total{tenant="0"} 1
+nvmeopf_tenant_completed_total{tenant="3"} 16
+# HELP nvmeopf_tenant_errors_total Completions with a non-success status.
+# TYPE nvmeopf_tenant_errors_total counter
+nvmeopf_tenant_errors_total{tenant="0"} 0
+nvmeopf_tenant_errors_total{tenant="3"} 0
+# HELP nvmeopf_tenant_bytes_read_total Payload bytes read.
+# TYPE nvmeopf_tenant_bytes_read_total counter
+nvmeopf_tenant_bytes_read_total{tenant="0"} 4096
+nvmeopf_tenant_bytes_read_total{tenant="3"} 0
+# HELP nvmeopf_tenant_bytes_written_total Payload bytes written.
+# TYPE nvmeopf_tenant_bytes_written_total counter
+nvmeopf_tenant_bytes_written_total{tenant="0"} 0
+nvmeopf_tenant_bytes_written_total{tenant="3"} 65536
+# HELP nvmeopf_tenant_ls_bypass_total Latency-sensitive requests that bypassed the TC queues.
+# TYPE nvmeopf_tenant_ls_bypass_total counter
+nvmeopf_tenant_ls_bypass_total{tenant="0"} 1
+nvmeopf_tenant_ls_bypass_total{tenant="3"} 0
+# HELP nvmeopf_tenant_tc_queued_total Throughput-critical requests absorbed into the tenant queue.
+# TYPE nvmeopf_tenant_tc_queued_total counter
+nvmeopf_tenant_tc_queued_total{tenant="0"} 0
+nvmeopf_tenant_tc_queued_total{tenant="3"} 16
+# HELP nvmeopf_tenant_queue_depth Pending TC requests in the tenant queue.
+# TYPE nvmeopf_tenant_queue_depth gauge
+nvmeopf_tenant_queue_depth{tenant="0"} 0
+nvmeopf_tenant_queue_depth{tenant="3"} 0
+# HELP nvmeopf_tenant_drain_window Drain window size (chosen on the host, observed at the target).
+# TYPE nvmeopf_tenant_drain_window gauge
+nvmeopf_tenant_drain_window{tenant="0"} 0
+nvmeopf_tenant_drain_window{tenant="3"} 16
+# HELP nvmeopf_tenant_drains_total Windows released by a draining flag.
+# TYPE nvmeopf_tenant_drains_total counter
+nvmeopf_tenant_drains_total{tenant="0"} 0
+nvmeopf_tenant_drains_total{tenant="3"} 1
+# HELP nvmeopf_tenant_forced_drains_total Windows released by the safety valve.
+# TYPE nvmeopf_tenant_forced_drains_total counter
+nvmeopf_tenant_forced_drains_total{tenant="0"} 0
+nvmeopf_tenant_forced_drains_total{tenant="3"} 0
+# HELP nvmeopf_tenant_suppressed_total Device completions absorbed by coalescing.
+# TYPE nvmeopf_tenant_suppressed_total counter
+nvmeopf_tenant_suppressed_total{tenant="0"} 0
+nvmeopf_tenant_suppressed_total{tenant="3"} 15
+# HELP nvmeopf_tenant_responses_total Wire responses emitted.
+# TYPE nvmeopf_tenant_responses_total counter
+nvmeopf_tenant_responses_total{tenant="0"} 0
+nvmeopf_tenant_responses_total{tenant="3"} 1
+# HELP nvmeopf_tenant_coalesced_responses_total Wire responses covering a whole window.
+# TYPE nvmeopf_tenant_coalesced_responses_total counter
+nvmeopf_tenant_coalesced_responses_total{tenant="0"} 0
+nvmeopf_tenant_coalesced_responses_total{tenant="3"} 1
+# HELP nvmeopf_tenant_coalescing_ratio Completions per wire response (>1 means coalescing).
+# TYPE nvmeopf_tenant_coalescing_ratio gauge
+nvmeopf_tenant_coalescing_ratio{tenant="0"} 0.0000
+nvmeopf_tenant_coalescing_ratio{tenant="3"} 16.0000
+# HELP nvmeopf_tenant_latency_ns Sampled end-to-end latency quantiles.
+# TYPE nvmeopf_tenant_latency_ns gauge
+nvmeopf_tenant_latency_ns{tenant="0",quantile="0.5"} 1500
+nvmeopf_tenant_latency_ns{tenant="0",quantile="0.99"} 1500
+nvmeopf_tenant_latency_ns{tenant="0",quantile="1"} 1500
+# HELP nvmeopf_connections_total Connections established.
+# TYPE nvmeopf_connections_total counter
+nvmeopf_connections_total 2
+# HELP nvmeopf_reconnects_total Connections re-established after failure.
+# TYPE nvmeopf_reconnects_total counter
+nvmeopf_reconnects_total 2
+# HELP nvmeopf_transport_errors_total Transport-level failures.
+# TYPE nvmeopf_transport_errors_total counter
+nvmeopf_transport_errors_total 0
+`
+
+func TestPrometheusGolden(t *testing.T) {
+	r := goldenRegistry()
+	r.IncReconnect()
+	r.IncReconnect()
+	got := r.PrometheusText()
+	if got != goldenText {
+		// Report the first diverging line for a readable failure.
+		gl, wl := strings.Split(got, "\n"), strings.Split(goldenText, "\n")
+		for i := 0; i < len(gl) && i < len(wl); i++ {
+			if gl[i] != wl[i] {
+				t.Fatalf("exposition line %d:\n got: %q\nwant: %q", i+1, gl[i], wl[i])
+			}
+		}
+		t.Fatalf("exposition length mismatch: got %d lines, want %d", len(gl), len(wl))
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(goldenRegistry().Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), `nvmeopf_tenant_submitted_total{tenant="3"} 16`) {
+		t.Fatalf("metrics body missing expected series:\n%s", body)
+	}
+}
+
+// TestDebugTenantsRoundTrip decodes /debug/tenants back into snapshot
+// structs and checks the table matches the registry.
+func TestDebugTenantsRoundTrip(t *testing.T) {
+	r := goldenRegistry()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/tenants")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var decoded struct {
+		Global  GlobalSnapshot   `json:"global"`
+		Tenants []TenantSnapshot `json:"tenants"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if decoded.Global.Connections != 2 {
+		t.Fatalf("global connections = %d, want 2", decoded.Global.Connections)
+	}
+	want := r.Tenants()
+	if len(decoded.Tenants) != len(want) {
+		t.Fatalf("tenant count = %d, want %d", len(decoded.Tenants), len(want))
+	}
+	for i := range want {
+		if decoded.Tenants[i] != want[i] {
+			t.Fatalf("tenant %d round-trip mismatch:\n got %+v\nwant %+v", i, decoded.Tenants[i], want[i])
+		}
+	}
+}
+
+func TestDebugWindowsEndpoint(t *testing.T) {
+	r := New()
+	r.RecordWindowDecision(WindowDecision{Tenant: 4, Window: 32, PrevWindow: 16, Bytes: 1 << 20, Source: SourceDynamic})
+	r.RecordWindowDecision(WindowDecision{Tenant: 4, Window: 16, PrevWindow: 32, Source: SourceDynamic})
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/debug/windows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded struct {
+		Windows []WindowDecision `json:"windows"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(decoded.Windows) != 2 {
+		t.Fatalf("window log length = %d, want 2", len(decoded.Windows))
+	}
+	if decoded.Windows[0].Window != 32 || decoded.Windows[1].Window != 16 ||
+		decoded.Windows[0].Seq != 1 || decoded.Windows[1].Seq != 2 {
+		t.Fatalf("window log wrong: %+v", decoded.Windows)
+	}
+}
+
+func TestServeAndClose(t *testing.T) {
+	r := goldenRegistry()
+	exp, err := r.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + exp.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("get from live exporter: %v", err)
+	}
+	resp.Body.Close()
+	if err := exp.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	if err := exp.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}

@@ -1,0 +1,378 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"nvmeopf/internal/proto"
+)
+
+// MaxTenants is the tenant ID space (proto.TenantID is uint8). The
+// registry pre-allocates one slot per possible tenant so the record path
+// is a fixed-offset atomic add with no map lookup and no lock.
+const MaxTenants = 256
+
+// latRingSize is the per-tenant latency sample ring capacity. A power of
+// two so the modulo is a mask. 512 samples bound the quantile error while
+// keeping a full registry under 1.5 MiB.
+const latRingSize = 512
+
+// windowLogCap bounds the window-decision log (cold path, mutex-guarded).
+const windowLogCap = 128
+
+// latRing is a lock-free sampling ring: writers reserve a slot with an
+// atomic increment and store the sample with an atomic write. Under
+// concurrency a reader may observe a slot mid-update between two writers;
+// each slot is itself atomic, so the worst case is a quantile computed
+// over a mix of old and new samples — exactly what a sampling recorder
+// promises, and race-free by construction.
+type latRing struct {
+	n       atomic.Uint64
+	samples [latRingSize]atomic.Int64
+}
+
+func (r *latRing) record(v int64) {
+	i := r.n.Add(1) - 1
+	r.samples[i&(latRingSize-1)].Store(v)
+}
+
+// snapshot copies the valid samples.
+func (r *latRing) snapshot() []int64 {
+	n := r.n.Load()
+	if n == 0 {
+		return nil
+	}
+	filled := int(n)
+	if filled > latRingSize {
+		filled = latRingSize
+	}
+	out := make([]int64, filled)
+	for i := 0; i < filled; i++ {
+		out[i] = r.samples[i].Load()
+	}
+	return out
+}
+
+// tenantSlot holds one tenant's instruments. Counters only ever grow;
+// gauges are last-value.
+type tenantSlot struct {
+	// touched is set on the first write so the exporter can skip the
+	// never-used slots without comparing every field.
+	touched atomic.Bool
+	class   atomic.Int32 // proto.Priority of the connection (gauge)
+
+	submitted    atomic.Int64
+	completed    atomic.Int64
+	errors       atomic.Int64
+	bytesRead    atomic.Int64
+	bytesWritten atomic.Int64
+
+	lsBypassed   atomic.Int64
+	tcQueued     atomic.Int64
+	queueDepth   atomic.Int64 // gauge: pending TC requests at the target PM
+	window       atomic.Int64 // gauge: drain window (host: chosen; target: observed)
+	drains       atomic.Int64
+	forcedDrains atomic.Int64
+	suppressed   atomic.Int64 // completions absorbed by coalescing
+	responses    atomic.Int64 // wire responses emitted for this tenant
+	coalesced    atomic.Int64 // of which coalesced
+
+	lat latRing
+}
+
+// Registry is the metrics store. The zero value is not used directly —
+// create one with New — but a nil *Registry is a first-class value: every
+// method checks the receiver and returns immediately, so components wired
+// with a nil registry run un-instrumented at zero cost.
+//
+// Record methods are safe for concurrent use from any goroutine.
+type Registry struct {
+	tenants [MaxTenants]tenantSlot
+
+	connections     atomic.Int64
+	reconnects      atomic.Int64
+	transportErrors atomic.Int64
+
+	winMu  sync.Mutex
+	winSeq uint64
+	winLog []WindowDecision // ring of the last windowLogCap decisions
+	winPos int
+}
+
+// New creates an enabled registry.
+func New() *Registry { return &Registry{} }
+
+// Enabled reports whether the registry records anything.
+func (r *Registry) Enabled() bool { return r != nil }
+
+func (r *Registry) slot(t proto.TenantID) *tenantSlot {
+	s := &r.tenants[t]
+	if !s.touched.Load() {
+		s.touched.Store(true)
+	}
+	return s
+}
+
+// SetClass records the tenant's connection priority class (shown in the
+// /debug/tenants table).
+func (r *Registry) SetClass(t proto.TenantID, p proto.Priority) {
+	if r == nil {
+		return
+	}
+	r.slot(t).class.Store(int32(p))
+}
+
+// IncSubmitted records one submitted request and the payload bytes it
+// moves (write payload on submission; read payload is accounted by
+// IncCompleted's byte argument).
+func (r *Registry) IncSubmitted(t proto.TenantID, bytesWritten int64) {
+	if r == nil {
+		return
+	}
+	s := r.slot(t)
+	s.submitted.Add(1)
+	if bytesWritten > 0 {
+		s.bytesWritten.Add(bytesWritten)
+	}
+}
+
+// IncCompleted records one application-visible completion with its
+// end-to-end latency (clock units; <0 skips the sample) and the bytes
+// read.
+func (r *Registry) IncCompleted(t proto.TenantID, latency int64, bytesRead int64, ok bool) {
+	if r == nil {
+		return
+	}
+	s := r.slot(t)
+	s.completed.Add(1)
+	if !ok {
+		s.errors.Add(1)
+	}
+	if bytesRead > 0 {
+		s.bytesRead.Add(bytesRead)
+	}
+	if latency >= 0 {
+		s.lat.record(latency)
+	}
+}
+
+// IncLSBypass records one latency-sensitive request sent straight to
+// execution past the TC queues.
+func (r *Registry) IncLSBypass(t proto.TenantID) {
+	if r == nil {
+		return
+	}
+	r.slot(t).lsBypassed.Add(1)
+}
+
+// IncTCQueued records one throughput-critical request absorbed into the
+// tenant's queue.
+func (r *Registry) IncTCQueued(t proto.TenantID) {
+	if r == nil {
+		return
+	}
+	r.slot(t).tcQueued.Add(1)
+}
+
+// SetQueueDepth records the tenant queue's pending request count.
+func (r *Registry) SetQueueDepth(t proto.TenantID, depth int) {
+	if r == nil {
+		return
+	}
+	r.slot(t).queueDepth.Store(int64(depth))
+}
+
+// SetWindow records the tenant's drain window size (host side: the PM's
+// current choice; target side: the batch size observed at drain).
+func (r *Registry) SetWindow(t proto.TenantID, w int) {
+	if r == nil {
+		return
+	}
+	r.slot(t).window.Store(int64(w))
+}
+
+// ObserveDrain records one window released for execution at the target:
+// its size (also stored in the window gauge) and whether the safety valve
+// (forced) rather than a draining flag triggered it.
+func (r *Registry) ObserveDrain(t proto.TenantID, window int, forced bool) {
+	if r == nil {
+		return
+	}
+	s := r.slot(t)
+	if forced {
+		s.forcedDrains.Add(1)
+	} else {
+		s.drains.Add(1)
+	}
+	s.window.Store(int64(window))
+}
+
+// IncSuppressed records one device completion absorbed by coalescing (no
+// wire response of its own).
+func (r *Registry) IncSuppressed(t proto.TenantID) {
+	if r == nil {
+		return
+	}
+	r.slot(t).suppressed.Add(1)
+}
+
+// IncResponse records one wire response emitted for the tenant.
+func (r *Registry) IncResponse(t proto.TenantID, coalesced bool) {
+	if r == nil {
+		return
+	}
+	s := r.slot(t)
+	s.responses.Add(1)
+	if coalesced {
+		s.coalesced.Add(1)
+	}
+}
+
+// IncConnection counts one accepted/established connection.
+func (r *Registry) IncConnection() {
+	if r == nil {
+		return
+	}
+	r.connections.Add(1)
+}
+
+// IncReconnect counts one re-established connection (e.g. a dial retried
+// through discovery after a transport failure).
+func (r *Registry) IncReconnect() {
+	if r == nil {
+		return
+	}
+	r.reconnects.Add(1)
+}
+
+// IncTransportError counts one transport-level failure (broken socket,
+// codec error, handshake failure).
+func (r *Registry) IncTransportError() {
+	if r == nil {
+		return
+	}
+	r.transportErrors.Add(1)
+}
+
+// RecordWindowDecision appends one optimizer decision to the /debug/windows
+// log. Cold path: once per drain epoch, never per request.
+func (r *Registry) RecordWindowDecision(d WindowDecision) {
+	if r == nil {
+		return
+	}
+	r.winMu.Lock()
+	r.winSeq++
+	d.Seq = r.winSeq
+	if len(r.winLog) < windowLogCap {
+		r.winLog = append(r.winLog, d)
+	} else {
+		r.winLog[r.winPos] = d
+		r.winPos = (r.winPos + 1) % windowLogCap
+	}
+	r.winMu.Unlock()
+	r.SetWindow(d.Tenant, d.Window)
+}
+
+// WindowLog returns the retained decisions, oldest first.
+func (r *Registry) WindowLog() []WindowDecision {
+	if r == nil {
+		return nil
+	}
+	r.winMu.Lock()
+	defer r.winMu.Unlock()
+	out := make([]WindowDecision, 0, len(r.winLog))
+	out = append(out, r.winLog[r.winPos:]...)
+	out = append(out, r.winLog[:r.winPos]...)
+	return out
+}
+
+// TenantSnapshot is a point-in-time copy of one tenant's instruments.
+type TenantSnapshot struct {
+	Tenant       uint8  `json:"tenant"`
+	Class        string `json:"class"`
+	Submitted    int64  `json:"submitted"`
+	Completed    int64  `json:"completed"`
+	Errors       int64  `json:"errors"`
+	BytesRead    int64  `json:"bytes_read"`
+	BytesWritten int64  `json:"bytes_written"`
+	LSBypassed   int64  `json:"ls_bypassed"`
+	TCQueued     int64  `json:"tc_queued"`
+	QueueDepth   int64  `json:"queue_depth"`
+	Window       int64  `json:"window"`
+	Drains       int64  `json:"drains"`
+	ForcedDrains int64  `json:"forced_drains"`
+	Suppressed   int64  `json:"suppressed"`
+	Responses    int64  `json:"responses"`
+	Coalesced    int64  `json:"coalesced"`
+	// CoalescingRatio is completions per wire response — the live form of
+	// the paper's Fig. 6(c) metric; > 1 means coalescing is paying off.
+	CoalescingRatio float64 `json:"coalescing_ratio"`
+	LatencyP50      int64   `json:"latency_p50_ns"`
+	LatencyP99      int64   `json:"latency_p99_ns"`
+	LatencyMax      int64   `json:"latency_max_ns"`
+	LatencySamples  int     `json:"latency_samples"`
+}
+
+// GlobalSnapshot is a point-in-time copy of the registry-wide instruments.
+type GlobalSnapshot struct {
+	Connections     int64 `json:"connections"`
+	Reconnects      int64 `json:"reconnects"`
+	TransportErrors int64 `json:"transport_errors"`
+}
+
+// Global snapshots the registry-wide counters.
+func (r *Registry) Global() GlobalSnapshot {
+	if r == nil {
+		return GlobalSnapshot{}
+	}
+	return GlobalSnapshot{
+		Connections:     r.connections.Load(),
+		Reconnects:      r.reconnects.Load(),
+		TransportErrors: r.transportErrors.Load(),
+	}
+}
+
+// Tenants snapshots every tenant with recorded activity, in tenant order.
+func (r *Registry) Tenants() []TenantSnapshot {
+	if r == nil {
+		return nil
+	}
+	var out []TenantSnapshot
+	for i := range r.tenants {
+		s := &r.tenants[i]
+		if !s.touched.Load() {
+			continue
+		}
+		snap := TenantSnapshot{
+			Tenant:       uint8(i),
+			Class:        proto.Priority(s.class.Load()).String(),
+			Submitted:    s.submitted.Load(),
+			Completed:    s.completed.Load(),
+			Errors:       s.errors.Load(),
+			BytesRead:    s.bytesRead.Load(),
+			BytesWritten: s.bytesWritten.Load(),
+			LSBypassed:   s.lsBypassed.Load(),
+			TCQueued:     s.tcQueued.Load(),
+			QueueDepth:   s.queueDepth.Load(),
+			Window:       s.window.Load(),
+			Drains:       s.drains.Load(),
+			ForcedDrains: s.forcedDrains.Load(),
+			Suppressed:   s.suppressed.Load(),
+			Responses:    s.responses.Load(),
+			Coalesced:    s.coalesced.Load(),
+		}
+		if snap.Responses > 0 {
+			snap.CoalescingRatio = float64(snap.Completed) / float64(snap.Responses)
+		}
+		if lats := s.lat.snapshot(); len(lats) > 0 {
+			sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
+			snap.LatencySamples = len(lats)
+			snap.LatencyP50 = lats[len(lats)/2]
+			snap.LatencyP99 = lats[(len(lats)*99)/100]
+			snap.LatencyMax = lats[len(lats)-1]
+		}
+		out = append(out, snap)
+	}
+	return out
+}

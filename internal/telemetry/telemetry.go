@@ -1,0 +1,152 @@
+// Package telemetry is the live observability plane of the NVMe-oPF
+// runtime: a low-overhead metrics registry, a pluggable PDU-lifecycle
+// trace hook, and an HTTP exporter.
+//
+// Everything internal/stats offers is post-hoc — histograms read after a
+// run finishes. The paper's contribution is a queueing/QoS scheme, and
+// operating one (window tuning, admission control, SLO enforcement)
+// requires continuous per-tenant signal while the target serves traffic:
+// queue depths, drain windows, coalescing ratios, LS tail latency. This
+// package provides that signal with a design constraint inherited from the
+// datapath it instruments: the hot path pays only an atomic add.
+//
+// Cost model:
+//
+//   - A nil *Registry is fully usable and free: every method is
+//     nil-receiver-safe and returns immediately, so disabled telemetry
+//     costs a predictable branch and zero allocations (verified by
+//     TestDisabledRegistryZeroAllocs).
+//   - An enabled Registry keeps one fixed slot per possible tenant
+//     (proto.TenantID is uint8, so 256 slots) holding only atomic
+//     counters/gauges and a lock-free ring of latency samples. No maps, no
+//     locks, no allocation on the record path.
+//   - Cold paths — the window-decision log and the exporter's snapshots —
+//     take a mutex; they run once per drain epoch or per scrape, never per
+//     request.
+//
+// The trace hook (TraceFunc) is invoked by internal/core, internal/hostqp
+// and internal/targetqp at the PDU lifecycle points of Algorithms 1–4, so
+// tests and debugging tools can reconstruct a request's full timeline:
+//
+//	submit → drain-mark → enqueue → drain-start → device-complete →
+//	coalesced-notify → replay
+package telemetry
+
+import (
+	"fmt"
+
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+)
+
+// Stage is one point in a request's lifecycle at which the runtime invokes
+// the trace hook.
+type Stage uint8
+
+// Lifecycle stages, in the order a coalesced TC request traverses them.
+// LS/normal requests skip the queueing stages (submit → device-complete).
+const (
+	// StageSubmit: the host session put a command capsule on the wire.
+	StageSubmit Stage = iota
+	// StageDrainMark: the host PM stamped the draining flag on this
+	// request (Alg. 1) — it will flush the tenant's window at the target.
+	StageDrainMark
+	// StageEnqueue: the target PM absorbed a TC request into its tenant
+	// queue (Alg. 3); Aux carries the queue depth after the push.
+	StageEnqueue
+	// StageDrainStart: the target PM released a whole window for
+	// execution; Aux carries the batch size. The event's CID is the
+	// triggering (draining or overflow) request.
+	StageDrainStart
+	// StageDeviceComplete: the backend finished the command; Aux carries
+	// the service latency in clock units when the target has a clock, else
+	// zero.
+	StageDeviceComplete
+	// StageCoalescedNotify: the target PM emitted one coalesced response
+	// covering the tenant's whole window (Alg. 4); the CID is the drain
+	// request's.
+	StageCoalescedNotify
+	// StageReplay: the host PM replayed one request's completion from a
+	// coalesced response (Alg. 2); Aux carries the end-to-end latency in
+	// clock units.
+	StageReplay
+)
+
+// String implements fmt.Stringer.
+func (s Stage) String() string {
+	switch s {
+	case StageSubmit:
+		return "submit"
+	case StageDrainMark:
+		return "drain-mark"
+	case StageEnqueue:
+		return "enqueue"
+	case StageDrainStart:
+		return "drain-start"
+	case StageDeviceComplete:
+		return "device-complete"
+	case StageCoalescedNotify:
+		return "coalesced-notify"
+	case StageReplay:
+		return "replay"
+	default:
+		return fmt.Sprintf("Stage(%d)", uint8(s))
+	}
+}
+
+// Event is one trace point. Events carry no timestamp: the layers that
+// emit them are sans-IO and clock-free; a consumer that needs wall or
+// virtual time stamps events as they arrive (it runs on the emitting
+// reactor, so arrival order is lifecycle order per tenant).
+type Event struct {
+	Stage  Stage
+	Tenant proto.TenantID
+	CID    nvme.CID
+	Prio   proto.Priority
+	// Aux is stage-specific: queue depth after enqueue, batch size at
+	// drain-start, latency at device-complete/replay.
+	Aux int64
+}
+
+// String renders the event for debug logs.
+func (e Event) String() string {
+	return fmt.Sprintf("%s tenant=%d cid=%d prio=%s aux=%d",
+		e.Stage, e.Tenant, e.CID, e.Prio, e.Aux)
+}
+
+// TraceFunc receives lifecycle events. It is called synchronously on the
+// emitting reactor goroutine: implementations must be fast and must not
+// call back into the session/PM that emitted the event. A nil TraceFunc
+// disables tracing at zero cost (the emitters check before building the
+// Event).
+type TraceFunc func(Event)
+
+// WindowSource says which mechanism produced a window decision.
+type WindowSource string
+
+// Window decision sources.
+const (
+	// SourceStatic: the §IV-D static selection at connection setup.
+	SourceStatic WindowSource = "static"
+	// SourceDynamic: the runtime hill-climbing tuner after a drain.
+	SourceDynamic WindowSource = "dynamic"
+	// SourceDrain: a window observed at the target when a drain released
+	// it (batch size as seen target-side).
+	SourceDrain WindowSource = "drain"
+)
+
+// WindowDecision is one entry of the window-optimizer decision log served
+// at /debug/windows.
+type WindowDecision struct {
+	Tenant proto.TenantID `json:"tenant"`
+	// Window is the size chosen (host side) or observed (target side).
+	Window int `json:"window"`
+	// PrevWindow is the size before the decision (0 when unknown).
+	PrevWindow int `json:"prev_window,omitempty"`
+	// Bytes moved by the epoch/window that triggered the decision.
+	Bytes int64 `json:"bytes,omitempty"`
+	// Source tells which mechanism decided.
+	Source WindowSource `json:"source"`
+	// Seq is a registry-assigned monotone sequence number.
+	Seq uint64 `json:"seq"`
+}

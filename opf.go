@@ -39,6 +39,7 @@ import (
 	"nvmeopf/internal/simcluster"
 	"nvmeopf/internal/targetqp"
 	"nvmeopf/internal/tcptrans"
+	"nvmeopf/internal/telemetry"
 )
 
 // Opcode is an NVMe I/O command opcode.
@@ -166,6 +167,34 @@ func DefaultExperimentConfig() ExperimentConfig { return experiments.DefaultConf
 
 // QuickExperimentConfig returns a fast configuration for smoke runs.
 func QuickExperimentConfig() ExperimentConfig { return experiments.QuickConfig() }
+
+// Telemetry is the live observability registry: lock-free per-tenant
+// counters/gauges and latency samples, a window-decision log, and an HTTP
+// exporter (Serve) with /metrics (Prometheus text), /debug/tenants and
+// /debug/windows endpoints. Create one with NewTelemetry, attach it via
+// InitiatorConfig.Telemetry (host-side instruments), ServerConfig.Telemetry
+// (target-side), or SimOptions.Telemetry (simulated targets), and read it
+// back with the Telemetry() accessor on Conn, Server, or SimCluster. A nil
+// *Telemetry disables instrumentation at zero cost.
+type Telemetry = telemetry.Registry
+
+// TelemetryExporter is a running HTTP endpoint serving a Telemetry
+// registry (returned by Telemetry.Serve).
+type TelemetryExporter = telemetry.Exporter
+
+// TenantSnapshot is a point-in-time copy of one tenant's live instruments.
+type TenantSnapshot = telemetry.TenantSnapshot
+
+// TraceEvent is one PDU-lifecycle trace point (submit → enqueue →
+// drain-start → device-complete → coalesced-notify → replay).
+type TraceEvent = telemetry.Event
+
+// TraceFunc receives lifecycle events; attach via InitiatorConfig.Trace,
+// ServerConfig.Trace, or SimOptions.Trace.
+type TraceFunc = telemetry.TraceFunc
+
+// NewTelemetry creates an enabled telemetry registry.
+func NewTelemetry() *Telemetry { return telemetry.New() }
 
 // DiscoveryServer is a discovery endpoint: targets register their
 // subsystems, hosts resolve them (the dialect's NVMe-oF discovery
