@@ -17,17 +17,21 @@ import (
 	"time"
 
 	"nvmeopf/internal/experiments"
+	"nvmeopf/internal/simcluster"
+	"nvmeopf/internal/telemetry"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment ID or 'all'")
-		simMS  = flag.Int64("sim-ms", 400, "virtual measurement milliseconds per case")
-		warmMS = flag.Int64("warmup-ms", 100, "virtual warmup milliseconds per case")
-		seed   = flag.Uint64("seed", 1, "simulation seed")
-		csv    = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		plot   = flag.Bool("plot", false, "append an ASCII bar sketch of each figure")
-		list   = flag.Bool("list", false, "list experiment IDs and exit")
+		exp      = flag.String("exp", "all", "experiment ID or 'all'")
+		simMS    = flag.Int64("sim-ms", 400, "virtual measurement milliseconds per case")
+		warmMS   = flag.Int64("warmup-ms", 100, "virtual warmup milliseconds per case")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		plot     = flag.Bool("plot", false, "append an ASCII bar sketch of each figure")
+		list     = flag.Bool("list", false, "list experiment IDs and exit")
+		metrics  = flag.String("metrics-addr", "", "serve the simulated targets' /metrics and /debug endpoints on this address while experiments run (empty: off)")
+		traceOut = flag.String("trace-dump", "", "write flight-recorder dumps of the last simulated case to <path>.host.jsonl and <path>.target.jsonl (analyze with opf-trace)")
 	)
 	flag.Parse()
 
@@ -36,6 +40,48 @@ func main() {
 		return
 	}
 	cfg := experiments.Config{SimMillis: *simMS, WarmupMillis: *warmMS, Seed: *seed}
+	if *metrics != "" {
+		cfg.Telemetry = telemetry.New()
+		srv, err := cfg.Telemetry.Serve(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "opf-bench: metrics: %v\n", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry on http://%s/metrics\n", srv.Addr())
+	}
+	var lastCluster *simcluster.Cluster
+	if *traceOut != "" {
+		cfg.OnCluster = func(cl *simcluster.Cluster) {
+			cl.AttachFlightRecorders(telemetry.RecorderConfig{})
+			lastCluster = cl
+		}
+		defer func() {
+			if lastCluster == nil {
+				return
+			}
+			for _, side := range []struct {
+				rec  *telemetry.Recorder
+				path string
+			}{
+				{lastCluster.HostRecorder(), *traceOut + ".host.jsonl"},
+				{lastCluster.TargetRecorder(), *traceOut + ".target.jsonl"},
+			} {
+				f, err := os.Create(side.path)
+				if err == nil {
+					err = side.rec.WriteJSONL(f)
+					if cerr := f.Close(); err == nil {
+						err = cerr
+					}
+				}
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "opf-bench: trace-dump: %v\n", err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "trace dump written to %s\n", side.path)
+			}
+		}()
+	}
 
 	names := []string{*exp}
 	if *exp == "all" {

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sync"
 	"time"
 
@@ -22,6 +23,7 @@ import (
 	"nvmeopf/internal/proto"
 	"nvmeopf/internal/stats"
 	"nvmeopf/internal/tcptrans"
+	"nvmeopf/internal/telemetry"
 )
 
 func main() {
@@ -34,8 +36,26 @@ func main() {
 		qd        = flag.Int("qd", 64, "in-flight accesses per rank")
 		doRead    = flag.Bool("read", false, "run the read kernel after the write kernel")
 		loadMS    = flag.Int("load-ms", 3, "dataset-load overhead per read timestep (ms)")
+		metrics   = flag.String("metrics-addr", "", "serve host-side /metrics and /debug endpoints on this address (empty: off)")
+		traceOut  = flag.String("trace-dump", "", "write a host-side flight-recorder dump (JSONL) to this file at exit")
 	)
 	flag.Parse()
+
+	var tel *telemetry.Registry
+	var rec *telemetry.Recorder
+	if *traceOut != "" {
+		rec = telemetry.NewRecorder(telemetry.RecorderConfig{Role: "host"})
+	}
+	if *metrics != "" {
+		tel = telemetry.New()
+		tel.SetRecorder(rec)
+		srv, err := tel.Serve(*metrics)
+		if err != nil {
+			log.Fatalf("metrics: %v", err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry on http://%s/metrics\n", srv.Addr())
+	}
 
 	type rankResult struct {
 		write *h5bench.Result
@@ -51,6 +71,7 @@ func main() {
 			defer wg.Done()
 			conn, err := tcptrans.Dial(*addr, hostqp.Config{
 				Class: proto.PrioThroughputCritical, Window: *window, QueueDepth: *qd * 2, NSID: 1,
+				Telemetry: tel, Recorder: rec,
 			})
 			if err != nil {
 				log.Fatalf("rank %d: dial: %v", r, err)
@@ -122,5 +143,18 @@ func main() {
 	report("write", func(rr rankResult) *h5bench.Result { return rr.write })
 	if *doRead {
 		report("read", func(rr rankResult) *h5bench.Result { return rr.read })
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-dump: %v", err)
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			log.Fatalf("trace-dump: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace-dump: %v", err)
+		}
+		fmt.Printf("host trace dump written to %s (analyze with opf-trace)\n", *traceOut)
 	}
 }

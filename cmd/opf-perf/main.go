@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -115,11 +116,17 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "run duration")
 		span     = flag.Uint64("span", 1<<16, "LBA span per connection")
 		metrics  = flag.String("metrics-addr", "", "serve host-side /metrics and /debug endpoints on this address (empty: off)")
+		traceOut = flag.String("trace-dump", "", "write a host-side flight-recorder dump (JSONL) to this file at exit; pair with the target's /debug/trace for opf-trace")
 	)
 	flag.Parse()
 	var tel *telemetry.Registry
+	var rec *telemetry.Recorder
+	if *traceOut != "" {
+		rec = telemetry.NewRecorder(telemetry.RecorderConfig{Role: "host"})
+	}
 	if *metrics != "" {
 		tel = telemetry.New()
+		tel.SetRecorder(rec)
 		exp, err := tel.Serve(*metrics)
 		if err != nil {
 			log.Fatalf("metrics: %v", err)
@@ -146,7 +153,8 @@ func main() {
 			class, depth, w = proto.PrioThroughputCritical, *qd, *window
 		}
 		conn, err := tcptrans.Dial(*addr, hostqp.Config{
-			Class: class, Window: w, QueueDepth: depth, NSID: 1, Telemetry: tel,
+			Class: class, Window: w, QueueDepth: depth, NSID: 1,
+			Telemetry: tel, Recorder: rec,
 		})
 		if err != nil {
 			log.Fatalf("dial %d: %v", i, err)
@@ -199,5 +207,18 @@ func main() {
 	if tel != nil {
 		fmt.Println()
 		fmt.Print(tel.SnapshotTable())
+	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatalf("trace-dump: %v", err)
+		}
+		if err := rec.WriteJSONL(f); err != nil {
+			log.Fatalf("trace-dump: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("trace-dump: %v", err)
+		}
+		fmt.Printf("host trace dump written to %s (analyze with opf-trace)\n", *traceOut)
 	}
 }

@@ -36,6 +36,10 @@ func main() {
 		discovery = flag.String("discovery", "", "discovery endpoint to register with (optional)")
 		nqn       = flag.String("nqn", "nqn.2024-01.io.nvmeopf:target", "subsystem NQN for discovery registration")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics and /debug endpoints on this address (empty: off)")
+		recEvents = flag.Int("recorder-events", 4096, "flight-recorder ring capacity per tenant (0: recorder off)")
+		recStall  = flag.Duration("recorder-stall", 0, "drain-stall anomaly threshold for auto snapshots (0: off)")
+		sloObj    = flag.Duration("slo", 0, "default per-tenant latency objective (0: no SLO tracking)")
+		sloTarget = flag.Float64("slo-target", 0.999, "fraction of completions that must meet -slo")
 	)
 	flag.Parse()
 
@@ -66,8 +70,20 @@ func main() {
 	}
 
 	var tel *telemetry.Registry
+	var rec *telemetry.Recorder
 	if *metrics != "" {
 		tel = telemetry.New()
+		if *sloObj > 0 {
+			tel.SetDefaultSLO(*sloObj, *sloTarget)
+		}
+		if *recEvents > 0 {
+			rec = telemetry.NewRecorder(telemetry.RecorderConfig{
+				PerTenant:      *recEvents,
+				StallThreshold: *recStall,
+				Role:           "target",
+			})
+			tel.SetRecorder(rec) // serves JSONL dumps at /debug/trace
+		}
 	}
 	srv, err := tcptrans.Listen(*addr, tcptrans.ServerConfig{
 		Mode:         m,
@@ -75,6 +91,7 @@ func main() {
 		ReadLatency:  *readLat,
 		WriteLatency: *writeLat,
 		Telemetry:    tel,
+		Recorder:     rec,
 	})
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -87,7 +104,7 @@ func main() {
 			log.Fatalf("metrics: %v", merr)
 		}
 		defer exp.Close()
-		log.Printf("telemetry on http://%s/metrics (debug: /debug/tenants, /debug/windows)", exp.Addr())
+		log.Printf("telemetry on http://%s/metrics (debug: /debug/tenants, /debug/windows, /debug/slo, /debug/trace, /debug/pprof/)", exp.Addr())
 	}
 	if *discovery != "" {
 		if derr := tcptrans.RegisterRemote(*discovery, *nqn, srv.Addr(), m); derr != nil {

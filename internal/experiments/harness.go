@@ -16,6 +16,7 @@ import (
 	"nvmeopf/internal/simcluster"
 	"nvmeopf/internal/stats"
 	"nvmeopf/internal/targetqp"
+	"nvmeopf/internal/telemetry"
 	"nvmeopf/internal/workload"
 )
 
@@ -30,6 +31,14 @@ type Config struct {
 	WarmupMillis int64
 	// Seed drives all stochastic components.
 	Seed uint64
+	// Telemetry optionally attaches one live metrics registry to every
+	// target node of every case (the same registry across cases).
+	Telemetry *telemetry.Registry
+	// OnCluster, when non-nil, is invoked with each case's cluster right
+	// after construction, before any node exists — the hook opf-perf uses
+	// to attach flight recorders (and keep the cluster for a post-run
+	// trace dump).
+	OnCluster func(*simcluster.Cluster)
 }
 
 // DefaultConfig returns the configuration used for EXPERIMENTS.md.
@@ -130,7 +139,11 @@ func runWithBlocks(cfg Config, cs Case, blocks uint32) (CaseResult, error) {
 		Mode:                cs.Mode,
 		SharedQueueAblation: cs.SharedQueueAblation,
 		Seed:                cfg.Seed,
+		Telemetry:           cfg.Telemetry,
 	})
+	if cfg.OnCluster != nil {
+		cfg.OnCluster(cl)
+	}
 
 	warm := cfg.WarmupMillis * 1_000_000
 	stop := warm + cfg.SimMillis*1_000_000

@@ -51,8 +51,13 @@ type Config struct {
 	// zero cost.
 	Telemetry *telemetry.Registry
 	// Trace optionally receives PDU lifecycle events (submit, drain-mark,
-	// replay). Nil disables.
+	// replay, complete). Nil disables.
 	Trace telemetry.TraceFunc
+	// Recorder optionally attaches a host-side flight recorder: its Trace
+	// hook is chained after Trace, and the ICReq/ICResp handshake feeds it
+	// the clock-offset estimate that lets opf-trace merge host and target
+	// dumps onto one time axis. Nil disables.
+	Recorder *telemetry.Recorder
 }
 
 // Validate checks the configuration.
@@ -97,7 +102,8 @@ type IO struct {
 // pendingReq is the host-side request state.
 type pendingReq struct {
 	io          IO
-	coalescable bool // routed through the host PM's pending queue
+	prio        proto.Priority // wire priority (selects the LS/TC histogram)
+	coalescable bool           // routed through the host PM's pending queue
 	submittedAt int64
 	readBuf     []byte
 	readBytes   int
@@ -134,6 +140,11 @@ type Session struct {
 	nsBlockSize  uint32
 	nsCapacity   uint64
 
+	// Clock correlation from the handshake (see handleICResp).
+	icReqSentAt  int64
+	clockOffset  int64 // target clock minus host clock
+	handshakeRTT int64 // bound on the offset estimate's error
+
 	stats Stats
 }
 
@@ -156,6 +167,11 @@ func New(cfg Config, send func(proto.PDU), clock func() int64) (*Session, error)
 	if cfg.Dynamic != nil {
 		pm.EnableDynamicWindow(cfg.Dynamic)
 	}
+	if cfg.Recorder != nil {
+		// One chained hook feeds both the caller's trace and the flight
+		// recorder; the PM inherits the chain through SetTelemetry.
+		cfg.Trace = telemetry.ChainTrace(cfg.Trace, cfg.Recorder.Trace)
+	}
 	return &Session{
 		cfg:   cfg,
 		send:  send,
@@ -169,6 +185,7 @@ func New(cfg Config, send func(proto.PDU), clock func() int64) (*Session, error)
 // Start sends the connection request. The session accepts submissions only
 // after the ICResp arrives (use OnConnect to sequence).
 func (s *Session) Start() {
+	s.icReqSentAt = s.clock()
 	s.send(&proto.ICReq{
 		PFV:        ProtocolVersion,
 		QueueDepth: uint16(s.cfg.QueueDepth & 0xFFFF),
@@ -203,6 +220,13 @@ func (s *Session) Capacity() uint64 { return s.nsCapacity }
 
 // Window returns the current drain window size.
 func (s *Session) Window() int { return s.pm.Window() }
+
+// ClockOffset returns the handshake-estimated target-minus-host clock
+// offset and the round-trip time bounding its error (both zero before
+// connect, or when the target did not share a clock).
+func (s *Session) ClockOffset() (offset, rtt int64) {
+	return s.clockOffset, s.handshakeRTT
+}
 
 // Stats returns a copy of the session counters.
 func (s *Session) Stats() Stats { return s.stats }
@@ -248,6 +272,7 @@ func (s *Session) Submit(io IO) error {
 	} else {
 		wire = eff
 	}
+	req.prio = wire
 
 	cmd := nvme.Command{Opcode: io.Op, CID: cid, NSID: s.cfg.NSID, SLBA: io.LBA}
 	if io.Op != nvme.OpFlush {
@@ -304,6 +329,15 @@ func (s *Session) handleICResp(pdu *proto.ICResp) error {
 	s.tenant = pdu.Tenant
 	s.nsBlockSize = pdu.BlockSize
 	s.nsCapacity = pdu.Capacity
+	if pdu.TargetClock != 0 {
+		// NTP-style one-shot estimate: the target sampled its clock midway
+		// through our round trip, so offset = T - (t0 + rtt/2), with the
+		// error bounded by the (asymmetric part of the) RTT.
+		t1 := s.clock()
+		s.handshakeRTT = t1 - s.icReqSentAt
+		s.clockOffset = pdu.TargetClock - (s.icReqSentAt + s.handshakeRTT/2)
+		s.cfg.Recorder.SetClockOffset(s.clockOffset, s.handshakeRTT)
+	}
 	s.connected = true
 	// The tenant ID is only known now, so the observability hooks attach
 	// here rather than in New.
@@ -375,9 +409,12 @@ func (s *Session) handleResp(pdu *proto.CapsuleResp) error {
 		}
 		s.stats.Completed++
 		windowBytes += r.bytesMoved
-		s.cfg.Telemetry.IncCompleted(s.tenant, now-r.submittedAt, int64(r.readBytes), st.OK())
-		if s.cfg.Trace != nil && pdu.Coalesced {
-			s.cfg.Trace(telemetry.Event{Stage: telemetry.StageReplay, Tenant: s.tenant, CID: c, Aux: now - r.submittedAt})
+		s.cfg.Telemetry.IncCompleted(s.tenant, r.prio, now-r.submittedAt, int64(r.readBytes), st.OK())
+		if s.cfg.Trace != nil {
+			if pdu.Coalesced {
+				s.cfg.Trace(telemetry.Event{Stage: telemetry.StageReplay, Tenant: s.tenant, CID: c, Prio: r.prio, Aux: now - r.submittedAt})
+			}
+			s.cfg.Trace(telemetry.Event{Stage: telemetry.StageComplete, Tenant: s.tenant, CID: c, Prio: r.prio, Aux: now - r.submittedAt})
 		}
 		r.io.Done(Result{
 			Status:      st,

@@ -192,10 +192,16 @@ type ICResp struct {
 	MaxDataLen uint32 // largest in-capsule data the target accepts
 	BlockSize  uint32 // namespace logical block size in bytes
 	Capacity   uint64 // namespace capacity in logical blocks
+	// TargetClock is the target's clock (nanoseconds) sampled while
+	// building this response. The host combines it with its own send and
+	// receive times to estimate the clock offset between the runtimes, so
+	// flight-recorder dumps from both sides land on one time axis. Zero
+	// means the target declined to share a clock.
+	TargetClock int64
 }
 
 // ICRespSize is the wire size of an ICResp.
-const ICRespSize = chSize + 24
+const ICRespSize = chSize + 32
 
 // PDUType implements PDU.
 func (*ICResp) PDUType() Type { return TypeICResp }
@@ -209,6 +215,7 @@ func (p *ICResp) encodeBody(dst []byte) {
 	binary.LittleEndian.PutUint32(dst[4:], p.MaxDataLen)
 	binary.LittleEndian.PutUint32(dst[8:], p.BlockSize)
 	binary.LittleEndian.PutUint64(dst[12:], p.Capacity)
+	binary.LittleEndian.PutUint64(dst[24:], uint64(p.TargetClock))
 }
 
 func (p *ICResp) decodeBody(src []byte) error {
@@ -220,6 +227,7 @@ func (p *ICResp) decodeBody(src []byte) error {
 	p.MaxDataLen = binary.LittleEndian.Uint32(src[4:])
 	p.BlockSize = binary.LittleEndian.Uint32(src[8:])
 	p.Capacity = binary.LittleEndian.Uint64(src[12:])
+	p.TargetClock = int64(binary.LittleEndian.Uint64(src[24:]))
 	return nil
 }
 

@@ -16,14 +16,16 @@ import (
 // it. Build target nodes first, then initiator nodes, then Connect
 // initiators; run the engine through Run/RunFor.
 type Cluster struct {
-	Eng     *simnet.Engine
-	profile Profile
-	mode    targetqp.Mode
-	shared  bool // shared-queue ablation
-	seed    uint64
-	tel     *telemetry.Registry
-	trace   telemetry.TraceFunc
-	errs    []error
+	Eng       *simnet.Engine
+	profile   Profile
+	mode      targetqp.Mode
+	shared    bool // shared-queue ablation
+	seed      uint64
+	tel       *telemetry.Registry
+	trace     telemetry.TraceFunc
+	hostRec   *telemetry.Recorder
+	targetRec *telemetry.Recorder
+	errs      []error
 }
 
 // Options configures cluster-wide behaviour.
@@ -63,6 +65,29 @@ func New(opts Options) *Cluster {
 // Telemetry returns the cluster's target-side metrics registry (nil when
 // telemetry is disabled).
 func (c *Cluster) Telemetry() *telemetry.Registry { return c.tel }
+
+// AttachFlightRecorders creates a host-side and a target-side flight
+// recorder on the cluster's virtual clock and wires them into every node
+// built afterwards: call it before NewTargetNode/Connect. The target
+// recorder chains onto the cluster trace hook; the host recorder attaches
+// to each initiator created by Connect (unless that Config brings its
+// own). cfg.Clock and cfg.Role are overridden.
+func (c *Cluster) AttachFlightRecorders(cfg telemetry.RecorderConfig) (host, target *telemetry.Recorder) {
+	hostCfg, targetCfg := cfg, cfg
+	hostCfg.Clock, targetCfg.Clock = c.Eng.Now, c.Eng.Now
+	hostCfg.Role, targetCfg.Role = "host", "target"
+	c.hostRec = telemetry.NewRecorder(hostCfg)
+	c.targetRec = telemetry.NewRecorder(targetCfg)
+	c.trace = telemetry.ChainTrace(c.trace, c.targetRec.Trace)
+	return c.hostRec, c.targetRec
+}
+
+// HostRecorder returns the attached host-side flight recorder (nil when
+// AttachFlightRecorders was not called).
+func (c *Cluster) HostRecorder() *telemetry.Recorder { return c.hostRec }
+
+// TargetRecorder returns the attached target-side flight recorder.
+func (c *Cluster) TargetRecorder() *telemetry.Recorder { return c.targetRec }
 
 // Profile returns the cluster's platform profile.
 func (c *Cluster) Profile() Profile { return c.profile }
@@ -197,6 +222,9 @@ func standalonePDU(p proto.PDU) bool {
 // before submitting I/O; Session.OnConnect sequences that naturally.
 func (n *InitiatorNode) Connect(cfg hostqp.Config) (*Initiator, error) {
 	c := n.c
+	if cfg.Recorder == nil {
+		cfg.Recorder = c.hostRec // nil when no recorders are attached
+	}
 	ini := &Initiator{Node: n}
 
 	tsess, err := n.target.Target.NewSession(func(p proto.PDU) {

@@ -1,0 +1,217 @@
+package simcluster
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+	"nvmeopf/internal/telemetry"
+)
+
+// runRecordedCluster drives 1 LS + 1 TC tenant with flight recorders on
+// both sides and returns the parsed host and target dumps plus the
+// request counts, exercising the full record → dump → parse pipeline.
+func runRecordedCluster(t *testing.T, tcReqs, lsReqs, window int) (host, target *telemetry.Dump) {
+	t.Helper()
+	prof, err := ProfileFor(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := New(Options{Profile: prof, Mode: targetqp.ModeOPF, Seed: 42})
+	hostRec, targetRec := c.AttachFlightRecorders(telemetry.RecorderConfig{})
+	if c.HostRecorder() != hostRec || c.TargetRecorder() != targetRec {
+		t.Fatal("recorder accessors do not return the attached recorders")
+	}
+	tn, err := c.NewTargetNode("tgt0", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := c.NewInitiatorNode("ini0", tn)
+	tc, err := in.Connect(hostqp.Config{
+		Class: proto.PrioThroughputCritical, Window: window, QueueDepth: 32, NSID: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := in.Connect(hostqp.Config{
+		Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 1, NSID: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Run()
+
+	done, issued := 0, 0
+	tc.Session.OnConnect(func() {
+		var submit func()
+		submit = func() {
+			i := issued
+			issued++
+			if err := tc.Session.Submit(hostqp.IO{
+				Op: nvme.OpRead, LBA: uint64(i), Blocks: 1,
+				Done: func(hostqp.Result) {
+					done++
+					if issued < tcReqs {
+						submit()
+					}
+				},
+			}); err != nil {
+				t.Errorf("tc submit %d: %v", i, err)
+			}
+		}
+		// Keep the queue saturated without exceeding the depth limit.
+		for issued < tcReqs && issued < 24 {
+			submit()
+		}
+	})
+	lsDone := 0
+	ls.Session.OnConnect(func() {
+		var issue func()
+		issue = func() {
+			if lsDone >= lsReqs {
+				return
+			}
+			_ = ls.Session.Submit(hostqp.IO{
+				Op: nvme.OpRead, LBA: 9000, Blocks: 1,
+				Done: func(hostqp.Result) { lsDone++; issue() },
+			})
+		}
+		issue()
+	})
+	c.Run()
+	if err := c.CheckHealthy(); err != nil {
+		t.Fatal(err)
+	}
+	if done != tcReqs || lsDone != lsReqs {
+		t.Fatalf("completions: tc=%d/%d ls=%d/%d", done, tcReqs, lsDone, lsReqs)
+	}
+
+	// The handshake must have fed the host recorder a clock estimate: both
+	// sides share the virtual clock, so the estimated offset cannot exceed
+	// the handshake RTT.
+	off, rtt := hostRec.ClockOffset()
+	if rtt <= 0 {
+		t.Fatalf("handshake RTT estimate = %d, want > 0", rtt)
+	}
+	if off < -rtt || off > rtt {
+		t.Fatalf("shared-clock offset estimate %dns exceeds RTT bound %dns", off, rtt)
+	}
+
+	parse := func(rec *telemetry.Recorder) *telemetry.Dump {
+		var buf bytes.Buffer
+		if err := rec.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		d, err := telemetry.ReadDump(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	return parse(hostRec), parse(targetRec)
+}
+
+// TestClusterFlightRecorderReconstruction is the acceptance bar for the
+// flight-recorder pipeline: with ample ring capacity, the correlator must
+// rebuild ≥ 99% of submitted requests into complete timelines whose stage
+// durations telescope exactly to the end-to-end latency.
+func TestClusterFlightRecorderReconstruction(t *testing.T) {
+	const tcReqs, lsReqs, window = 64, 8, 8
+	host, target := runRecordedCluster(t, tcReqs, lsReqs, window)
+	if host.Meta.Role != "host" || target.Meta.Role != "target" {
+		t.Fatalf("dump roles: %q / %q", host.Meta.Role, target.Meta.Role)
+	}
+
+	c := telemetry.Correlate(host, target)
+	if !c.TwoSided {
+		t.Fatal("correlation not two-sided")
+	}
+	if c.Submitted != tcReqs+lsReqs {
+		t.Fatalf("submitted = %d, want %d", c.Submitted, tcReqs+lsReqs)
+	}
+	if ratio := float64(c.CompleteCount()) / float64(c.Submitted); ratio < 0.99 {
+		t.Fatalf("reconstruction ratio %.3f < 0.99 (%d/%d)", ratio, c.CompleteCount(), c.Submitted)
+	}
+
+	for i := range c.Timelines {
+		tl := &c.Timelines[i]
+		if !tl.Complete(true) {
+			t.Fatalf("incomplete timeline tenant=%d cid=%d epoch=%d: %+v", tl.Tenant, tl.CID, tl.Epoch, tl.Points)
+		}
+		if !tl.Monotonic(c.Tolerance) {
+			t.Fatalf("non-monotonic timeline tenant=%d cid=%d: %+v", tl.Tenant, tl.CID, tl.Points)
+		}
+		e2e, ok := tl.E2E()
+		if !ok || e2e <= 0 {
+			t.Fatalf("timeline tenant=%d cid=%d lacks e2e latency", tl.Tenant, tl.CID)
+		}
+		var sum int64
+		for _, name := range telemetry.SpanOrder {
+			sum += telemetry.Breakdown(tl)[name]
+		}
+		// Spans telescope: the sum equals e2e up to the clock-estimate
+		// error, once per cross-runtime hop (host→target and back).
+		if diff := sum - e2e; diff > 2*c.Tolerance || diff < -2*c.Tolerance {
+			t.Fatalf("spans sum %d != e2e %d (tolerance %d) for tenant=%d cid=%d",
+				sum, e2e, c.Tolerance, tl.Tenant, tl.CID)
+		}
+		// Queued TC requests must show the queueing stages; LS and the
+		// drain-marked trigger (which bypasses the tenant queue) must not.
+		switch prio := proto.Priority(tl.Prio); {
+		case prio.LatencySensitive():
+			if tl.Has(telemetry.StageEnqueue) {
+				t.Fatalf("LS timeline has an enqueue stage: %+v", tl.Points)
+			}
+		case prio.Draining():
+			if !tl.Has(telemetry.StageDrainMark) || tl.Has(telemetry.StageEnqueue) {
+				t.Fatalf("draining timeline stages wrong: %+v", tl.Points)
+			}
+		default:
+			if !tl.Has(telemetry.StageDrainStart) {
+				t.Fatalf("TC timeline missing drain-start: %+v", tl.Points)
+			}
+		}
+	}
+
+	// The analyzer sees a healthy run: everything reconstructed, no
+	// anomalies, both tenant classes present in the tables.
+	rep := telemetry.Analyze(c, telemetry.AnalyzeOptions{})
+	if rep.Incomplete != 0 || len(rep.Anomalies) != 0 {
+		t.Fatalf("healthy run reported %d incomplete, anomalies %+v", rep.Incomplete, rep.Anomalies)
+	}
+	classes := map[string]bool{}
+	for _, s := range rep.Stats {
+		classes[s.Class.String()] = true
+		if s.P50 <= 0 || s.Max < s.P99 || s.P99 < s.P50 {
+			t.Fatalf("stats row out of order: %+v", s)
+		}
+	}
+	if !classes["ls"] || !classes["tc"] {
+		t.Fatalf("report classes = %v, want both ls and tc", classes)
+	}
+}
+
+// TestClusterFlightRecorderDeterminism: two identical simulated runs must
+// produce byte-identical analyzer reports — the property that makes the
+// opf-trace golden test (and every future trace regression test) stable.
+func TestClusterFlightRecorderDeterminism(t *testing.T) {
+	render := func() string {
+		host, target := runRecordedCluster(t, 32, 4, 8)
+		rep := telemetry.Analyze(telemetry.Correlate(host, target), telemetry.AnalyzeOptions{})
+		var buf bytes.Buffer
+		if err := rep.WriteText(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Fatalf("reports differ across identical runs:\n--- run 1:\n%s\n--- run 2:\n%s", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("empty report")
+	}
+}

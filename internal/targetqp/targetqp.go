@@ -72,12 +72,17 @@ type Config struct {
 	// suppressions, responses, service latency). Nil disables at zero
 	// cost.
 	Telemetry *telemetry.Registry
-	// Trace optionally receives PDU lifecycle events (enqueue,
+	// Trace optionally receives PDU lifecycle events (arrive, enqueue,
 	// drain-start, device-complete, coalesced-notify). Nil disables.
 	Trace telemetry.TraceFunc
+	// Recorder optionally attaches a target-side flight recorder: its
+	// Trace hook is chained after Trace. Nil disables.
+	Recorder *telemetry.Recorder
 	// Clock provides timestamps for service-latency samples (virtual in
-	// the simulator, wall clock on the TCP transport). Nil disables
-	// latency recording; counters are unaffected.
+	// the simulator, wall clock on the TCP transport). It is also the
+	// clock the ICResp shares with hosts for cross-runtime trace
+	// correlation. Nil disables latency recording; counters are
+	// unaffected.
 	Clock func() int64
 }
 
@@ -122,6 +127,9 @@ func NewTarget(cfg Config, backend Backend) (*Target, error) {
 	ns := backend.Namespace()
 	if err := ns.Validate(); err != nil {
 		return nil, err
+	}
+	if cfg.Recorder != nil {
+		cfg.Trace = telemetry.ChainTrace(cfg.Trace, cfg.Recorder.Trace)
 	}
 	pm := core.NewTargetPM(core.TargetPMConfig{
 		Isolated:   !cfg.SharedQueueAblation,
@@ -260,13 +268,19 @@ func (s *Session) handleICReq(pdu *proto.ICReq) error {
 	t.cfg.Telemetry.SetClass(s.tenant, pdu.Prio)
 	s.connected = true
 	ns := be.Namespace()
-	s.send(&proto.ICResp{
+	resp := &proto.ICResp{
 		PFV:        ProtocolVersion,
 		Tenant:     s.tenant,
 		MaxDataLen: t.cfg.MaxDataLen,
 		BlockSize:  ns.BlockSize,
 		Capacity:   ns.Capacity,
-	})
+	}
+	if t.cfg.Clock != nil {
+		// Share the target clock so the host can estimate the offset
+		// between the runtimes (flight-recorder correlation).
+		resp.TargetClock = t.cfg.Clock()
+	}
+	s.send(resp)
 	return nil
 }
 
@@ -298,6 +312,9 @@ func (s *Session) handleCmd(pdu *proto.CapsuleCmd) error {
 	}
 	s.reqs[cid] = req
 	t.cfg.Telemetry.IncSubmitted(s.tenant, int64(len(pdu.Data)))
+	if t.cfg.Trace != nil {
+		t.cfg.Trace(telemetry.Event{Stage: telemetry.StageArrive, Tenant: s.tenant, CID: cid, Prio: prio, Aux: int64(len(pdu.Data))})
+	}
 
 	disposition, batch := t.pm.OnCommand(s.tenant, cid, prio)
 	switch disposition {
@@ -368,7 +385,7 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 	if t.cfg.Clock != nil && req.arrivedAt != 0 {
 		svcLat = t.cfg.Clock() - req.arrivedAt
 	}
-	t.cfg.Telemetry.IncCompleted(tenant, svcLat, int64(len(data)), st.OK())
+	t.cfg.Telemetry.IncCompleted(tenant, req.prio, svcLat, int64(len(data)), st.OK())
 	if t.cfg.Trace != nil {
 		t.cfg.Trace(telemetry.Event{Stage: telemetry.StageDeviceComplete, Tenant: tenant, CID: cid, Prio: req.prio, Aux: svcLat})
 	}

@@ -381,6 +381,26 @@ func (c *Conn) Stats() hostqp.Stats {
 	}
 }
 
+// ClockOffset returns the handshake-estimated target-minus-host clock
+// offset and the RTT bounding its error (zero when the target shares no
+// clock). opf-trace uses it to merge host and target recorder dumps.
+func (c *Conn) ClockOffset() (offset, rtt int64) {
+	type pair struct{ off, rtt int64 }
+	ch := make(chan pair, 1)
+	if !c.post(func() {
+		o, r := c.sess.ClockOffset()
+		ch <- pair{o, r}
+	}) {
+		return 0, 0
+	}
+	select {
+	case p := <-ch:
+		return p.off, p.rtt
+	case <-c.quit:
+		return 0, 0
+	}
+}
+
 // Tenant returns the target-assigned tenant ID.
 func (c *Conn) Tenant() proto.TenantID {
 	ch := make(chan proto.TenantID, 1)

@@ -44,6 +44,10 @@ type ServerConfig struct {
 	// Trace optionally receives PDU lifecycle events from the target
 	// state machines. It runs on the reactor goroutine: keep it fast.
 	Trace telemetry.TraceFunc
+	// Recorder optionally attaches a target-side flight recorder (chained
+	// after Trace; attach it to Telemetry with SetRecorder to serve
+	// /debug/trace). Nil disables.
+	Recorder *telemetry.Recorder
 }
 
 // Server is a TCP NVMe-oPF target bound to a listener.
@@ -88,6 +92,7 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 		MaxPending: cfg.MaxPending,
 		Telemetry:  cfg.Telemetry,
 		Trace:      cfg.Trace,
+		Recorder:   cfg.Recorder,
 		Clock:      func() int64 { return time.Now().UnixNano() },
 	}, &execBackend{s: s, nsid: 1, dev: cfg.Device})
 	if err != nil {

@@ -140,6 +140,128 @@ func TestServerTelemetryScrape(t *testing.T) {
 	}
 }
 
+// TestServerObservabilityEndpoints covers the full live-wire observability
+// surface added with the flight recorder: histogram and SLO burn-rate
+// series on /metrics, the /debug/slo JSON view, a parseable /debug/trace
+// JSONL dump, pprof under /debug/pprof/, and a handshake-estimated clock
+// offset on the client connection.
+func TestServerObservabilityEndpoints(t *testing.T) {
+	dev, err := bdev.NewMemory(512, 4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := telemetry.New()
+	tel.SetDefaultSLO(time.Second, 0.999)
+	rec := telemetry.NewRecorder(telemetry.RecorderConfig{Role: "target"})
+	tel.SetRecorder(rec)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Mode: targetqp.ModeOPF, Device: dev, Telemetry: tel, Recorder: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	exp, err := tel.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer exp.Close()
+
+	hostRec := telemetry.NewRecorder(telemetry.RecorderConfig{Role: "host"})
+	conn, err := Dial(srv.Addr(), hostqp.Config{
+		Class: proto.PrioThroughputCritical, Window: 4, QueueDepth: 16, NSID: 1,
+		Recorder: hostRec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	buf := make([]byte, 512)
+	for i := 0; i < 8; i++ {
+		if err := conn.Write(uint64(i), buf, 0); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+
+	// The ICReq/ICResp handshake produced a clock estimate; on one machine
+	// the offset is near zero but the RTT must be a real round trip.
+	if _, rtt := conn.ClockOffset(); rtt <= 0 {
+		t.Fatalf("handshake RTT = %d, want > 0", rtt)
+	}
+	if off1, rtt1 := hostRec.ClockOffset(); off1 == 0 && rtt1 == 0 {
+		t.Fatal("host recorder never received the handshake clock estimate")
+	}
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + exp.Addr() + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	tenant := conn.Tenant()
+	if code, text := get("/metrics"); code != http.StatusOK {
+		t.Fatalf("/metrics status %d", code)
+	} else {
+		for _, series := range []string{
+			fmt.Sprintf(`nvmeopf_tenant_latency_hist_ns_bucket{tenant="%d",class="tc",le="1023"}`, tenant),
+			fmt.Sprintf(`nvmeopf_tenant_latency_hist_ns_bucket{tenant="%d",class="tc",le="+Inf"}`, tenant),
+			"nvmeopf_tenant_latency_hist_ns_sum",
+			"nvmeopf_tenant_latency_hist_ns_count",
+			fmt.Sprintf(`nvmeopf_tenant_slo_objective_ns{tenant="%d"} 1000000000`, tenant),
+			"nvmeopf_tenant_slo_good_total",
+			"nvmeopf_tenant_slo_violations_total",
+			`nvmeopf_tenant_slo_burn_rate{tenant="` + fmt.Sprint(tenant) + `",window="total"}`,
+		} {
+			if !strings.Contains(text, series) {
+				t.Fatalf("/metrics missing %q:\n%s", series, text)
+			}
+		}
+	}
+
+	if code, body := get("/debug/slo"); code != http.StatusOK || !strings.Contains(body, `"objective_ns"`) {
+		t.Fatalf("/debug/slo status %d body %s", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Fatalf("/debug/pprof/ status %d", code)
+	}
+
+	code, body := get("/debug/trace")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/trace status %d", code)
+	}
+	dump, err := telemetry.ReadDump(strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("/debug/trace not parseable: %v", err)
+	}
+	if dump.Meta.Role != "target" || len(dump.Events) == 0 {
+		t.Fatalf("/debug/trace dump role=%q events=%d", dump.Meta.Role, len(dump.Events))
+	}
+
+	// Without a recorder the endpoint reports there is nothing to dump.
+	bare, err := telemetry.New().Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer bare.Close()
+	resp, err := http.Get("http://" + bare.Addr() + "/debug/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("recorder-less /debug/trace status %d, want 404", resp.StatusCode)
+	}
+}
+
 // TestDialRetryCountsReconnects verifies the reconnect counter: the first
 // attempts hit a dead address, then the target comes up.
 func TestDialRetryCountsReconnects(t *testing.T) {

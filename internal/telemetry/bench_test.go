@@ -14,7 +14,7 @@ func TestDisabledRegistryZeroAllocs(t *testing.T) {
 		r.IncSubmitted(3, 4096)
 		r.IncTCQueued(3)
 		r.SetQueueDepth(3, 7)
-		r.IncCompleted(3, 1500, 4096, true)
+		r.IncCompleted(3, 2, 1500, 4096, true)
 		r.IncSuppressed(3)
 		r.IncResponse(3, true)
 	})
@@ -31,12 +31,61 @@ func TestEnabledRegistryZeroAllocs(t *testing.T) {
 		r.IncSubmitted(3, 4096)
 		r.IncTCQueued(3)
 		r.SetQueueDepth(3, 7)
-		r.IncCompleted(3, 1500, 4096, true)
+		r.IncCompleted(3, 2, 1500, 4096, true)
 		r.IncSuppressed(3)
 		r.IncResponse(3, true)
 	})
 	if allocs != 0 {
 		t.Fatalf("enabled registry allocated %.1f allocs/op on the record path, want 0", allocs)
+	}
+}
+
+// TestRecorderTraceZeroAllocs: the flight recorder shares the registry's
+// cost model — an enabled Trace is three atomic stores into a
+// pre-installed ring (the lazy ring install happens on AllocsPerRun's
+// warm-up call), and a nil recorder is one branch.
+func TestRecorderTraceZeroAllocs(t *testing.T) {
+	rec := NewRecorder(RecorderConfig{PerTenant: 64})
+	ev := Event{Stage: StageSubmit, Tenant: 3, CID: 9, Prio: 2, Aux: 4096}
+	if allocs := testing.AllocsPerRun(1000, func() { rec.Trace(ev) }); allocs != 0 {
+		t.Fatalf("enabled recorder Trace allocated %.1f allocs/op, want 0", allocs)
+	}
+	var nilRec *Recorder
+	if allocs := testing.AllocsPerRun(1000, func() { nilRec.Trace(ev) }); allocs != 0 {
+		t.Fatalf("nil recorder Trace allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestHistRecordZeroAllocs: the histogram record path is two atomic adds
+// plus a CAS loop for the max — never an allocation.
+func TestHistRecordZeroAllocs(t *testing.T) {
+	h := &Hist{}
+	v := int64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		v += 997
+		h.Record(v)
+	}); allocs != 0 {
+		t.Fatalf("hist Record allocated %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// BenchmarkRecorderTrace measures the per-event flight-recorder cost the
+// reactor pays when a recorder is attached.
+func BenchmarkRecorderTrace(b *testing.B) {
+	rec := NewRecorder(RecorderConfig{})
+	ev := Event{Stage: StageSubmit, Tenant: 3, CID: 9, Prio: 2, Aux: 4096}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec.Trace(ev)
+	}
+}
+
+// BenchmarkHistRecord measures the histogram record path in isolation.
+func BenchmarkHistRecord(b *testing.B) {
+	h := &Hist{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(int64(i))
 	}
 }
 
@@ -47,7 +96,7 @@ func BenchmarkDisabledSubmitPath(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.IncSubmitted(3, 4096)
-		r.IncCompleted(3, 1500, 4096, true)
+		r.IncCompleted(3, 2, 1500, 4096, true)
 	}
 }
 
@@ -58,7 +107,7 @@ func BenchmarkEnabledSubmitPath(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		r.IncSubmitted(3, 4096)
-		r.IncCompleted(3, 1500, 4096, true)
+		r.IncCompleted(3, 2, 1500, 4096, true)
 	}
 }
 
@@ -70,7 +119,7 @@ func BenchmarkEnabledSubmitPathParallel(b *testing.B) {
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
 			r.IncSubmitted(3, 4096)
-			r.IncCompleted(3, 1500, 4096, true)
+			r.IncCompleted(3, 2, 1500, 4096, true)
 		}
 	})
 }

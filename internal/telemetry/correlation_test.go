@@ -1,0 +1,200 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// ev builds one dump event.
+func ev(ts int64, st Stage, tenant uint8, cid uint16, prio uint8, aux int64) RecordedEvent {
+	return RecordedEvent{TS: ts, Stage: uint8(st), Tenant: tenant, CID: cid, Prio: prio, Aux: aux}
+}
+
+// twoSidedFixture builds matching host/target dumps for one TC request
+// (tenant 1, CID 5) and one LS request (tenant 2, CID 3). Target clock
+// runs 100ns ahead of the host's; the host estimated that offset with a
+// 10ns RTT during the handshake.
+func twoSidedFixture() (*Dump, *Dump) {
+	host := &Dump{
+		Meta: DumpMeta{Format: DumpFormat, Role: "host", ClockOffset: 100, RTT: 10},
+		Events: []RecordedEvent{
+			ev(1000, StageSubmit, 1, 5, 2, 4096),
+			ev(1000, StageDrainMark, 1, 5, 2, 0),
+			ev(2000, StageSubmit, 2, 3, 1, 0),
+			ev(4000, StageComplete, 2, 3, 1, 2000),
+			ev(9000, StageComplete, 1, 5, 2, 8000),
+		},
+	}
+	target := &Dump{
+		Meta: DumpMeta{Format: DumpFormat, Role: "target"},
+		Events: []RecordedEvent{
+			// Target-clock timestamps: host time + 100.
+			ev(1600, StageArrive, 1, 5, 2, 4096),
+			ev(1700, StageEnqueue, 1, 5, 2, 1),
+			ev(2600, StageArrive, 2, 3, 1, 0),
+			ev(3100, StageDrainStart, 1, 5, 2, 1),
+			ev(3600, StageDeviceComplete, 2, 3, 1, 1000),
+			ev(6100, StageDeviceComplete, 1, 5, 2, 3000),
+			ev(7100, StageCoalescedNotify, 1, 5, 2, 1),
+		},
+	}
+	return host, target
+}
+
+func TestCorrelateTwoSided(t *testing.T) {
+	host, target := twoSidedFixture()
+	c := Correlate(host, target)
+	if !c.TwoSided || c.Offset != 100 || c.Tolerance != 10 {
+		t.Fatalf("correlation meta wrong: twoSided=%v offset=%d tol=%d", c.TwoSided, c.Offset, c.Tolerance)
+	}
+	if c.Submitted != 2 || len(c.Timelines) != 2 {
+		t.Fatalf("submitted=%d timelines=%d, want 2/2", c.Submitted, len(c.Timelines))
+	}
+	if c.CompleteCount() != 2 {
+		t.Fatalf("CompleteCount = %d, want 2", c.CompleteCount())
+	}
+
+	tc := &c.Timelines[0] // tenant 1 sorts first
+	if tc.Tenant != 1 || tc.CID != 5 || tc.Prio != 2 || len(tc.Points) != 8 {
+		t.Fatalf("TC timeline wrong: %+v", tc)
+	}
+	// Target events land on the host axis: target TS minus the offset.
+	for stage, want := range map[Stage]int64{
+		StageSubmit: 1000, StageArrive: 1500, StageEnqueue: 1600,
+		StageDrainStart: 3000, StageDeviceComplete: 6000,
+		StageCoalescedNotify: 7000, StageComplete: 9000,
+	} {
+		if got, ok := tc.TS(stage); !ok || got != want {
+			t.Fatalf("stage %v TS = %d,%v, want %d", stage, got, ok, want)
+		}
+	}
+	if e2e, ok := tc.E2E(); !ok || e2e != 8000 {
+		t.Fatalf("TC e2e = %d,%v, want 8000", e2e, ok)
+	}
+
+	// The telescoping invariant: span durations sum exactly to e2e.
+	bd := Breakdown(tc)
+	if bd[SpanXfer] != 500 || bd[SpanQueue] != 1500 || bd[SpanService] != 3000 ||
+		bd[SpanNotify] != 1000 || bd[SpanReturn] != 2000 {
+		t.Fatalf("TC breakdown wrong: %+v", bd)
+	}
+	var sum int64
+	for _, name := range SpanOrder {
+		sum += bd[name]
+	}
+	if sum != 8000 {
+		t.Fatalf("span sum = %d, want e2e 8000", sum)
+	}
+
+	// LS request: no queue/notify stages; spans collapse, sum still exact.
+	ls := &c.Timelines[1]
+	if ls.Tenant != 2 || ls.Prio != 1 {
+		t.Fatalf("LS timeline wrong: %+v", ls)
+	}
+	lbd := Breakdown(ls)
+	if lbd[SpanXfer] != 500 || lbd[SpanService] != 1000 || lbd[SpanReturn] != 500 {
+		t.Fatalf("LS breakdown wrong: %+v", lbd)
+	}
+	if _, hasQueue := lbd[SpanQueue]; hasQueue {
+		t.Fatalf("LS breakdown reports a queue span: %+v", lbd)
+	}
+}
+
+// TestCorrelateCIDReuse: the same (tenant, CID) submitted twice must
+// produce two epochs, each pairing the k-th submit with the k-th arrival.
+func TestCorrelateCIDReuse(t *testing.T) {
+	host := &Dump{
+		Meta: DumpMeta{Format: DumpFormat, Role: "host"},
+		Events: []RecordedEvent{
+			ev(100, StageSubmit, 1, 9, 1, 0),
+			ev(300, StageComplete, 1, 9, 1, 200),
+			ev(500, StageSubmit, 1, 9, 1, 0),
+			ev(900, StageComplete, 1, 9, 1, 400),
+		},
+	}
+	target := &Dump{
+		Meta: DumpMeta{Format: DumpFormat, Role: "target"},
+		Events: []RecordedEvent{
+			ev(150, StageArrive, 1, 9, 1, 0),
+			ev(200, StageDeviceComplete, 1, 9, 1, 0),
+			ev(600, StageArrive, 1, 9, 1, 0),
+			ev(700, StageDeviceComplete, 1, 9, 1, 0),
+		},
+	}
+	c := Correlate(host, target)
+	if len(c.Timelines) != 2 || c.Submitted != 2 || c.CompleteCount() != 2 {
+		t.Fatalf("reuse correlation wrong: %d timelines, %d submitted, %d complete",
+			len(c.Timelines), c.Submitted, c.CompleteCount())
+	}
+	for i, wantE2E := range []int64{200, 400} {
+		tl := &c.Timelines[i]
+		if tl.Epoch != i {
+			t.Fatalf("timeline %d epoch = %d", i, tl.Epoch)
+		}
+		if e2e, ok := tl.E2E(); !ok || e2e != wantE2E {
+			t.Fatalf("epoch %d e2e = %d, want %d", i, e2e, wantE2E)
+		}
+	}
+}
+
+// TestCorrelateSingleSided: a target-only dump still yields timelines
+// (opened at arrival) without counting host-side submits it cannot see.
+func TestCorrelateSingleSided(t *testing.T) {
+	_, target := twoSidedFixture()
+	c := Correlate(nil, target)
+	if c.TwoSided {
+		t.Fatal("single-sided correlation claims two sides")
+	}
+	if len(c.Timelines) != 2 {
+		t.Fatalf("timelines = %d, want 2", len(c.Timelines))
+	}
+	if c.Timelines[0].Has(StageSubmit) {
+		t.Fatal("target-only timeline has a submit stage")
+	}
+	// Without the host dump's meta the offset defaults to zero.
+	if c.Offset != 0 {
+		t.Fatalf("offset = %d, want 0", c.Offset)
+	}
+}
+
+func TestAnalyzeDetectorsAndReport(t *testing.T) {
+	host, target := twoSidedFixture()
+	// Drop the TC complete: an incomplete timeline plus a reconstruction
+	// ratio below 1.
+	host.Events = host.Events[:len(host.Events)-1]
+	c := Correlate(host, target)
+	rep := Analyze(c, AnalyzeOptions{StallThreshold: 1000})
+	if rep.Submitted != 2 || rep.Complete != 1 || rep.Incomplete != 1 {
+		t.Fatalf("report counts wrong: %+v", rep)
+	}
+	if r := rep.ReconstructionRatio(); r != 0.5 {
+		t.Fatalf("reconstruction ratio = %v, want 0.5", r)
+	}
+	var kinds []string
+	for _, a := range rep.Anomalies {
+		kinds = append(kinds, a.Kind)
+	}
+	// TC queue wait was 1500ns > 1000ns threshold → drain-stall; the
+	// dropped complete → incomplete. Sorted by kind.
+	if len(kinds) != 2 || kinds[0] != "drain-stall" || kinds[1] != "incomplete" {
+		t.Fatalf("anomaly kinds = %v", kinds)
+	}
+
+	var buf bytes.Buffer
+	if err := rep.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"== opf-trace report ==",
+		"dumps: host+target  clock-offset=100ns  tolerance=10ns",
+		"2 submitted, 1 reconstructed (50.0%), 1 incomplete",
+		"[drain-stall]",
+		"[incomplete]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q:\n%s", want, out)
+		}
+	}
+}

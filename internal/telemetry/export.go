@@ -5,21 +5,32 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
+	"time"
+
+	"nvmeopf/internal/proto"
 )
 
 // Handler returns an http.Handler exposing the registry:
 //
-//	/metrics        Prometheus text exposition (counters + gauges)
+//	/metrics        Prometheus text exposition (counters, gauges,
+//	                per-class latency histograms, SLO burn rates)
 //	/debug/tenants  JSON: live per-tenant instrument table
 //	/debug/windows  JSON: recent window-optimizer decisions
+//	/debug/slo      JSON: per-tenant SLO state and burn rates
+//	/debug/trace    JSONL: flight-recorder dump (when one is attached)
+//	/debug/pprof/   net/http/pprof profiles from the live process
 //
 // The handler only reads snapshots; it never blocks the record path.
+// Each /metrics scrape also checkpoints the SLO counters (TickSLO), so
+// the multi-window burn rates advance at scrape cadence.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		r.TickSLO(time.Now().UnixNano())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprint(w, r.PrometheusText())
 	})
@@ -34,7 +45,35 @@ func (r *Registry) Handler() http.Handler {
 			Windows []WindowDecision `json:"windows"`
 		}{r.WindowLog()})
 	})
+	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Windows []string      `json:"windows"`
+			SLOs    []SLOSnapshot `json:"slos"`
+		}{sloWindowNames(), r.SLOs(time.Now().UnixNano())})
+	})
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+		rec := r.Recorder()
+		if rec == nil {
+			http.Error(w, "no flight recorder attached", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = rec.WriteJSONL(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	return mux
+}
+
+func sloWindowNames() []string {
+	names := make([]string, 0, len(SLOBurnWindows)+1)
+	for _, w := range SLOBurnWindows {
+		names = append(names, w.Name)
+	}
+	return append(names, "total")
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -43,6 +82,17 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
+
+// histExportBounds are the bucket boundaries /metrics exposes: powers of
+// two minus one from 1023ns (~1µs) to ~1.07s. Each is the exact upper
+// bound of an internal bucket, so the cumulative counts are exact.
+var histExportBounds = func() []int64 {
+	var out []int64
+	for k := 10; k <= 30; k++ {
+		out = append(out, (int64(1)<<k)-1)
+	}
+	return out
+}()
 
 // metricDef maps one per-tenant instrument to a Prometheus series.
 type metricDef struct {
@@ -91,15 +141,68 @@ func (r *Registry) PrometheusText() string {
 	for _, t := range tenants {
 		fmt.Fprintf(&b, "nvmeopf_tenant_coalescing_ratio{tenant=\"%d\"} %.4f\n", t.Tenant, t.CoalescingRatio)
 	}
-	b.WriteString("# HELP nvmeopf_tenant_latency_ns Sampled end-to-end latency quantiles.\n" +
+	b.WriteString("# HELP nvmeopf_tenant_latency_ns End-to-end latency quantiles from the log-bucketed histograms.\n" +
 		"# TYPE nvmeopf_tenant_latency_ns gauge\n")
 	for _, t := range tenants {
 		if t.LatencySamples == 0 {
 			continue
 		}
 		fmt.Fprintf(&b, "nvmeopf_tenant_latency_ns{tenant=\"%d\",quantile=\"0.5\"} %d\n", t.Tenant, t.LatencyP50)
+		fmt.Fprintf(&b, "nvmeopf_tenant_latency_ns{tenant=\"%d\",quantile=\"0.95\"} %d\n", t.Tenant, t.LatencyP95)
 		fmt.Fprintf(&b, "nvmeopf_tenant_latency_ns{tenant=\"%d\",quantile=\"0.99\"} %d\n", t.Tenant, t.LatencyP99)
+		fmt.Fprintf(&b, "nvmeopf_tenant_latency_ns{tenant=\"%d\",quantile=\"0.999\"} %d\n", t.Tenant, t.LatencyP999)
 		fmt.Fprintf(&b, "nvmeopf_tenant_latency_ns{tenant=\"%d\",quantile=\"1\"} %d\n", t.Tenant, t.LatencyMax)
+	}
+	b.WriteString("# HELP nvmeopf_tenant_latency_hist_ns End-to-end latency histogram per class (log-bucketed, ~3% relative error).\n" +
+		"# TYPE nvmeopf_tenant_latency_hist_ns histogram\n")
+	for _, t := range tenants {
+		for c := Class(0); c < numClasses; c++ {
+			h := r.LatencyHist(proto.TenantID(t.Tenant), c)
+			if h == nil {
+				continue
+			}
+			hs := h.Snapshot()
+			if hs.Count == 0 {
+				continue
+			}
+			for _, le := range histExportBounds {
+				fmt.Fprintf(&b, "nvmeopf_tenant_latency_hist_ns_bucket{tenant=\"%d\",class=\"%s\",le=\"%d\"} %d\n",
+					t.Tenant, c, le, hs.CumulativeLE(le))
+			}
+			fmt.Fprintf(&b, "nvmeopf_tenant_latency_hist_ns_bucket{tenant=\"%d\",class=\"%s\",le=\"+Inf\"} %d\n",
+				t.Tenant, c, hs.Count)
+			fmt.Fprintf(&b, "nvmeopf_tenant_latency_hist_ns_sum{tenant=\"%d\",class=\"%s\"} %d\n", t.Tenant, c, hs.Sum)
+			fmt.Fprintf(&b, "nvmeopf_tenant_latency_hist_ns_count{tenant=\"%d\",class=\"%s\"} %d\n", t.Tenant, c, hs.Count)
+		}
+	}
+	if slos := r.SLOs(time.Now().UnixNano()); len(slos) > 0 {
+		b.WriteString("# HELP nvmeopf_tenant_slo_objective_ns Declared per-tenant latency objective.\n" +
+			"# TYPE nvmeopf_tenant_slo_objective_ns gauge\n")
+		for _, s := range slos {
+			fmt.Fprintf(&b, "nvmeopf_tenant_slo_objective_ns{tenant=\"%d\"} %d\n", s.Tenant, s.ObjectiveNS)
+		}
+		b.WriteString("# HELP nvmeopf_tenant_slo_good_total Completions within the latency objective.\n" +
+			"# TYPE nvmeopf_tenant_slo_good_total counter\n")
+		for _, s := range slos {
+			fmt.Fprintf(&b, "nvmeopf_tenant_slo_good_total{tenant=\"%d\"} %d\n", s.Tenant, s.Good)
+		}
+		b.WriteString("# HELP nvmeopf_tenant_slo_violations_total Completions slower than the objective.\n" +
+			"# TYPE nvmeopf_tenant_slo_violations_total counter\n")
+		for _, s := range slos {
+			fmt.Fprintf(&b, "nvmeopf_tenant_slo_violations_total{tenant=\"%d\"} %d\n", s.Tenant, s.Violations)
+		}
+		b.WriteString("# HELP nvmeopf_tenant_slo_burn_rate Error-budget burn rate per trailing window (1 = consuming exactly the budget).\n" +
+			"# TYPE nvmeopf_tenant_slo_burn_rate gauge\n")
+		for _, s := range slos {
+			for w, win := range SLOBurnWindows {
+				if s.BurnRate[w] >= 0 {
+					fmt.Fprintf(&b, "nvmeopf_tenant_slo_burn_rate{tenant=\"%d\",window=\"%s\"} %.4f\n", s.Tenant, win.Name, s.BurnRate[w])
+				}
+			}
+			if s.BurnTotal >= 0 {
+				fmt.Fprintf(&b, "nvmeopf_tenant_slo_burn_rate{tenant=\"%d\",window=\"total\"} %.4f\n", s.Tenant, s.BurnTotal)
+			}
+		}
 	}
 	g := r.Global()
 	fmt.Fprintf(&b, "# HELP nvmeopf_connections_total Connections established.\n# TYPE nvmeopf_connections_total counter\nnvmeopf_connections_total %d\n", g.Connections)

@@ -7,14 +7,16 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 )
 
 // goldenRegistry builds a registry with fixed, deterministic contents.
 func goldenRegistry() *Registry {
 	r := New()
 	r.SetClass(0, 1) // latency-sensitive
+	r.SetSLO(0, 2*time.Microsecond, 0.999)
 	r.IncSubmitted(0, 0)
-	r.IncCompleted(0, 1500, 4096, true)
+	r.IncCompleted(0, 1, 1500, 4096, true)
 	r.IncLSBypass(0)
 
 	r.SetClass(3, 2) // throughput-critical
@@ -23,7 +25,7 @@ func goldenRegistry() *Registry {
 		r.IncTCQueued(3)
 	}
 	for i := 0; i < 16; i++ {
-		r.IncCompleted(3, -1, 0, true) // no latency samples: deterministic
+		r.IncCompleted(3, 2, -1, 0, true) // no latency samples: deterministic
 	}
 	for i := 0; i < 15; i++ {
 		r.IncSuppressed(3)
@@ -99,11 +101,51 @@ nvmeopf_tenant_coalesced_responses_total{tenant="3"} 1
 # TYPE nvmeopf_tenant_coalescing_ratio gauge
 nvmeopf_tenant_coalescing_ratio{tenant="0"} 0.0000
 nvmeopf_tenant_coalescing_ratio{tenant="3"} 16.0000
-# HELP nvmeopf_tenant_latency_ns Sampled end-to-end latency quantiles.
+# HELP nvmeopf_tenant_latency_ns End-to-end latency quantiles from the log-bucketed histograms.
 # TYPE nvmeopf_tenant_latency_ns gauge
 nvmeopf_tenant_latency_ns{tenant="0",quantile="0.5"} 1500
+nvmeopf_tenant_latency_ns{tenant="0",quantile="0.95"} 1500
 nvmeopf_tenant_latency_ns{tenant="0",quantile="0.99"} 1500
+nvmeopf_tenant_latency_ns{tenant="0",quantile="0.999"} 1500
 nvmeopf_tenant_latency_ns{tenant="0",quantile="1"} 1500
+# HELP nvmeopf_tenant_latency_hist_ns End-to-end latency histogram per class (log-bucketed, ~3% relative error).
+# TYPE nvmeopf_tenant_latency_hist_ns histogram
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="1023"} 0
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="2047"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="4095"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="8191"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="16383"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="32767"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="65535"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="131071"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="262143"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="524287"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="1048575"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="2097151"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="4194303"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="8388607"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="16777215"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="33554431"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="67108863"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="134217727"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="268435455"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="536870911"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="1073741823"} 1
+nvmeopf_tenant_latency_hist_ns_bucket{tenant="0",class="ls",le="+Inf"} 1
+nvmeopf_tenant_latency_hist_ns_sum{tenant="0",class="ls"} 1500
+nvmeopf_tenant_latency_hist_ns_count{tenant="0",class="ls"} 1
+# HELP nvmeopf_tenant_slo_objective_ns Declared per-tenant latency objective.
+# TYPE nvmeopf_tenant_slo_objective_ns gauge
+nvmeopf_tenant_slo_objective_ns{tenant="0"} 2000
+# HELP nvmeopf_tenant_slo_good_total Completions within the latency objective.
+# TYPE nvmeopf_tenant_slo_good_total counter
+nvmeopf_tenant_slo_good_total{tenant="0"} 1
+# HELP nvmeopf_tenant_slo_violations_total Completions slower than the objective.
+# TYPE nvmeopf_tenant_slo_violations_total counter
+nvmeopf_tenant_slo_violations_total{tenant="0"} 0
+# HELP nvmeopf_tenant_slo_burn_rate Error-budget burn rate per trailing window (1 = consuming exactly the budget).
+# TYPE nvmeopf_tenant_slo_burn_rate gauge
+nvmeopf_tenant_slo_burn_rate{tenant="0",window="total"} 0.0000
 # HELP nvmeopf_connections_total Connections established.
 # TYPE nvmeopf_connections_total counter
 nvmeopf_connections_total 2

@@ -1,0 +1,219 @@
+package telemetry
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"nvmeopf/internal/proto"
+)
+
+// Class buckets the latency instruments by the paper's two tenant
+// classes. Legacy/normal traffic accounts under ClassTC: it shares the
+// FIFO/batched execution path, so its latency belongs with the
+// throughput-critical population, not the bypass one.
+type Class uint8
+
+// Classes.
+const (
+	ClassLS Class = iota
+	ClassTC
+	numClasses
+)
+
+// String implements fmt.Stringer (the Prometheus label value).
+func (c Class) String() string {
+	if c == ClassLS {
+		return "ls"
+	}
+	return "tc"
+}
+
+// ClassOf maps a wire priority to its latency class.
+func ClassOf(p proto.Priority) Class {
+	if p.LatencySensitive() {
+		return ClassLS
+	}
+	return ClassTC
+}
+
+// Log-bucketed HDR-style histogram geometry. Values are bucketed by the
+// position of their most significant bit (the octave) and histSubBuckets
+// linear sub-buckets per octave, so the relative quantile error is bounded
+// by 1/histSubBuckets ≈ 3.1% while the whole non-negative int64 range is
+// covered by a fixed array — no allocation and no saturation on the record
+// path, unlike the sample rings this replaces.
+const (
+	histSubBits    = 5
+	histSubBuckets = 1 << histSubBits
+	// Values below histSubBuckets get exact buckets (block 0); each MSB
+	// position from histSubBits..62 gets one block of histSubBuckets.
+	histBuckets = (64 - histSubBits) * histSubBuckets
+)
+
+// histBucketIndex maps a value to its bucket. Negative values clamp to 0.
+func histBucketIndex(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	u := uint64(v)
+	hi := 63 - bits.LeadingZeros64(u|1)
+	if hi < histSubBits {
+		return int(u)
+	}
+	shift := uint(hi - histSubBits)
+	return ((hi - histSubBits + 1) << histSubBits) | int((u>>shift)&(histSubBuckets-1))
+}
+
+// histBucketUpper returns the largest value a bucket admits (the
+// conservative representative Quantile reports).
+func histBucketUpper(idx int) int64 {
+	if idx < histSubBuckets {
+		return int64(idx)
+	}
+	block := idx >> histSubBits
+	sub := idx & (histSubBuckets - 1)
+	shift := uint(block - 1)
+	return int64(uint64(histSubBuckets+sub+1)<<shift) - 1
+}
+
+// Hist is a lock-free log-bucketed latency histogram. Record is safe for
+// concurrent use, allocation-free, and never saturates; readers take a
+// Snapshot and compute quantiles from the copy. A nil *Hist ignores
+// Record and reports zero everywhere.
+type Hist struct {
+	counts [histBuckets]atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+// Record adds one sample (negative values clamp to 0).
+func (h *Hist) Record(v int64) {
+	if h == nil {
+		return
+	}
+	if v < 0 {
+		v = 0
+	}
+	h.counts[histBucketIndex(v)].Add(1)
+	h.sum.Add(v)
+	for {
+		m := h.max.Load()
+		if v <= m || h.max.CompareAndSwap(m, v) {
+			return
+		}
+	}
+}
+
+// Merge adds o's counts into h (cold path; tests and aggregation).
+func (h *Hist) Merge(o *Hist) {
+	if h == nil || o == nil {
+		return
+	}
+	for i := range o.counts {
+		if n := o.counts[i].Load(); n != 0 {
+			h.counts[i].Add(n)
+		}
+	}
+	h.sum.Add(o.sum.Load())
+	for {
+		m, om := h.max.Load(), o.max.Load()
+		if om <= m || h.max.CompareAndSwap(m, om) {
+			return
+		}
+	}
+}
+
+// Snapshot copies the histogram for consistent read-side computation.
+func (h *Hist) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	if h == nil {
+		return s
+	}
+	s.Counts = make([]int64, histBuckets)
+	for i := range h.counts {
+		n := h.counts[i].Load()
+		s.Counts[i] = n
+		s.Count += n
+	}
+	s.Sum = h.sum.Load()
+	s.Max = h.max.Load()
+	return s
+}
+
+// Count returns the number of recorded samples.
+func (h *Hist) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	var n int64
+	for i := range h.counts {
+		n += h.counts[i].Load()
+	}
+	return n
+}
+
+// Quantile is a convenience over Snapshot().Quantile for single queries.
+func (h *Hist) Quantile(q float64) int64 {
+	if h == nil {
+		return 0
+	}
+	return h.Snapshot().Quantile(q)
+}
+
+// HistSnapshot is a point-in-time copy of a Hist.
+type HistSnapshot struct {
+	Counts []int64
+	Count  int64
+	Sum    int64
+	Max    int64
+}
+
+// Quantile returns the value at quantile q in [0,1]: the upper bound of
+// the bucket holding the sample of rank ceil(q*count), so the estimate is
+// within one sub-bucket (a factor of 1+1/32) of the true sample. q >= 1
+// returns the exact recorded maximum.
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q >= 1 {
+		return s.Max
+	}
+	if q < 0 {
+		q = 0
+	}
+	rank := int64(math.Ceil(q * float64(s.Count)))
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i, n := range s.Counts {
+		seen += n
+		if seen >= rank {
+			up := histBucketUpper(i)
+			if up > s.Max {
+				// The top occupied bucket's range can exceed the true
+				// maximum; never report beyond it.
+				up = s.Max
+			}
+			return up
+		}
+	}
+	return s.Max
+}
+
+// CumulativeLE returns how many samples are <= bound (the Prometheus
+// histogram bucket value for le=bound).
+func (s HistSnapshot) CumulativeLE(bound int64) int64 {
+	var n int64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		if histBucketUpper(i) <= bound {
+			n += c
+		}
+	}
+	return n
+}

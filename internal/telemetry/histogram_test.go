@@ -1,0 +1,171 @@
+package telemetry
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestHistBucketGeometry checks the two geometric invariants every other
+// guarantee rests on: a bucket's upper bound never undershoots the values
+// it admits, and the relative overshoot is bounded by 1/histSubBuckets
+// (values below histSubBuckets are exact).
+func TestHistBucketGeometry(t *testing.T) {
+	check := func(v int64) {
+		t.Helper()
+		up := histBucketUpper(histBucketIndex(v))
+		if up < v {
+			t.Fatalf("bucket upper %d < value %d", up, v)
+		}
+		if v < histSubBuckets {
+			if up != v {
+				t.Fatalf("value %d below sub-bucket range not exact: upper %d", v, up)
+			}
+			return
+		}
+		if err := up - v; err*histSubBuckets > v {
+			t.Fatalf("value %d: upper %d overshoots by %d (> v/%d)", v, up, err, histSubBuckets)
+		}
+	}
+	for v := int64(0); v < 1<<14; v++ {
+		check(v)
+	}
+	// Sweep the full int64 range at every octave boundary and interior.
+	for shift := 14; shift < 63; shift++ {
+		base := int64(1) << shift
+		for _, v := range []int64{base - 1, base, base + 1, base + base/3, base + base/2} {
+			if v > 0 {
+				check(v)
+			}
+		}
+	}
+	check(1<<63 - 1)
+}
+
+// TestHistQuantileErrorBounds records synthetic distributions and checks
+// every reported quantile sits within one sub-bucket (≤ 1/32 relative)
+// above the exact sample quantile and never below it.
+func TestHistQuantileErrorBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	distributions := map[string]func() int64{
+		"uniform":  func() int64 { return rng.Int63n(1_000_000) },
+		"exp-tail": func() int64 { return int64(1000 * (1 + rng.ExpFloat64()*50)) },
+		"bimodal": func() int64 {
+			if rng.Intn(10) == 0 {
+				return 500_000 + rng.Int63n(1000)
+			}
+			return 2_000 + rng.Int63n(100)
+		},
+	}
+	quantiles := []float64{0.5, 0.9, 0.95, 0.99, 0.999}
+	for name, draw := range distributions {
+		h := &Hist{}
+		samples := make([]int64, 0, 20_000)
+		for i := 0; i < 20_000; i++ {
+			v := draw()
+			h.Record(v)
+			samples = append(samples, v)
+		}
+		sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+		hs := h.Snapshot()
+		if hs.Count != int64(len(samples)) {
+			t.Fatalf("%s: count %d, want %d", name, hs.Count, len(samples))
+		}
+		if hs.Max != samples[len(samples)-1] {
+			t.Fatalf("%s: max %d, want %d", name, hs.Max, samples[len(samples)-1])
+		}
+		for _, q := range quantiles {
+			got := hs.Quantile(q)
+			exact := exactQuantile(samples, q)
+			if got < exact {
+				t.Fatalf("%s: q%.3f = %d undershoots exact %d", name, q, got, exact)
+			}
+			if limit := exact + exact/histSubBuckets + 1; got > limit {
+				t.Fatalf("%s: q%.3f = %d exceeds error bound %d (exact %d)", name, q, got, limit, exact)
+			}
+		}
+		if hs.Quantile(1) != hs.Max {
+			t.Fatalf("%s: q1 = %d, want exact max %d", name, hs.Quantile(1), hs.Max)
+		}
+	}
+}
+
+// TestHistMergeEqualsConcat: merging two histograms must be
+// indistinguishable from recording both sample streams into one.
+func TestHistMergeEqualsConcat(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a, b, concat := &Hist{}, &Hist{}, &Hist{}
+	for i := 0; i < 5000; i++ {
+		v := rng.Int63n(1 << 30)
+		a.Record(v)
+		concat.Record(v)
+	}
+	for i := 0; i < 3000; i++ {
+		v := rng.Int63n(1 << 10)
+		b.Record(v)
+		concat.Record(v)
+	}
+	a.Merge(b)
+	sa, sc := a.Snapshot(), concat.Snapshot()
+	if sa.Count != sc.Count || sa.Sum != sc.Sum || sa.Max != sc.Max {
+		t.Fatalf("merge summary differs: merged {n=%d sum=%d max=%d}, concat {n=%d sum=%d max=%d}",
+			sa.Count, sa.Sum, sa.Max, sc.Count, sc.Sum, sc.Max)
+	}
+	for i := range sa.Counts {
+		if sa.Counts[i] != sc.Counts[i] {
+			t.Fatalf("bucket %d differs: merged %d, concat %d", i, sa.Counts[i], sc.Counts[i])
+		}
+	}
+}
+
+// TestHistNilAndClamp covers the degenerate inputs the record path must
+// absorb: nil receivers and negative samples.
+func TestHistNilAndClamp(t *testing.T) {
+	var h *Hist
+	h.Record(100)
+	h.Merge(&Hist{})
+	(&Hist{}).Merge(h)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil hist not inert")
+	}
+	if s := h.Snapshot(); s.Count != 0 || s.Counts != nil {
+		t.Fatalf("nil hist snapshot not zero: %+v", s)
+	}
+
+	g := &Hist{}
+	g.Record(-12345)
+	if g.Count() != 1 || g.Quantile(1) != 0 {
+		t.Fatalf("negative sample not clamped to 0: count=%d max=%d", g.Count(), g.Quantile(1))
+	}
+}
+
+// TestCumulativeLEExactAtExportBounds: the /metrics bucket bounds coincide
+// with internal bucket uppers, so the cumulative counts there are exact,
+// not approximations.
+func TestCumulativeLEExactAtExportBounds(t *testing.T) {
+	h := &Hist{}
+	for _, b := range histExportBounds {
+		h.Record(b)     // lands exactly at the boundary: counts as <= b
+		h.Record(b + 1) // first value of the next bucket: must not
+	}
+	hs := h.Snapshot()
+	want := int64(0)
+	for _, b := range histExportBounds {
+		want++ // the sample at the boundary itself
+		if got := hs.CumulativeLE(b); got != want {
+			t.Fatalf("CumulativeLE(%d) = %d, want %d", b, got, want)
+		}
+		want++ // b+1 joins the population below the next boundary
+	}
+}
+
+// TestClassOf pins the priority → class mapping (normal traffic accounts
+// as TC: it shares the batched execution path).
+func TestClassOf(t *testing.T) {
+	if ClassOf(1) != ClassLS || ClassOf(0) != ClassTC || ClassOf(2) != ClassTC {
+		t.Fatalf("ClassOf mapping wrong: ls=%v normal=%v tc=%v", ClassOf(1), ClassOf(0), ClassOf(2))
+	}
+	if ClassLS.String() != "ls" || ClassTC.String() != "tc" {
+		t.Fatalf("class labels wrong: %q %q", ClassLS.String(), ClassTC.String())
+	}
+}

@@ -1,9 +1,9 @@
 package telemetry
 
 import (
-	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nvmeopf/internal/proto"
 )
@@ -13,46 +13,13 @@ import (
 // is a fixed-offset atomic add with no map lookup and no lock.
 const MaxTenants = 256
 
-// latRingSize is the per-tenant latency sample ring capacity. A power of
-// two so the modulo is a mask. 512 samples bound the quantile error while
-// keeping a full registry under 1.5 MiB.
-const latRingSize = 512
-
 // windowLogCap bounds the window-decision log (cold path, mutex-guarded).
 const windowLogCap = 128
 
-// latRing is a lock-free sampling ring: writers reserve a slot with an
-// atomic increment and store the sample with an atomic write. Under
-// concurrency a reader may observe a slot mid-update between two writers;
-// each slot is itself atomic, so the worst case is a quantile computed
-// over a mix of old and new samples — exactly what a sampling recorder
-// promises, and race-free by construction.
-type latRing struct {
-	n       atomic.Uint64
-	samples [latRingSize]atomic.Int64
-}
-
-func (r *latRing) record(v int64) {
-	i := r.n.Add(1) - 1
-	r.samples[i&(latRingSize-1)].Store(v)
-}
-
-// snapshot copies the valid samples.
-func (r *latRing) snapshot() []int64 {
-	n := r.n.Load()
-	if n == 0 {
-		return nil
-	}
-	filled := int(n)
-	if filled > latRingSize {
-		filled = latRingSize
-	}
-	out := make([]int64, filled)
-	for i := 0; i < filled; i++ {
-		out[i] = r.samples[i].Load()
-	}
-	return out
-}
+// sloCheckpointCap bounds each tenant's SLO checkpoint ring. Checkpoints
+// are taken once per Tick (scrape), so 256 of them cover hours of history
+// at typical scrape intervals.
+const sloCheckpointCap = 256
 
 // tenantSlot holds one tenant's instruments. Counters only ever grow;
 // gauges are last-value.
@@ -78,7 +45,41 @@ type tenantSlot struct {
 	responses    atomic.Int64 // wire responses emitted for this tenant
 	coalesced    atomic.Int64 // of which coalesced
 
-	lat latRing
+	// hist holds the per-class latency histograms. Installed lazily (one
+	// 15 KiB Hist per active tenant-class, CAS once) so an idle registry
+	// stays small; after installation Record is allocation-free.
+	hist [numClasses]atomic.Pointer[Hist]
+
+	// SLO instruments. objective 0 means "no per-tenant SLO declared"
+	// (the registry default, if any, applies); budgetPPM is the error
+	// budget — violations allowed per million completions.
+	sloObjective atomic.Int64
+	sloBudgetPPM atomic.Int64
+	sloGood      atomic.Int64
+	sloBad       atomic.Int64
+}
+
+// classHist returns the tenant's histogram for a class, installing it on
+// first use.
+func (s *tenantSlot) classHist(c Class) *Hist {
+	if h := s.hist[c].Load(); h != nil {
+		return h
+	}
+	h := &Hist{}
+	if s.hist[c].CompareAndSwap(nil, h) {
+		return h
+	}
+	return s.hist[c].Load()
+}
+
+// sloCheckpoint is one (time, counters) sample of a tenant's SLO
+// accounting, taken by Tick; burn rates are computed from the deltas
+// between the newest counters and the checkpoint closest to each window's
+// left edge.
+type sloCheckpoint struct {
+	ts   int64
+	good int64
+	bad  int64
 }
 
 // Registry is the metrics store. The zero value is not used directly —
@@ -94,10 +95,20 @@ type Registry struct {
 	reconnects      atomic.Int64
 	transportErrors atomic.Int64
 
+	// Registry-wide default SLO, applied to tenants without their own.
+	defObjective atomic.Int64
+	defBudgetPPM atomic.Int64
+
 	winMu  sync.Mutex
 	winSeq uint64
 	winLog []WindowDecision // ring of the last windowLogCap decisions
 	winPos int
+
+	sloMu     sync.Mutex
+	sloChecks map[uint8][]sloCheckpoint // ring per tenant, oldest first
+
+	// rec is the attached flight recorder (nil: /debug/trace disabled).
+	rec atomic.Pointer[Recorder]
 }
 
 // New creates an enabled registry.
@@ -112,6 +123,23 @@ func (r *Registry) slot(t proto.TenantID) *tenantSlot {
 		s.touched.Store(true)
 	}
 	return s
+}
+
+// SetRecorder attaches a flight recorder so the HTTP exporter can serve
+// /debug/trace dumps alongside the metrics (nil detaches).
+func (r *Registry) SetRecorder(rec *Recorder) {
+	if r == nil {
+		return
+	}
+	r.rec.Store(rec)
+}
+
+// Recorder returns the attached flight recorder (nil when none).
+func (r *Registry) Recorder() *Recorder {
+	if r == nil {
+		return nil
+	}
+	return r.rec.Load()
 }
 
 // SetClass records the tenant's connection priority class (shown in the
@@ -137,10 +165,12 @@ func (r *Registry) IncSubmitted(t proto.TenantID, bytesWritten int64) {
 	}
 }
 
-// IncCompleted records one application-visible completion with its
-// end-to-end latency (clock units; <0 skips the sample) and the bytes
-// read.
-func (r *Registry) IncCompleted(t proto.TenantID, latency int64, bytesRead int64, ok bool) {
+// IncCompleted records one application-visible completion: the request's
+// wire priority (selecting the LS or TC latency histogram), its
+// end-to-end latency (clock units; <0 skips the sample), and the bytes
+// read. SLO accounting compares the latency against the tenant's declared
+// objective (or the registry default).
+func (r *Registry) IncCompleted(t proto.TenantID, prio proto.Priority, latency int64, bytesRead int64, ok bool) {
 	if r == nil {
 		return
 	}
@@ -153,8 +183,28 @@ func (r *Registry) IncCompleted(t proto.TenantID, latency int64, bytesRead int64
 		s.bytesRead.Add(bytesRead)
 	}
 	if latency >= 0 {
-		s.lat.record(latency)
+		s.classHist(ClassOf(prio)).Record(latency)
+		obj := s.sloObjective.Load()
+		if obj == 0 {
+			obj = r.defObjective.Load()
+		}
+		if obj > 0 {
+			if latency > obj {
+				s.sloBad.Add(1)
+			} else {
+				s.sloGood.Add(1)
+			}
+		}
 	}
+}
+
+// LatencyHist returns the tenant's histogram for a class (nil when that
+// class recorded nothing yet).
+func (r *Registry) LatencyHist(t proto.TenantID, c Class) *Hist {
+	if r == nil || c >= numClasses {
+		return nil
+	}
+	return r.tenants[t].hist[c].Load()
 }
 
 // IncLSBypass records one latency-sensitive request sent straight to
@@ -255,6 +305,173 @@ func (r *Registry) IncTransportError() {
 	r.transportErrors.Add(1)
 }
 
+// SetSLO declares one tenant's latency objective: completions slower than
+// objective count against an error budget of (1-target) of all requests
+// (e.g. target 0.999 tolerates one violation per thousand). A zero
+// objective clears the tenant's SLO.
+func (r *Registry) SetSLO(t proto.TenantID, objective time.Duration, target float64) {
+	if r == nil {
+		return
+	}
+	s := r.slot(t)
+	s.sloObjective.Store(int64(objective))
+	s.sloBudgetPPM.Store(targetToBudgetPPM(target))
+}
+
+// SetDefaultSLO declares the objective applied to every tenant that has
+// not declared its own (zero objective disables the default).
+func (r *Registry) SetDefaultSLO(objective time.Duration, target float64) {
+	if r == nil {
+		return
+	}
+	r.defObjective.Store(int64(objective))
+	r.defBudgetPPM.Store(targetToBudgetPPM(target))
+}
+
+// targetToBudgetPPM converts a compliance target (fraction of requests
+// that must meet the objective) to an error budget in parts per million.
+func targetToBudgetPPM(target float64) int64 {
+	if target <= 0 || target >= 1 {
+		return 1000 // default: 99.9%
+	}
+	ppm := int64((1 - target) * 1e6)
+	if ppm < 1 {
+		ppm = 1
+	}
+	return ppm
+}
+
+// TickSLO snapshots every SLO-tracked tenant's good/bad counters at the
+// given wall (or virtual) time. The exporter calls it once per scrape;
+// burn rates are computed from the retained checkpoints. Cold path.
+func (r *Registry) TickSLO(now int64) {
+	if r == nil {
+		return
+	}
+	r.sloMu.Lock()
+	defer r.sloMu.Unlock()
+	if r.sloChecks == nil {
+		r.sloChecks = make(map[uint8][]sloCheckpoint)
+	}
+	for i := range r.tenants {
+		s := &r.tenants[i]
+		if !s.touched.Load() {
+			continue
+		}
+		if s.sloObjective.Load() == 0 && r.defObjective.Load() == 0 {
+			continue
+		}
+		cp := sloCheckpoint{ts: now, good: s.sloGood.Load(), bad: s.sloBad.Load()}
+		ring := r.sloChecks[uint8(i)]
+		if n := len(ring); n > 0 && ring[n-1].ts == now {
+			ring[n-1] = cp
+		} else if n >= sloCheckpointCap {
+			copy(ring, ring[1:])
+			ring[n-1] = cp
+		} else {
+			ring = append(ring, cp)
+		}
+		r.sloChecks[uint8(i)] = ring
+	}
+}
+
+// SLOBurnWindows are the trailing windows burn rates are reported over,
+// newest-first the way multi-window burn-rate alerting consumes them.
+var SLOBurnWindows = []struct {
+	Name string
+	D    time.Duration
+}{
+	{"1m", time.Minute},
+	{"5m", 5 * time.Minute},
+	{"1h", time.Hour},
+}
+
+// SLOSnapshot is one tenant's SLO accounting at a point in time. A burn
+// rate of 1.0 means the error budget is being consumed exactly as fast as
+// it accrues; >1 means the SLO will be violated if sustained.
+type SLOSnapshot struct {
+	Tenant      uint8   `json:"tenant"`
+	ObjectiveNS int64   `json:"objective_ns"`
+	BudgetPPM   int64   `json:"budget_ppm"`
+	Good        int64   `json:"good"`
+	Violations  int64   `json:"violations"`
+	Compliance  float64 `json:"compliance"` // lifetime fraction within objective
+	// BurnRate per window in SLOBurnWindows order; -1 when the window has
+	// no delta yet (no checkpoint old enough, or no traffic).
+	BurnRate []float64 `json:"burn_rate"`
+	// BurnTotal is the lifetime burn rate.
+	BurnTotal float64 `json:"burn_total"`
+}
+
+// SLOs reports every SLO-tracked tenant's state as of now, using the
+// checkpoints TickSLO retained for the windowed burn rates.
+func (r *Registry) SLOs(now int64) []SLOSnapshot {
+	if r == nil {
+		return nil
+	}
+	var out []SLOSnapshot
+	r.sloMu.Lock()
+	defer r.sloMu.Unlock()
+	for i := range r.tenants {
+		s := &r.tenants[i]
+		if !s.touched.Load() {
+			continue
+		}
+		obj := s.sloObjective.Load()
+		ppm := s.sloBudgetPPM.Load()
+		if obj == 0 {
+			obj = r.defObjective.Load()
+			ppm = r.defBudgetPPM.Load()
+		}
+		if obj == 0 {
+			continue
+		}
+		good, bad := s.sloGood.Load(), s.sloBad.Load()
+		snap := SLOSnapshot{
+			Tenant:      uint8(i),
+			ObjectiveNS: obj,
+			BudgetPPM:   ppm,
+			Good:        good,
+			Violations:  bad,
+			BurnRate:    make([]float64, len(SLOBurnWindows)),
+			BurnTotal:   burnRate(good, bad, ppm),
+		}
+		if total := good + bad; total > 0 {
+			snap.Compliance = float64(good) / float64(total)
+		}
+		ring := r.sloChecks[uint8(i)]
+		for w, win := range SLOBurnWindows {
+			snap.BurnRate[w] = -1
+			edge := now - int64(win.D)
+			// Oldest checkpoint not older than the window's left edge.
+			for _, cp := range ring {
+				if cp.ts < edge {
+					continue
+				}
+				if cp.ts >= now {
+					break
+				}
+				snap.BurnRate[w] = burnRate(good-cp.good, bad-cp.bad, ppm)
+				break
+			}
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+// burnRate is the violation fraction over the error budget fraction.
+func burnRate(good, bad, budgetPPM int64) float64 {
+	total := good + bad
+	if total <= 0 || budgetPPM <= 0 {
+		return -1
+	}
+	violFrac := float64(bad) / float64(total)
+	return violFrac / (float64(budgetPPM) / 1e6)
+}
+
+// WindowSource etc. live in telemetry.go; the decision log below.
+
 // RecordWindowDecision appends one optimizer decision to the /debug/windows
 // log. Cold path: once per drain epoch, never per request.
 func (r *Registry) RecordWindowDecision(d WindowDecision) {
@@ -308,10 +525,14 @@ type TenantSnapshot struct {
 	// CoalescingRatio is completions per wire response — the live form of
 	// the paper's Fig. 6(c) metric; > 1 means coalescing is paying off.
 	CoalescingRatio float64 `json:"coalescing_ratio"`
-	LatencyP50      int64   `json:"latency_p50_ns"`
-	LatencyP99      int64   `json:"latency_p99_ns"`
-	LatencyMax      int64   `json:"latency_max_ns"`
-	LatencySamples  int     `json:"latency_samples"`
+	// Latency quantiles merged across both class histograms (per-class
+	// detail is on /metrics and in LatencyHist).
+	LatencyP50     int64 `json:"latency_p50_ns"`
+	LatencyP95     int64 `json:"latency_p95_ns"`
+	LatencyP99     int64 `json:"latency_p99_ns"`
+	LatencyP999    int64 `json:"latency_p999_ns"`
+	LatencyMax     int64 `json:"latency_max_ns"`
+	LatencySamples int64 `json:"latency_samples"`
 }
 
 // GlobalSnapshot is a point-in-time copy of the registry-wide instruments.
@@ -365,12 +586,17 @@ func (r *Registry) Tenants() []TenantSnapshot {
 		if snap.Responses > 0 {
 			snap.CoalescingRatio = float64(snap.Completed) / float64(snap.Responses)
 		}
-		if lats := s.lat.snapshot(); len(lats) > 0 {
-			sort.Slice(lats, func(a, b int) bool { return lats[a] < lats[b] })
-			snap.LatencySamples = len(lats)
-			snap.LatencyP50 = lats[len(lats)/2]
-			snap.LatencyP99 = lats[(len(lats)*99)/100]
-			snap.LatencyMax = lats[len(lats)-1]
+		merged := Hist{}
+		for c := Class(0); c < numClasses; c++ {
+			merged.Merge(s.hist[c].Load())
+		}
+		if hs := merged.Snapshot(); hs.Count > 0 {
+			snap.LatencySamples = hs.Count
+			snap.LatencyP50 = hs.Quantile(0.50)
+			snap.LatencyP95 = hs.Quantile(0.95)
+			snap.LatencyP99 = hs.Quantile(0.99)
+			snap.LatencyP999 = hs.Quantile(0.999)
+			snap.LatencyMax = hs.Max
 		}
 		out = append(out, snap)
 	}

@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"testing"
+	"time"
 
 	"nvmeopf/internal/proto"
 )
@@ -16,7 +17,7 @@ func TestNilRegistrySafe(t *testing.T) {
 	}
 	r.SetClass(1, proto.PrioThroughputCritical)
 	r.IncSubmitted(1, 4096)
-	r.IncCompleted(1, 100, 4096, true)
+	r.IncCompleted(1, proto.PrioThroughputCritical, 100, 4096, true)
 	r.IncLSBypass(1)
 	r.IncTCQueued(1)
 	r.SetQueueDepth(1, 5)
@@ -28,6 +29,19 @@ func TestNilRegistrySafe(t *testing.T) {
 	r.IncReconnect()
 	r.IncTransportError()
 	r.RecordWindowDecision(WindowDecision{Tenant: 1, Window: 8, Source: SourceDynamic})
+	r.SetSLO(1, time.Millisecond, 0.999)
+	r.SetDefaultSLO(time.Millisecond, 0.999)
+	r.TickSLO(1000)
+	r.SetRecorder(nil)
+	if got := r.SLOs(2000); got != nil {
+		t.Fatalf("nil registry SLOs() = %v, want nil", got)
+	}
+	if got := r.Recorder(); got != nil {
+		t.Fatalf("nil registry Recorder() = %v, want nil", got)
+	}
+	if got := r.LatencyHist(1, ClassTC); got != nil {
+		t.Fatalf("nil registry LatencyHist() = %v, want nil", got)
+	}
 	if got := r.Tenants(); got != nil {
 		t.Fatalf("nil registry Tenants() = %v, want nil", got)
 	}
@@ -53,7 +67,7 @@ func TestTenantCountersAndSnapshot(t *testing.T) {
 		r.IncSubmitted(tid, 4096)
 	}
 	for i := 0; i < 32; i++ {
-		r.IncCompleted(tid, int64(1000*(i+1)), 0, i != 0) // one error
+		r.IncCompleted(tid, proto.PrioThroughputCritical, int64(1000*(i+1)), 0, i != 0) // one error
 	}
 	r.IncTCQueued(tid)
 	r.SetQueueDepth(tid, 3)
@@ -100,20 +114,65 @@ func TestTenantCountersAndSnapshot(t *testing.T) {
 	}
 }
 
-// TestLatencyRingWraps overfills the sample ring and checks the snapshot
-// stays bounded and reflects recent values.
-func TestLatencyRingWraps(t *testing.T) {
+// TestLatencyHistogramUnbounded: the log-bucketed histograms count every
+// sample (unlike the fixed sample rings they replaced) and still report
+// exact quantiles for a single-valued distribution.
+func TestLatencyHistogramUnbounded(t *testing.T) {
 	r := New()
 	const tid proto.TenantID = 1
-	for i := 0; i < latRingSize*3; i++ {
-		r.IncCompleted(tid, 500, 0, true)
+	const n = 100_000
+	for i := 0; i < n; i++ {
+		r.IncCompleted(tid, proto.PrioLatencySensitive, 500, 0, true)
 	}
 	s := r.Tenants()[0]
-	if s.LatencySamples != latRingSize {
-		t.Fatalf("samples = %d, want ring size %d", s.LatencySamples, latRingSize)
+	if s.LatencySamples != n {
+		t.Fatalf("samples = %d, want %d", s.LatencySamples, n)
 	}
 	if s.LatencyP50 != 500 || s.LatencyMax != 500 {
-		t.Fatalf("wrapped ring quantiles wrong: %+v", s)
+		t.Fatalf("single-valued quantiles wrong: %+v", s)
+	}
+	if h := r.LatencyHist(tid, ClassLS); h.Count() != n {
+		t.Fatalf("LS hist count = %d, want %d", h.Count(), n)
+	}
+	if h := r.LatencyHist(tid, ClassTC); h != nil {
+		t.Fatalf("TC hist installed without TC samples")
+	}
+}
+
+// TestSLOAccounting checks the good/violation split against both a
+// per-tenant and the registry-default objective.
+func TestSLOAccounting(t *testing.T) {
+	r := New()
+	r.SetSLO(1, time.Microsecond, 0.99) // 1000ns objective, 1% budget
+	r.SetDefaultSLO(2*time.Microsecond, 0.999)
+	for i := 0; i < 10; i++ {
+		lat := int64(500)
+		if i < 3 {
+			lat = 1500 // violates tenant 1's objective, meets the default
+		}
+		r.IncCompleted(1, proto.PrioLatencySensitive, lat, 0, true)
+		r.IncCompleted(2, proto.PrioLatencySensitive, lat, 0, true)
+	}
+	slos := r.SLOs(0)
+	if len(slos) != 2 {
+		t.Fatalf("SLOs() returned %d tenants, want 2", len(slos))
+	}
+	t1, t2 := slos[0], slos[1]
+	if t1.Tenant != 1 || t1.ObjectiveNS != 1000 || t1.Good != 7 || t1.Violations != 3 {
+		t.Fatalf("tenant 1 SLO wrong: %+v", t1)
+	}
+	if t1.BudgetPPM != 10_000 {
+		t.Fatalf("tenant 1 budget = %d ppm, want 10000", t1.BudgetPPM)
+	}
+	// 30% violations against a 1% budget: burn rate 30.
+	if t1.BurnTotal < 29.9 || t1.BurnTotal > 30.1 {
+		t.Fatalf("tenant 1 burn total = %v, want 30", t1.BurnTotal)
+	}
+	if t2.Tenant != 2 || t2.ObjectiveNS != 2000 || t2.Good != 10 || t2.Violations != 0 {
+		t.Fatalf("tenant 2 (default SLO) wrong: %+v", t2)
+	}
+	if t2.Compliance != 1 {
+		t.Fatalf("tenant 2 compliance = %v, want 1", t2.Compliance)
 	}
 }
 

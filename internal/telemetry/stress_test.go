@@ -49,7 +49,7 @@ func TestRegistryConcurrentStress(t *testing.T) {
 				r.IncSubmitted(tid, 4096)
 				r.IncTCQueued(tid)
 				r.SetQueueDepth(tid, i%64)
-				r.IncCompleted(tid, int64(i), 4096, i%100 != 0)
+				r.IncCompleted(tid, proto.Priority(1+g%2), int64(i), 4096, i%100 != 0)
 				r.IncSuppressed(tid)
 				r.IncResponse(tid, i%16 == 0)
 				r.ObserveDrain(tid, 16, i%2 == 0)

@@ -70,6 +70,16 @@ const (
 	// coalesced response (Alg. 2); Aux carries the end-to-end latency in
 	// clock units.
 	StageReplay
+	// StageArrive: the target session received a command capsule, before
+	// the PM classified it; Aux carries the in-capsule payload bytes.
+	// (Appended after StageReplay to keep earlier stage values stable in
+	// recorded dumps; causally it sits between submit and enqueue.)
+	StageArrive
+	// StageComplete: the host session delivered the application-visible
+	// completion — coalesced or individual, any class; Aux carries the
+	// end-to-end latency in clock units. Emitted after StageReplay for
+	// coalesced members.
+	StageComplete
 )
 
 // String implements fmt.Stringer.
@@ -89,8 +99,51 @@ func (s Stage) String() string {
 		return "coalesced-notify"
 	case StageReplay:
 		return "replay"
+	case StageArrive:
+		return "arrive"
+	case StageComplete:
+		return "complete"
 	default:
 		return fmt.Sprintf("Stage(%d)", uint8(s))
+	}
+}
+
+// StageFromString inverts Stage.String (used by dump readers). The second
+// result is false for unknown names.
+func StageFromString(s string) (Stage, bool) {
+	for st := StageSubmit; st <= StageComplete; st++ {
+		if st.String() == s {
+			return st, true
+		}
+	}
+	return 0, false
+}
+
+// rank orders stages causally within one request's lifecycle (the const
+// order is historical: arrive/complete were appended to keep recorded
+// numeric values stable).
+func (s Stage) rank() int {
+	switch s {
+	case StageSubmit:
+		return 0
+	case StageDrainMark:
+		return 1
+	case StageArrive:
+		return 2
+	case StageEnqueue:
+		return 3
+	case StageDrainStart:
+		return 4
+	case StageDeviceComplete:
+		return 5
+	case StageCoalescedNotify:
+		return 6
+	case StageReplay:
+		return 7
+	case StageComplete:
+		return 8
+	default:
+		return 9
 	}
 }
 

@@ -196,6 +196,38 @@ type TraceFunc = telemetry.TraceFunc
 // NewTelemetry creates an enabled telemetry registry.
 func NewTelemetry() *Telemetry { return telemetry.New() }
 
+// FlightRecorder is the always-on bounded-memory trace recorder:
+// per-tenant lock-free rings of timestamped TraceEvents, JSONL dumps
+// (WriteJSONL, or /debug/trace when attached to a Telemetry registry with
+// SetRecorder), and automatic anomaly snapshots on drain stalls. Attach
+// via InitiatorConfig.Recorder, ServerConfig.Recorder, or
+// SimCluster.AttachFlightRecorders.
+type FlightRecorder = telemetry.Recorder
+
+// FlightRecorderConfig configures a FlightRecorder.
+type FlightRecorderConfig = telemetry.RecorderConfig
+
+// NewFlightRecorder creates a flight recorder.
+func NewFlightRecorder(cfg FlightRecorderConfig) *FlightRecorder {
+	return telemetry.NewRecorder(cfg)
+}
+
+// TraceDump is a parsed flight-recorder dump (see ReadTraceDump).
+type TraceDump = telemetry.Dump
+
+// ReadTraceDump parses a JSONL dump written by FlightRecorder.WriteJSONL
+// or served at /debug/trace.
+var ReadTraceDump = telemetry.ReadDump
+
+// CorrelateTraces merges a host-side and a target-side dump (either may
+// be nil) into per-request timelines on one clock axis, using the
+// handshake-estimated clock offset.
+var CorrelateTraces = telemetry.Correlate
+
+// ChainTrace composes trace hooks so one event stream can feed several
+// consumers (e.g. a recorder plus a custom TraceFunc).
+var ChainTrace = telemetry.ChainTrace
+
 // DiscoveryServer is a discovery endpoint: targets register their
 // subsystems, hosts resolve them (the dialect's NVMe-oF discovery
 // controller).
