@@ -132,6 +132,15 @@ func (h *HostPM) ForceDrainNext() {
 	}
 }
 
+// DropPending empties the pending TC queue and resets the window counter,
+// returning the dropped CIDs in submission order. The host session uses it
+// when its transport dies: the target will never answer these CIDs, so
+// keeping them queued would strand the replay logic and leak queue depth.
+func (h *HostPM) DropPending() []nvme.CID {
+	h.sinceDr = 0
+	return h.pending.PopAll()
+}
+
 // OnResponse processes one wire response (Alg. 2). It returns the CIDs
 // the application must observe as completed, in submission order. For a
 // coalesced response naming CID c, that is every pending CID up to and

@@ -152,6 +152,7 @@ type TargetPMStats struct {
 	PrematureFlush  int64 // foreign CIDs flushed by another tenant's drain
 	RespsSent       int64 // wire responses emitted
 	RespsSuppressed int64 // completions absorbed by coalescing
+	TeardownDrops   int64 // queued requests discarded by session teardown
 }
 
 // NewTargetPM creates a priority manager.
@@ -369,6 +370,45 @@ func (pm *TargetPM) releaseInOrder(owner proto.TenantID) []RespDecision {
 		pm.inflight[owner] = q
 	}
 	return out
+}
+
+// DropTenant discards every queued (not yet executing) request owned by
+// tenant t and returns their CIDs. The target calls it when the tenant's
+// connection dies: a dead initiator's parked window must never reach the
+// device — its drain flag will never arrive, its completions have nowhere
+// to go, and in shared-queue mode its entries would sit in front of live
+// tenants' requests forever. Requests already executing (members of an
+// in-flight batch) are untouched; their device callbacks complete into
+// the tombstoned session and keep sibling batch ordering exact.
+func (pm *TargetPM) DropTenant(t proto.TenantID) []nvme.CID {
+	k := pm.key(t)
+	q, ok := pm.queues[k]
+	if !ok || q.depth() == 0 {
+		return nil
+	}
+	var dropped []nvme.CID
+	if pm.cfg.Isolated {
+		// The whole queue belongs to t.
+		for _, e := range q.popAll() {
+			dropped = append(dropped, e.CID)
+		}
+		delete(pm.queues, k)
+	} else {
+		// Shared-queue ablation: filter t's entries, keep the others in
+		// FIFO order.
+		kept := q.entries[:0]
+		for _, e := range q.entries {
+			if e.Tenant == t {
+				dropped = append(dropped, e.CID)
+			} else {
+				kept = append(kept, e)
+			}
+		}
+		q.entries = kept
+	}
+	pm.stats.TeardownDrops += int64(len(dropped))
+	pm.tel.SetQueueDepth(t, 0)
+	return dropped
 }
 
 // OutstandingBatchCIDs returns how many executing TC requests have not yet

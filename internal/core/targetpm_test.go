@@ -344,3 +344,81 @@ func TestCrossWindowResponseOrdering(t *testing.T) {
 		t.Fatalf("release order = %v, want %v", sent, want)
 	}
 }
+
+func TestDropTenantIsolatedDropsOnlyThatTenant(t *testing.T) {
+	pm := isolatedPM()
+	for i := 0; i < 3; i++ {
+		pm.OnCommand(1, nvme.CID(i), proto.PrioThroughputCritical)
+	}
+	pm.OnCommand(2, 100, proto.PrioThroughputCritical)
+	dropped := pm.DropTenant(1)
+	if len(dropped) != 3 {
+		t.Fatalf("dropped = %v, want 3 CIDs", dropped)
+	}
+	for i, cid := range dropped {
+		if cid != nvme.CID(i) {
+			t.Fatalf("dropped order broken: %v", dropped)
+		}
+	}
+	if pm.QueueDepth(1) != 0 {
+		t.Fatalf("tenant 1 queue depth = %d after drop", pm.QueueDepth(1))
+	}
+	if pm.QueueDepth(2) != 1 {
+		t.Fatalf("tenant 2 queue perturbed: depth = %d", pm.QueueDepth(2))
+	}
+	if pm.Stats().TeardownDrops != 3 {
+		t.Fatalf("TeardownDrops = %d", pm.Stats().TeardownDrops)
+	}
+	// Survivor still drains normally.
+	d, batch := pm.OnCommand(2, 101, proto.PrioTCDraining)
+	if d != DispositionDrainBatch || len(batch) != 2 {
+		t.Fatalf("survivor drain broken: %v %v", d, batch)
+	}
+}
+
+func TestDropTenantSharedKeepsOthersFIFO(t *testing.T) {
+	pm := NewTargetPM(TargetPMConfig{Isolated: false, MaxPending: 256})
+	// Interleave two tenants in the shared queue.
+	pm.OnCommand(1, 0, proto.PrioThroughputCritical)
+	pm.OnCommand(2, 10, proto.PrioThroughputCritical)
+	pm.OnCommand(1, 1, proto.PrioThroughputCritical)
+	pm.OnCommand(2, 11, proto.PrioThroughputCritical)
+	dropped := pm.DropTenant(1)
+	if len(dropped) != 2 || dropped[0] != 0 || dropped[1] != 1 {
+		t.Fatalf("dropped = %v, want [0 1]", dropped)
+	}
+	// A draining request flushes the shared queue; only tenant 2's
+	// survivors should be in the batch, in arrival order.
+	_, batch := pm.OnCommand(2, 12, proto.PrioTCDraining)
+	if len(batch) != 3 {
+		t.Fatalf("batch = %v", batch)
+	}
+	want := []nvme.CID{10, 11, 12}
+	for i, m := range batch {
+		if m.Tenant != 2 || m.CID != want[i] {
+			t.Fatalf("survivor FIFO broken: %v", batch)
+		}
+	}
+}
+
+func TestDropTenantEmptyAndExecutingUntouched(t *testing.T) {
+	pm := isolatedPM()
+	if dropped := pm.DropTenant(7); dropped != nil {
+		t.Fatalf("drop of idle tenant = %v", dropped)
+	}
+	// An executing batch is not queued: DropTenant must leave it alone so
+	// its completions still account.
+	pm.OnCommand(1, 0, proto.PrioThroughputCritical)
+	pm.OnCommand(1, 1, proto.PrioTCDraining)
+	if dropped := pm.DropTenant(1); dropped != nil {
+		t.Fatalf("drop reached executing batch: %v", dropped)
+	}
+	pm.OnDeviceCompletion(1, 0, nvme.StatusSuccess)
+	rds := pm.OnDeviceCompletion(1, 1, nvme.StatusSuccess)
+	if len(rds) != 1 || !rds[0].Send || !rds[0].Coalesced {
+		t.Fatalf("batch completion broken after drop: %+v", rds)
+	}
+	if pm.OutstandingBatchCIDs() != 0 {
+		t.Fatal("batch tracking leaked")
+	}
+}

@@ -15,6 +15,7 @@ package hostqp
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"nvmeopf/internal/core"
 	"nvmeopf/internal/nvme"
@@ -29,6 +30,27 @@ const ProtocolVersion = 1
 // outstanding; callers doing their own flow control retry after the next
 // completion.
 var ErrQueueFull = errors.New("hostqp: queue depth exceeded")
+
+// ProtocolError is a handshake- or protocol-level rejection by the peer:
+// a TermReq (bad PFV, unknown NSID) or an incompatible ICResp. It marks
+// failures where retrying the same dial against the same target cannot
+// succeed, so transports abort their retry loops instead of burning
+// attempts against a healthy-but-incompatible target.
+type ProtocolError struct {
+	// FES is the fatal error status from a TermReq (0 when the error was
+	// detected locally, e.g. an ICResp version mismatch).
+	FES uint16
+	// Reason is the peer's diagnostic string or the local detection.
+	Reason string
+}
+
+// Error implements error.
+func (e *ProtocolError) Error() string {
+	if e.FES != 0 {
+		return fmt.Sprintf("hostqp: connection rejected: FES=%d %s", e.FES, e.Reason)
+	}
+	return "hostqp: " + e.Reason
+}
 
 // Config describes one initiator connection.
 type Config struct {
@@ -60,10 +82,12 @@ type Config struct {
 	Recorder *telemetry.Recorder
 }
 
-// Validate checks the configuration.
+// Validate checks the configuration. QueueDepth is capped at 65535: the
+// ICReq carries it in a uint16, so 65536 would silently truncate to a
+// zero-depth connection on the wire.
 func (c Config) Validate() error {
-	if c.QueueDepth < 1 || c.QueueDepth > 65536 {
-		return fmt.Errorf("hostqp: queue depth %d out of range", c.QueueDepth)
+	if c.QueueDepth < 1 || c.QueueDepth > 65535 {
+		return fmt.Errorf("hostqp: queue depth %d out of range [1, 65535]", c.QueueDepth)
 	}
 	if c.Window < 1 {
 		return fmt.Errorf("hostqp: window %d < 1", c.Window)
@@ -186,9 +210,11 @@ func New(cfg Config, send func(proto.PDU), clock func() int64) (*Session, error)
 // after the ICResp arrives (use OnConnect to sequence).
 func (s *Session) Start() {
 	s.icReqSentAt = s.clock()
+	// Validate caps QueueDepth at 65535, so this conversion is exact — no
+	// silent masking that could advertise a zero-depth queue.
 	s.send(&proto.ICReq{
 		PFV:        ProtocolVersion,
-		QueueDepth: uint16(s.cfg.QueueDepth & 0xFFFF),
+		QueueDepth: uint16(s.cfg.QueueDepth),
 		Prio:       s.cfg.Class,
 		NSID:       s.cfg.NSID,
 	})
@@ -313,7 +339,7 @@ func (s *Session) HandlePDU(p proto.PDU) error {
 	case *proto.CapsuleResp:
 		return s.handleResp(pdu)
 	case *proto.TermReq:
-		return fmt.Errorf("hostqp: connection terminated by target: FES=%d %s", pdu.FES, pdu.Reason)
+		return &ProtocolError{FES: pdu.FES, Reason: "terminated by target: " + pdu.Reason}
 	default:
 		return fmt.Errorf("hostqp: unexpected PDU %v", p.PDUType())
 	}
@@ -324,7 +350,7 @@ func (s *Session) handleICResp(pdu *proto.ICResp) error {
 		return errors.New("hostqp: duplicate ICResp")
 	}
 	if pdu.PFV != ProtocolVersion {
-		return fmt.Errorf("hostqp: protocol version mismatch: %d", pdu.PFV)
+		return &ProtocolError{Reason: fmt.Sprintf("protocol version mismatch: target speaks PFV %d, host speaks %d", pdu.PFV, ProtocolVersion)}
 	}
 	s.tenant = pdu.Tenant
 	s.nsBlockSize = pdu.BlockSize
@@ -429,6 +455,55 @@ func (s *Session) handleResp(pdu *proto.CapsuleResp) error {
 		s.drainedBytes = 0
 	}
 	return nil
+}
+
+// OldestSubmittedAt returns the submission timestamp of the oldest
+// in-flight request (ok is false when nothing is outstanding). Transports
+// sweep it against their request deadline: if the oldest request has been
+// waiting longer than the deadline, the connection is declared dead.
+func (s *Session) OldestSubmittedAt() (ts int64, ok bool) {
+	for _, req := range s.reqs {
+		if !ok || req.submittedAt < ts {
+			ts = req.submittedAt
+			ok = true
+		}
+	}
+	return ts, ok
+}
+
+// FailAll completes every in-flight request with status st, releases all
+// CIDs, clears the PM pending queue, and marks the session disconnected
+// so no further submissions are accepted. Transports call it when the
+// connection dies (read error, request deadline, teardown) so no Done
+// callback is stranded and no queue depth leaks. It returns the number of
+// requests failed. Completions are delivered in CID order for
+// determinism.
+func (s *Session) FailAll(st nvme.Status) int {
+	s.connected = false
+	s.pm.DropPending()
+	cids := make([]nvme.CID, 0, len(s.reqs))
+	for cid := range s.reqs {
+		cids = append(cids, cid)
+	}
+	sort.Slice(cids, func(i, j int) bool { return cids[i] < cids[j] })
+	now := s.clock()
+	for _, cid := range cids {
+		req := s.reqs[cid]
+		delete(s.reqs, cid)
+		_ = s.cids.Release(cid)
+		s.stats.Completed++
+		s.stats.Errors++
+		s.cfg.Telemetry.IncCompleted(s.tenant, req.prio, now-req.submittedAt, int64(req.readBytes), false)
+		if s.cfg.Trace != nil {
+			s.cfg.Trace(telemetry.Event{Stage: telemetry.StageComplete, Tenant: s.tenant, CID: cid, Prio: req.prio, Aux: now - req.submittedAt})
+		}
+		req.io.Done(Result{
+			Status:      st,
+			SubmittedAt: req.submittedAt,
+			CompletedAt: now,
+		})
+	}
+	return len(cids)
 }
 
 // PMStats exposes the host priority manager counters.

@@ -1,6 +1,7 @@
 package hostqp
 
 import (
+	"errors"
 	"testing"
 
 	"nvmeopf/internal/core"
@@ -312,5 +313,132 @@ func TestDynamicWindowWiring(t *testing.T) {
 	}
 	if h.sess.Window() == before {
 		t.Fatal("dynamic window never moved")
+	}
+}
+
+// TestQueueDepth65536Rejected: the ICReq carries QueueDepth in a uint16,
+// so 65536 used to be accepted by Validate and then silently truncated to
+// a zero-depth connection on the wire. Validate must cap at 65535.
+func TestQueueDepth65536Rejected(t *testing.T) {
+	cfg := tcConfig(1, 65536)
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("QueueDepth 65536 accepted; it truncates to 0 on the wire")
+	}
+}
+
+// TestQueueDepth65535OnWire: the maximum representable depth must survive
+// the uint16 conversion exactly.
+func TestQueueDepth65535OnWire(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 65535))
+	h.sess.Start()
+	req, ok := h.out[0].(*proto.ICReq)
+	if !ok {
+		t.Fatalf("Start sent %v", h.out[0].PDUType())
+	}
+	if req.QueueDepth != 65535 {
+		t.Fatalf("wire QueueDepth = %d, want 65535", req.QueueDepth)
+	}
+}
+
+// TestFailAllReleasesEverything: FailAll must complete every in-flight
+// request with the given status, release all CIDs, empty the PM pending
+// queue, and leave the session refusing new submissions.
+func TestFailAllReleasesEverything(t *testing.T) {
+	h := newHarness(t, tcConfig(4, 8))
+	h.connect(t, 3)
+	var results []Result
+	for i := 0; i < 3; i++ {
+		err := h.sess.Submit(IO{Op: nvme.OpWrite, LBA: uint64(i), Blocks: 1, Data: make([]byte, 512),
+			Done: func(r Result) { results = append(results, r) }})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.sess.Outstanding() != 3 || h.sess.PendingTC() != 3 {
+		t.Fatalf("outstanding=%d pendingTC=%d before FailAll", h.sess.Outstanding(), h.sess.PendingTC())
+	}
+	n := h.sess.FailAll(nvme.StatusAborted)
+	if n != 3 || len(results) != 3 {
+		t.Fatalf("FailAll failed %d requests, %d callbacks ran; want 3", n, len(results))
+	}
+	for _, r := range results {
+		if r.Status != nvme.StatusAborted {
+			t.Fatalf("failed request status %v, want aborted", r.Status)
+		}
+	}
+	if h.sess.Outstanding() != 0 {
+		t.Fatalf("CIDs leaked: outstanding = %d", h.sess.Outstanding())
+	}
+	if h.sess.PendingTC() != 0 {
+		t.Fatalf("PM pending queue leaked: %d", h.sess.PendingTC())
+	}
+	if err := h.sess.Submit(IO{Op: nvme.OpRead, Blocks: 1, Done: func(Result) {}}); err == nil {
+		t.Fatal("session accepted a submission after FailAll")
+	}
+	st := h.sess.Stats()
+	if st.Completed != 3 || st.Errors != 3 {
+		t.Fatalf("stats after FailAll: completed=%d errors=%d", st.Completed, st.Errors)
+	}
+}
+
+// TestFailAllIdleSession: failing an idle session is a no-op beyond
+// disconnecting it.
+func TestFailAllIdleSession(t *testing.T) {
+	h := newHarness(t, tcConfig(4, 8))
+	h.connect(t, 1)
+	if n := h.sess.FailAll(nvme.StatusAborted); n != 0 {
+		t.Fatalf("idle FailAll failed %d requests", n)
+	}
+	if h.sess.Connected() {
+		t.Fatal("session still connected after FailAll")
+	}
+}
+
+// TestOldestSubmittedAt tracks the oldest in-flight request for transport
+// deadline sweeps.
+func TestOldestSubmittedAt(t *testing.T) {
+	h := newHarness(t, tcConfig(8, 8))
+	h.connect(t, 1)
+	if _, ok := h.sess.OldestSubmittedAt(); ok {
+		t.Fatal("idle session reports an oldest request")
+	}
+	for i := 0; i < 3; i++ {
+		if err := h.sess.Submit(IO{Op: nvme.OpRead, LBA: uint64(i), Blocks: 1, Done: func(Result) {}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	first, ok := h.sess.OldestSubmittedAt()
+	if !ok {
+		t.Fatal("no oldest request with 3 in flight")
+	}
+	// The first submission has the lowest clock value in this harness.
+	later, _ := h.sess.OldestSubmittedAt()
+	if later != first {
+		t.Fatal("oldest timestamp unstable without completions")
+	}
+}
+
+// TestTermReqIsProtocolError: a TermReq from the target must classify as
+// permanent so dial retry loops stop immediately.
+func TestTermReqIsProtocolError(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 1))
+	err := h.sess.HandlePDU(&proto.TermReq{Dir: proto.TypeC2HTermReq, FES: 2, Reason: "unknown namespace 9"})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("TermReq surfaced as %T (%v), want *ProtocolError", err, err)
+	}
+	if pe.FES != 2 {
+		t.Fatalf("FES = %d, want 2", pe.FES)
+	}
+}
+
+// TestBadPFVIsProtocolError: an ICResp version mismatch is permanent too.
+func TestBadPFVIsProtocolError(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 1))
+	h.sess.Start()
+	err := h.sess.HandlePDU(&proto.ICResp{PFV: ProtocolVersion + 9})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("PFV mismatch surfaced as %T (%v), want *ProtocolError", err, err)
 	}
 }

@@ -47,7 +47,23 @@ type Link struct {
 
 	// Stats per direction.
 	stats [2]LinkStats
+
+	// faults optionally degrades the link (see SetFaults).
+	faults FaultProfile
 }
+
+// FaultProfile degrades a link for fault-injection experiments. Apply is
+// consulted once per message: extraDelay is added to the propagation
+// delay, and drop discards the message entirely (its deliver callback
+// never runs — callers opting into drops must have timeout recovery, as
+// the real transport does). internal/faultnet provides an implementation
+// sharing the chaos harness's fault vocabulary.
+type FaultProfile interface {
+	Apply(dir int, now Time, size int) (extraDelay Time, drop bool)
+}
+
+// SetFaults attaches a fault profile to the link (nil detaches).
+func (l *Link) SetFaults(p FaultProfile) { l.faults = p }
 
 // LinkStats accumulates per-direction transmission counters.
 type LinkStats struct {
@@ -55,6 +71,7 @@ type LinkStats struct {
 	Packets  int64 // MTU-sized packets on the wire
 	Bytes    int64 // wire bytes including per-packet overhead
 	BusyTime Time  // total serialization time
+	Dropped  int64 // messages discarded by an attached FaultProfile
 }
 
 // DirAtoB and DirBtoA select a link direction.
@@ -107,6 +124,18 @@ func (l *Link) Send(dir int, size int, deliver func()) Time {
 		panic(fmt.Sprintf("simnet: bad link direction %d", dir))
 	}
 	now := l.eng.Now()
+	var extra Time
+	if l.faults != nil {
+		var drop bool
+		extra, drop = l.faults.Apply(dir, now, size)
+		if drop {
+			// The message still occupied the wire (it was transmitted and
+			// lost), so serialization accounting proceeds; only delivery
+			// is suppressed.
+			l.stats[dir].Dropped++
+			deliver = nil
+		}
+	}
 	start := l.busyUntil[dir]
 	if start < now {
 		start = now
@@ -119,7 +148,7 @@ func (l *Link) Send(dir int, size int, deliver func()) Time {
 	st.Packets += int64(l.PacketsFor(size))
 	st.Bytes += l.wireBytes(size)
 	st.BusyTime += tx
-	at := done + l.cfg.PropagationDelay
+	at := done + l.cfg.PropagationDelay + extra
 	if deliver != nil {
 		l.eng.At(at, deliver)
 	}

@@ -96,6 +96,10 @@ type Stats struct {
 	Reads       int64
 	Writes      int64
 	Errors      int64
+	// Disconnects counts sessions torn down by CloseSession;
+	// TeardownDrops counts their queued requests that never executed.
+	Disconnects   int64
+	TeardownDrops int64
 }
 
 // Target is one NVMe-oPF target instance: one backing namespace served to
@@ -111,8 +115,12 @@ type Target struct {
 	defaultNS  uint32
 	pm         *core.TargetPM
 	nextTenant int
-	stats      Stats
-	sessions   map[proto.TenantID]*Session
+	// freeTenants holds IDs recycled from torn-down sessions, reusable
+	// once the dead session's last in-flight device callback lands — so a
+	// stale completion can never be attributed to the ID's new owner.
+	freeTenants []proto.TenantID
+	stats       Stats
+	sessions    map[proto.TenantID]*Session
 }
 
 // NewTarget creates a target whose backend serves its namespace's own ID
@@ -185,13 +193,46 @@ func (t *Target) Telemetry() *telemetry.Registry { return t.cfg.Telemetry }
 // Mode returns the target's operating mode.
 func (t *Target) Mode() Mode { return t.cfg.Mode }
 
+// ActiveSessions returns the number of handshaken sessions not yet torn
+// down.
+func (t *Target) ActiveSessions() int { return len(t.sessions) }
+
+// CloseSession tears down one initiator session after its connection
+// dies. Queued-but-unexecuted requests are dropped from the PM (they can
+// never be answered), the session stops sending PDUs and recording
+// per-tenant telemetry, and its tenant ID returns to the free list once
+// the last in-flight device callback lands — never earlier, so a stale
+// completion cannot be attributed to the ID's next owner. Idempotent;
+// a session that never finished its handshake is a no-op.
+func (t *Target) CloseSession(s *Session) {
+	if s == nil || !s.connected || s.dead {
+		return
+	}
+	s.dead = true
+	delete(t.sessions, s.tenant)
+	dropped := t.pm.DropTenant(s.tenant)
+	for _, cid := range dropped {
+		delete(s.reqs, cid)
+	}
+	t.stats.Disconnects++
+	t.stats.TeardownDrops += int64(len(dropped))
+	t.cfg.Telemetry.IncDisconnect()
+	t.cfg.Telemetry.AddTeardownDrops(int64(len(dropped)))
+	if t.cfg.Trace != nil {
+		t.cfg.Trace(telemetry.Event{Stage: telemetry.StageTeardown, Tenant: s.tenant, Aux: int64(len(dropped))})
+	}
+	if len(s.reqs) == 0 {
+		t.freeTenants = append(t.freeTenants, s.tenant)
+	}
+}
+
 // NewSession creates the server side of one initiator connection. send
 // emits PDUs back to that initiator.
 func (t *Target) NewSession(send func(proto.PDU)) (*Session, error) {
 	if send == nil {
 		return nil, errors.New("targetqp: nil send")
 	}
-	if t.nextTenant > 255 {
+	if t.nextTenant > 255 && len(t.freeTenants) == 0 {
 		return nil, errors.New("targetqp: tenant ID space exhausted (256 initiators)")
 	}
 	s := &Session{
@@ -221,11 +262,18 @@ type Session struct {
 	send      func(proto.PDU)
 	tenant    proto.TenantID
 	connected bool
-	reqs      map[nvme.CID]*tReq
+	// dead marks a session torn down by CloseSession: no PDU may be sent
+	// and no per-tenant telemetry recorded, but in-flight device callbacks
+	// still run PM completion accounting so sibling batches release.
+	dead bool
+	reqs map[nvme.CID]*tReq
 }
 
 // Tenant returns the tenant ID assigned to this connection.
 func (s *Session) Tenant() proto.TenantID { return s.tenant }
+
+// Dead reports whether the session has been torn down.
+func (s *Session) Dead() bool { return s.dead }
 
 // HandlePDU processes one inbound PDU from the initiator.
 func (s *Session) HandlePDU(p proto.PDU) error {
@@ -260,8 +308,19 @@ func (s *Session) handleICReq(pdu *proto.ICReq) error {
 			Reason: fmt.Sprintf("unknown namespace %d", nsid)})
 		return fmt.Errorf("targetqp: connect to unknown namespace %d", nsid)
 	}
-	s.tenant = proto.TenantID(t.nextTenant)
-	t.nextTenant++
+	if n := len(t.freeTenants); n > 0 {
+		// Reuse an ID released by a fully drained dead session.
+		s.tenant = t.freeTenants[n-1]
+		t.freeTenants = t.freeTenants[:n-1]
+	} else {
+		if t.nextTenant > 255 {
+			s.send(&proto.TermReq{Dir: proto.TypeC2HTermReq, FES: 2,
+				Reason: "tenant ID space exhausted"})
+			return errors.New("targetqp: tenant ID space exhausted (256 initiators)")
+		}
+		s.tenant = proto.TenantID(t.nextTenant)
+		t.nextTenant++
+	}
 	t.sessions[s.tenant] = s
 	t.stats.Connections++
 	t.cfg.Telemetry.IncConnection()
@@ -381,20 +440,26 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 	if !st.OK() {
 		t.stats.Errors++
 	}
-	var svcLat int64 = -1 // <0 skips the latency sample
-	if t.cfg.Clock != nil && req.arrivedAt != 0 {
-		svcLat = t.cfg.Clock() - req.arrivedAt
+	if !s.dead {
+		var svcLat int64 = -1 // <0 skips the latency sample
+		if t.cfg.Clock != nil && req.arrivedAt != 0 {
+			svcLat = t.cfg.Clock() - req.arrivedAt
+		}
+		t.cfg.Telemetry.IncCompleted(tenant, req.prio, svcLat, int64(len(data)), st.OK())
+		if t.cfg.Trace != nil {
+			t.cfg.Trace(telemetry.Event{Stage: telemetry.StageDeviceComplete, Tenant: tenant, CID: cid, Prio: req.prio, Aux: svcLat})
+		}
+		if req.cmd.Opcode == nvme.OpRead && st.OK() && len(data) > 0 {
+			// Read data always flows per request; only the completion
+			// notification is coalesced (§III-B).
+			t.stats.DataPDUs++
+			s.send(&proto.C2HData{CCCID: cid, Offset: 0, Data: data})
+		}
 	}
-	t.cfg.Telemetry.IncCompleted(tenant, req.prio, svcLat, int64(len(data)), st.OK())
-	if t.cfg.Trace != nil {
-		t.cfg.Trace(telemetry.Event{Stage: telemetry.StageDeviceComplete, Tenant: tenant, CID: cid, Prio: req.prio, Aux: svcLat})
-	}
-	if req.cmd.Opcode == nvme.OpRead && st.OK() && len(data) > 0 {
-		// Read data always flows per request; only the completion
-		// notification is coalesced (§III-B).
-		t.stats.DataPDUs++
-		s.send(&proto.C2HData{CCCID: cid, Offset: 0, Data: data})
-	}
+	// PM completion accounting runs even for tombstoned sessions: the dead
+	// tenant's in-flight commands may be members of a shared drain window,
+	// and siblings' coalesced responses must still release in order. The
+	// dead tenant's own responses find no session and are discarded.
 	for _, rd := range t.pm.OnDeviceCompletion(tenant, cid, st) {
 		if !rd.Send {
 			continue
@@ -404,6 +469,11 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 			continue
 		}
 		dest.respond(rd.CID, rd.Status, rd.Coalesced)
+	}
+	if s.dead && len(s.reqs) == 0 {
+		// Last in-flight callback has landed: the tenant ID is now safe to
+		// hand to a new connection.
+		t.freeTenants = append(t.freeTenants, s.tenant)
 	}
 }
 

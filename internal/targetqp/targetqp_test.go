@@ -586,3 +586,131 @@ func TestModeString(t *testing.T) {
 		t.Fatal("empty mode strings")
 	}
 }
+
+func TestCloseSessionDropsQueueAndRecyclesTenantID(t *testing.T) {
+	be := newFakeBackend(t, false)
+	tgt := opfTarget(t, be)
+	host, tsess := pair(t, tgt, tcCfg(8, 16)) // window 8: nothing drains
+	for i := 0; i < 3; i++ {
+		err := host.Submit(hostqp.IO{Op: nvme.OpWrite, LBA: uint64(i), Blocks: 1,
+			Data: make([]byte, 512), Done: func(hostqp.Result) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := tgt.ActiveSessions(); n != 1 {
+		t.Fatalf("active sessions = %d", n)
+	}
+	tgt.CloseSession(tsess)
+	if !tsess.Dead() {
+		t.Fatal("session not marked dead")
+	}
+	if n := tgt.ActiveSessions(); n != 0 {
+		t.Fatalf("active sessions after close = %d", n)
+	}
+	st := tgt.Stats()
+	if st.Disconnects != 1 || st.TeardownDrops != 3 {
+		t.Fatalf("disconnects=%d teardownDrops=%d", st.Disconnects, st.TeardownDrops)
+	}
+	if pm := tgt.PMStats(); pm.TeardownDrops != 3 {
+		t.Fatalf("PM TeardownDrops = %d", pm.TeardownDrops)
+	}
+	// Idempotent.
+	tgt.CloseSession(tsess)
+	if tgt.Stats().Disconnects != 1 {
+		t.Fatal("CloseSession not idempotent")
+	}
+	// No in-flight requests remained, so the tenant ID recycles at once.
+	h2, _ := pair(t, tgt, lsCfg())
+	if h2.Tenant() != host.Tenant() {
+		t.Fatalf("tenant not recycled: old=%d new=%d", host.Tenant(), h2.Tenant())
+	}
+}
+
+func TestCloseSessionDefersTenantReuseUntilInFlightDrains(t *testing.T) {
+	be := newFakeBackend(t, false)
+	tgt := opfTarget(t, be)
+	host, tsess := pair(t, tgt, tcCfg(2, 16)) // window 2: 2nd submit drains
+	for i := 0; i < 2; i++ {
+		err := host.Submit(hostqp.IO{Op: nvme.OpWrite, LBA: uint64(i), Blocks: 1,
+			Data: make([]byte, 512), Done: func(hostqp.Result) {}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(be.queue) != 2 {
+		t.Fatalf("in-flight = %d, want the drained window of 2", len(be.queue))
+	}
+	// One more sits queued (window half full) when the connection dies.
+	err := host.Submit(hostqp.IO{Op: nvme.OpWrite, LBA: 9, Blocks: 1,
+		Data: make([]byte, 512), Done: func(hostqp.Result) {}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt.CloseSession(tsess)
+	if st := tgt.Stats(); st.TeardownDrops != 1 {
+		t.Fatalf("TeardownDrops = %d, want only the queued request", st.TeardownDrops)
+	}
+	// Two device callbacks are still in flight: the tenant ID must NOT be
+	// reusable yet, or their completions could be attributed to a new owner.
+	h2, _ := pair(t, tgt, lsCfg())
+	if h2.Tenant() == host.Tenant() {
+		t.Fatalf("tenant %d recycled while callbacks in flight", host.Tenant())
+	}
+	// Completions land in the tombstoned session: no response PDU goes out.
+	be.releaseAll()
+	if st := tgt.Stats(); st.RespPDUs != 0 {
+		t.Fatalf("dead session sent %d responses", st.RespPDUs)
+	}
+	// Now the pool is drained and the ID is safe to reuse.
+	h3, _ := pair(t, tgt, lsCfg())
+	if h3.Tenant() != host.Tenant() {
+		t.Fatalf("tenant not recycled after drain: old=%d new=%d", host.Tenant(), h3.Tenant())
+	}
+}
+
+func TestCloseSessionSurvivorsKeepCompleting(t *testing.T) {
+	be := newFakeBackend(t, false)
+	tgt := opfTarget(t, be)
+	victim, vsess := pair(t, tgt, tcCfg(4, 16))
+	survivor, _ := pair(t, tgt, tcCfg(2, 16))
+	for i := 0; i < 2; i++ {
+		if err := victim.Submit(hostqp.IO{Op: nvme.OpWrite, LBA: uint64(i), Blocks: 1,
+			Data: make([]byte, 512), Done: func(hostqp.Result) {}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tgt.CloseSession(vsess)
+	// The survivor's window drains and completes normally.
+	completed := 0
+	for i := 0; i < 2; i++ {
+		err := survivor.Submit(hostqp.IO{Op: nvme.OpWrite, LBA: uint64(100 + i), Blocks: 1,
+			Data: make([]byte, 512), Done: func(r hostqp.Result) {
+				if !r.Status.OK() {
+					t.Errorf("survivor status %v", r.Status)
+				}
+				completed++
+			}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	be.releaseAll()
+	if completed != 2 {
+		t.Fatalf("survivor completed %d of 2 after neighbour teardown", completed)
+	}
+}
+
+func TestCloseSessionBeforeHandshakeIsNoop(t *testing.T) {
+	be := newFakeBackend(t, true)
+	tgt := opfTarget(t, be)
+	tsess, err := tgt.NewSession(func(proto.PDU) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt.CloseSession(tsess)
+	tgt.CloseSession(nil)
+	if st := tgt.Stats(); st.Disconnects != 0 {
+		t.Fatalf("Disconnects = %d for unconnected session", st.Disconnects)
+	}
+}

@@ -3,6 +3,7 @@ package tcptrans
 import (
 	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -20,23 +21,68 @@ var ErrClosed = errors.New("tcptrans: connection closed")
 // depth, namespace).
 type ConnConfig = hostqp.Config
 
+// DialConfig bounds a connection's transport-level waits. The zero value
+// gives the defaults below.
+type DialConfig struct {
+	// HandshakeTimeout bounds the ICReq/ICResp exchange (default 10s).
+	HandshakeTimeout time.Duration
+	// RequestTimeout bounds how long any submitted request may stay
+	// outstanding (default 30s, the Linux nvme-tcp io-timeout default; <0
+	// disables). A request exceeding it does not fail alone: like the
+	// kernel initiator, the timeout escalates to a connection reset —
+	// every outstanding request fails with StatusAborted and its CID is
+	// released, so queue-pair depth cannot leak to a wedged target.
+	RequestTimeout time.Duration
+	// Dialer optionally replaces net.Dial (fault injection wraps the
+	// socket here; see internal/faultnet.Dialer).
+	Dialer func(network, addr string) (net.Conn, error)
+}
+
+// Defaults for DialConfig zero fields.
+const (
+	DefaultHandshakeTimeout = 10 * time.Second
+	DefaultRequestTimeout   = 30 * time.Second
+)
+
+func (d DialConfig) withDefaults() DialConfig {
+	if d.HandshakeTimeout == 0 {
+		d.HandshakeTimeout = DefaultHandshakeTimeout
+	}
+	if d.RequestTimeout == 0 {
+		d.RequestTimeout = DefaultRequestTimeout
+	}
+	if d.Dialer == nil {
+		d.Dialer = net.Dial
+	}
+	return d
+}
+
 // Conn is one initiator connection to a TCP target. Submissions from any
 // goroutine are serialized onto the connection's reactor, which owns the
 // hostqp session. Synchronous helpers (Read/Write/Flush) block the caller
 // until the request completes; Submit is the asynchronous primitive.
 type Conn struct {
-	conn    net.Conn
-	sess    *hostqp.Session
-	tel     *telemetry.Registry
-	events  chan func()
-	quit    chan struct{}
-	dead    chan struct{} // closed when the transport breaks
-	idle    *time.Timer
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	closed  bool
-	waiting []hostqp.IO
-	connErr error
+	conn      net.Conn
+	sess      *hostqp.Session
+	tel       *telemetry.Registry
+	events    chan func()
+	quit      chan struct{}
+	dead      chan struct{} // closed when the transport breaks
+	idle      *time.Timer
+	wg        sync.WaitGroup
+	mu        sync.Mutex
+	closed    bool
+	waiting   []hostqp.IO
+	connErr   error
+	closeOnce sync.Once
+	netOnce   sync.Once
+	netErr    error
+}
+
+// netClose closes the socket exactly once, from whichever path gets
+// there first (writer error, request-timeout escalation, failAll, Close).
+func (c *Conn) netClose() {
+	c.netOnce.Do(func() { c.netErr = c.conn.Close() })
 }
 
 // idleDrainDelay bounds how long a partial throughput-critical window may
@@ -47,10 +93,18 @@ type Conn struct {
 // connection flushes the tail after this delay.
 const idleDrainDelay = 2 * time.Millisecond
 
-// Dial connects to a target and completes the handshake. cfg.Window and
-// cfg.QueueDepth govern the connection exactly as in the simulator.
+// Dial connects to a target and completes the handshake with default
+// transport timeouts. cfg.Window and cfg.QueueDepth govern the connection
+// exactly as in the simulator.
 func Dial(addr string, cfg hostqp.Config) (*Conn, error) {
-	nc, err := net.Dial("tcp", addr)
+	return DialWith(addr, cfg, DialConfig{})
+}
+
+// DialWith is Dial with explicit transport timeouts and an optional
+// custom dialer.
+func DialWith(addr string, cfg hostqp.Config, dcfg DialConfig) (*Conn, error) {
+	dcfg = dcfg.withDefaults()
+	nc, err := dcfg.Dialer("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +136,7 @@ func Dial(addr string, cfg hostqp.Config) (*Conn, error) {
 			select {
 			case p := <-out:
 				if err := proto.WritePDU(nc, p); err != nil {
-					nc.Close()
+					c.netClose() // unblocks the reader, which runs failAll
 					return
 				}
 			case <-c.quit:
@@ -125,6 +179,44 @@ func Dial(addr string, cfg hostqp.Config) (*Conn, error) {
 			}
 		}
 	}()
+	// Request-deadline sweeper: if the oldest outstanding request exceeds
+	// RequestTimeout, reset the connection (all CIDs fail and release via
+	// failAll) rather than waiting on a wedged or partitioned target.
+	if dcfg.RequestTimeout > 0 {
+		period := dcfg.RequestTimeout / 4
+		if period < time.Millisecond {
+			period = time.Millisecond
+		}
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			tick := time.NewTicker(period)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					c.post(func() {
+						if c.connErr != nil {
+							return
+						}
+						ts, ok := c.sess.OldestSubmittedAt()
+						if !ok {
+							return
+						}
+						if age := time.Now().UnixNano() - ts; age > int64(dcfg.RequestTimeout) {
+							c.netClose()
+							c.failAll(fmt.Errorf("tcptrans: request timeout: oldest outstanding request %v old (limit %v)",
+								time.Duration(age), dcfg.RequestTimeout))
+						}
+					})
+				case <-c.dead:
+					return
+				case <-c.quit:
+					return
+				}
+			}
+		}()
+	}
 
 	// Handshake.
 	connected := make(chan error, 1)
@@ -134,27 +226,62 @@ func Dial(addr string, cfg hostqp.Config) (*Conn, error) {
 	})
 	select {
 	case <-connected:
-	case <-time.After(10 * time.Second):
+	case <-c.dead:
+		// The target rejected or dropped us: fail now with the real
+		// error instead of sitting out the timeout. connErr is written on
+		// the reactor before dead is closed, so this read is safe.
+		err := c.connErr
+		c.Close()
+		return nil, fmt.Errorf("tcptrans: handshake failed: %w", err)
+	case <-time.After(dcfg.HandshakeTimeout):
 		c.Close()
 		c.tel.IncTransportError()
-		return nil, errors.New("tcptrans: handshake timeout")
+		return nil, fmt.Errorf("tcptrans: handshake timeout after %v", dcfg.HandshakeTimeout)
 	}
 	return c, nil
 }
 
-// DialRetry dials with up to attempts tries, waiting backoff between
-// failures. Every successful dial after the first failed attempt counts
-// as a reconnect in cfg.Telemetry.
+// IsPermanent reports whether a dial error is a protocol-level rejection
+// (version mismatch, unknown namespace, target termination) that retrying
+// the same configuration can never fix.
+func IsPermanent(err error) bool {
+	var pe *hostqp.ProtocolError
+	return errors.As(err, &pe)
+}
+
+// DialRetry dials with up to attempts tries. backoff is the wait after
+// the first failure; it doubles per attempt (capped at 32×) with up to
+// 50% added jitter so a fleet of initiators reconnecting to a restarted
+// target does not stampede in lockstep. Permanent protocol rejections
+// (see IsPermanent) abort the loop immediately: a target that speaks the
+// wrong PFV or lacks the namespace will still do so on attempt N. Every
+// successful dial after the first failed attempt counts as a reconnect in
+// cfg.Telemetry.
 func DialRetry(addr string, cfg hostqp.Config, attempts int, backoff time.Duration) (*Conn, error) {
+	return DialRetryWith(addr, cfg, DialConfig{}, attempts, backoff)
+}
+
+// DialRetryWith is DialRetry with explicit transport timeouts.
+func DialRetryWith(addr string, cfg hostqp.Config, dcfg DialConfig, attempts int, backoff time.Duration) (*Conn, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
+	maxBackoff := 32 * backoff
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	wait := backoff
 	var lastErr error
 	for i := 0; i < attempts; i++ {
 		if i > 0 {
-			time.Sleep(backoff)
+			d := wait
+			if d > 0 {
+				d += time.Duration(rng.Int63n(int64(d)/2 + 1))
+			}
+			time.Sleep(d)
+			if wait *= 2; wait > maxBackoff {
+				wait = maxBackoff
+			}
 		}
-		c, err := Dial(addr, cfg)
+		c, err := DialWith(addr, cfg, dcfg)
 		if err == nil {
 			if i > 0 {
 				cfg.Telemetry.IncReconnect()
@@ -162,6 +289,9 @@ func DialRetry(addr string, cfg hostqp.Config, attempts int, backoff time.Durati
 			return c, nil
 		}
 		lastErr = err
+		if IsPermanent(err) {
+			break
+		}
 	}
 	return nil, lastErr
 }
@@ -176,8 +306,10 @@ func (c *Conn) post(fn func()) bool {
 	}
 }
 
-// failAll marks the connection broken and fails queued ops; runs on the
-// reactor.
+// failAll marks the connection broken, fails every outstanding request —
+// in-flight CIDs through hostqp.Session.FailAll (releasing them, so
+// queue-pair depth cannot leak), then the not-yet-submitted backlog — and
+// closes the socket. Runs on the reactor.
 func (c *Conn) failAll(err error) {
 	if c.connErr == nil {
 		c.connErr = err
@@ -190,9 +322,11 @@ func (c *Conn) failAll(err error) {
 			c.tel.IncTransportError()
 		}
 		close(c.dead)
+		c.netClose()
 	}
+	c.sess.FailAll(nvme.StatusAborted)
 	for _, io := range c.waiting {
-		io.Done(hostqp.Result{Status: nvme.StatusInternalError})
+		io.Done(hostqp.Result{Status: nvme.StatusAborted})
 	}
 	c.waiting = nil
 }
@@ -415,20 +549,23 @@ func (c *Conn) Tenant() proto.TenantID {
 	}
 }
 
-// Close tears the connection down.
+// Close tears the connection down: closes the socket and waits for the
+// reader, writer, reactor, and deadline-sweeper goroutines to exit.
+// Idempotent and safe to call concurrently — every caller blocks until
+// the teardown (whichever call performs it) has finished.
 func (c *Conn) Close() error {
-	c.mu.Lock()
-	if c.closed {
+	c.closeOnce.Do(func() {
+		c.mu.Lock()
+		c.closed = true
 		c.mu.Unlock()
-		return nil
-	}
-	c.closed = true
-	c.mu.Unlock()
-	err := c.conn.Close()
-	close(c.quit)
-	c.wg.Wait()
-	if c.idle != nil {
-		c.idle.Stop()
-	}
-	return err
+		c.netClose()
+		close(c.quit)
+		c.wg.Wait()
+		// The reactor has exited (wg.Wait above), so reading the timer it
+		// owned is race-free.
+		if c.idle != nil {
+			c.idle.Stop()
+		}
+	})
+	return c.netErr
 }

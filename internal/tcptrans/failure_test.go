@@ -249,3 +249,91 @@ func TestIdleDrainFlushesPartialWindow(t *testing.T) {
 		t.Fatal("partial window hung; idle drain did not fire")
 	}
 }
+
+// TestTargetTearsDownDeadInitiatorMidWindow: when an initiator dies with a
+// partial TC window parked in the target's queue, the target must drop the
+// orphaned requests, recycle the tenant ID, and keep serving everyone else.
+// Before session teardown existed, the dead tenant's queue sat in the PM
+// forever and its tenant ID was lost permanently.
+func TestTargetTearsDownDeadInitiatorMidWindow(t *testing.T) {
+	srv, err := NewMemoryServer("127.0.0.1:0", targetqp.ModeOPF, 4096, 1<<14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// Drive the victim with raw PDUs: a real Conn's idle-drain timer would
+	// flush the partial window, but a dead-mid-window initiator leaves it
+	// parked — exactly the state teardown has to clean up.
+	raw, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := proto.WritePDU(raw, &proto.ICReq{PFV: 1, QueueDepth: 32,
+		Prio: proto.PrioThroughputCritical, NSID: 1}); err != nil {
+		t.Fatal(err)
+	}
+	icr, err := proto.ReadPDU(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	victimTenant := icr.(*proto.ICResp).Tenant
+	const parked = 5
+	for i := 0; i < parked; i++ {
+		err := proto.WritePDU(raw, &proto.CapsuleCmd{
+			Cmd:  nvme.Command{Opcode: nvme.OpWrite, CID: nvme.CID(i), NSID: 1, SLBA: uint64(i)},
+			Prio: proto.PrioThroughputCritical, Tenant: victimTenant,
+			Data: make([]byte, 4096),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, "parked window to reach the target", func() bool {
+		return srv.Stats().CmdPDUs >= parked
+	})
+	raw.Close() // die without teardown
+
+	waitFor(t, "target to tear the session down", func() bool {
+		return srv.ActiveSessions() == 0
+	})
+	if st := srv.Stats(); st.Disconnects != 1 || st.TeardownDrops != parked {
+		t.Fatalf("disconnects=%d teardownDrops=%d, want 1 and %d", st.Disconnects, st.TeardownDrops, parked)
+	}
+	if pm := srv.PMStats(); pm.TeardownDrops != parked {
+		t.Fatalf("PM TeardownDrops = %d", pm.TeardownDrops)
+	}
+
+	// The freed tenant ID is reusable, and the replacement works.
+	repl, err := Dial(srv.Addr(), hostqp.Config{Class: proto.PrioThroughputCritical, Window: 2, QueueDepth: 8, NSID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer repl.Close()
+	if got := repl.Tenant(); got != victimTenant {
+		t.Fatalf("tenant ID not recycled: victim=%d replacement=%d", victimTenant, got)
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 4096)
+	for i := 0; i < 4; i++ {
+		if err := repl.Write(uint64(200+i), payload, 0); err != nil {
+			t.Fatalf("replacement tenant write %d: %v", i, err)
+		}
+	}
+	got, err := repl.Read(200, 1, 0)
+	if err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("replacement read-back: %v", err)
+	}
+}
+
+// waitFor polls cond for up to 5s.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

@@ -1,0 +1,242 @@
+package tcptrans
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+)
+
+// waitGoroutines polls until the goroutine count returns to at most
+// base+slack (background runtime goroutines fluctuate a little).
+func waitGoroutines(t *testing.T, base int) {
+	t.Helper()
+	const slack = 2
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= base+slack {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	buf := make([]byte, 1<<16)
+	n := runtime.Stack(buf, true)
+	t.Fatalf("goroutines leaked: %d > %d+%d\n%s", runtime.NumGoroutine(), base, slack, buf[:n])
+}
+
+func lsConfig() hostqp.Config {
+	return hostqp.Config{Class: proto.PrioLatencySensitive, Window: 1, QueueDepth: 4, NSID: 1}
+}
+
+// TestCloseIdempotentConcurrent: Close from many goroutines at once must
+// tear down exactly once, and every caller must block until the reader,
+// writer, and reactor goroutines are gone.
+func TestCloseIdempotentConcurrent(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, err := NewMemoryServer("127.0.0.1:0", targetqp.ModeOPF, 4096, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Dial(srv.Addr(), lsConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(0, make([]byte, 4096), 0); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c.Close()
+		}()
+	}
+	wg.Wait()
+	if err := c.Close(); err != nil && !strings.Contains(err.Error(), "closed") {
+		t.Fatalf("repeat close: %v", err)
+	}
+	srv.Close()
+	waitGoroutines(t, base)
+}
+
+// TestFailedDialLeaksNothing: a dial that dies during the handshake must
+// release its socket and all of its goroutines, and must fail with the
+// target's actual rejection instead of sitting out the handshake timeout.
+func TestFailedDialLeaksNothing(t *testing.T) {
+	base := runtime.NumGoroutine()
+	srv, err := NewMemoryServer("127.0.0.1:0", targetqp.ModeOPF, 4096, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lsConfig()
+	cfg.NSID = 99 // target serves only namespace 1
+	start := time.Now()
+	_, err = Dial(srv.Addr(), cfg)
+	if err == nil {
+		t.Fatal("dial to unknown namespace succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("rejection took %v: dial waited for the timeout instead of the TermReq", elapsed)
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("namespace rejection not classified permanent: %v", err)
+	}
+	srv.Close()
+	waitGoroutines(t, base)
+}
+
+// TestRequestTimeoutEscalatesToReset: a request outstanding past
+// RequestTimeout must fail — and must fail the whole connection, releasing
+// every CID, exactly like the kernel initiator's io-timeout reset.
+func TestRequestTimeoutEscalatesToReset(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dev := newMemoryDevice(4096, 1024)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Mode: targetqp.ModeOPF, Device: dev,
+		WriteLatency: time.Second, // the target wedges on writes
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := DialWith(srv.Addr(), lsConfig(), DialConfig{RequestTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	start := time.Now()
+	go func() { done <- c.Write(0, make([]byte, 4096), 0) }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("wedged write reported success")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("write outlived RequestTimeout: deadline sweeper did not fire")
+	}
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Fatalf("write failed after only %v: not a timeout", elapsed)
+	}
+	// The connection is dead, and says so promptly rather than hanging.
+	if _, err := c.Read(0, 1, 0); err == nil {
+		t.Fatal("read succeeded on a reset connection")
+	}
+	c.Close()
+	srv.Close()
+	waitGoroutines(t, base)
+}
+
+// TestRequestTimeoutReleasesAllCIDs: when the sweeper resets the
+// connection, every queued submission's Done callback must fire — none may
+// be stranded holding a CID.
+func TestRequestTimeoutReleasesAllCIDs(t *testing.T) {
+	dev := newMemoryDevice(4096, 1024)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Mode: targetqp.ModeOPF, Device: dev,
+		WriteLatency: time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cfg := hostqp.Config{Class: proto.PrioThroughputCritical, Window: 4, QueueDepth: 8, NSID: 1}
+	c, err := DialWith(srv.Addr(), cfg, DialConfig{RequestTimeout: 150 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const n = 12 // deliberately beyond the queue depth: some wait host-side
+	results := make(chan nvme.Status, n)
+	for i := 0; i < n; i++ {
+		err := c.Submit(hostqp.IO{Op: nvme.OpWrite, LBA: uint64(i), Blocks: 1,
+			Data: make([]byte, 4096),
+			Done: func(r hostqp.Result) { results <- r.Status }})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		select {
+		case st := <-results:
+			if st.OK() {
+				t.Fatalf("request %d reported success against a wedged target", i)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("request %d of %d stranded: CID never released", i+1, n)
+		}
+	}
+}
+
+// TestDialRetryStopsOnPermanentError: protocol rejections must abort the
+// retry loop immediately — attempt 2 cannot fix a PFV or namespace
+// mismatch, and backing off just hides the misconfiguration.
+func TestDialRetryStopsOnPermanentError(t *testing.T) {
+	srv, err := NewMemoryServer("127.0.0.1:0", targetqp.ModeOPF, 4096, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cfg := lsConfig()
+	cfg.NSID = 99
+	start := time.Now()
+	_, err = DialRetry(srv.Addr(), cfg, 6, 300*time.Millisecond)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("retry against unknown namespace succeeded")
+	}
+	if !IsPermanent(err) {
+		t.Fatalf("error not classified permanent: %v", err)
+	}
+	// Six attempts with exponential backoff from 300ms would take >9s.
+	if elapsed > 3*time.Second {
+		t.Fatalf("DialRetry kept retrying a permanent rejection for %v", elapsed)
+	}
+}
+
+// TestDialRetryRecoversFromTransientFailure: a target that comes up late
+// must be reachable through the backoff loop.
+func TestDialRetryRecoversFromTransientFailure(t *testing.T) {
+	srv, err := NewMemoryServer("127.0.0.1:0", targetqp.ModeOPF, 4096, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+	srv.Close() // nothing listens: first attempts fail at connect()
+
+	type dialRes struct {
+		c   *Conn
+		err error
+	}
+	res := make(chan dialRes, 1)
+	go func() {
+		c, err := DialRetry(addr, lsConfig(), 40, 20*time.Millisecond)
+		res <- dialRes{c, err}
+	}()
+	// Bring a server back on the same address mid-retry.
+	time.Sleep(100 * time.Millisecond)
+	srv2, err := NewMemoryServer(addr, targetqp.ModeOPF, 4096, 1024)
+	if err != nil {
+		t.Skipf("could not rebind %s: %v", addr, err)
+	}
+	defer srv2.Close()
+	select {
+	case r := <-res:
+		if r.err != nil {
+			t.Fatalf("retry never connected: %v", r.err)
+		}
+		payload := bytes.Repeat([]byte{7}, 4096)
+		if err := r.c.Write(0, payload, 0); err != nil {
+			t.Fatal(err)
+		}
+		r.c.Close()
+	case <-time.After(15 * time.Second):
+		t.Fatal("DialRetry hung")
+	}
+}

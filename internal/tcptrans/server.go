@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"nvmeopf/internal/bdev"
+	"nvmeopf/internal/core"
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
 	"nvmeopf/internal/targetqp"
@@ -184,6 +185,36 @@ func (s *Server) Stats() targetqp.Stats {
 	}
 }
 
+// PMStats returns the priority manager's counters (snapshotted on the
+// reactor).
+func (s *Server) PMStats() core.TargetPMStats {
+	ch := make(chan core.TargetPMStats, 1)
+	if !s.post(func() { ch <- s.target.PMStats() }) {
+		return core.TargetPMStats{}
+	}
+	select {
+	case st := <-ch:
+		return st
+	case <-s.quit:
+		return core.TargetPMStats{}
+	}
+}
+
+// ActiveSessions returns the number of live sessions (snapshotted on the
+// reactor).
+func (s *Server) ActiveSessions() int {
+	ch := make(chan int, 1)
+	if !s.post(func() { ch <- s.target.ActiveSessions() }) {
+		return 0
+	}
+	select {
+	case n := <-ch:
+		return n
+	case <-s.quit:
+		return 0
+	}
+}
+
 // Close shuts the server down and waits for its goroutines.
 func (s *Server) Close() error {
 	s.mu.Lock()
@@ -286,6 +317,12 @@ func (s *Server) serveConn(conn net.Conn) {
 			break
 		}
 	}
+	// The connection is dead: tear the session down on the reactor so its
+	// queued requests are dropped, its tenant ID eventually recycles, and
+	// in-flight completions stop trying to send. Late device completions
+	// for this session still land on the reactor after this, where the
+	// tombstoned session absorbs them.
+	s.post(func() { s.target.CloseSession(sess) })
 	close(connDone)
 	writerWG.Wait()
 }

@@ -155,12 +155,20 @@ nvmeopf_reconnects_total 2
 # HELP nvmeopf_transport_errors_total Transport-level failures.
 # TYPE nvmeopf_transport_errors_total counter
 nvmeopf_transport_errors_total 0
+# HELP nvmeopf_disconnects_total Sessions torn down after their connection died.
+# TYPE nvmeopf_disconnects_total counter
+nvmeopf_disconnects_total 1
+# HELP nvmeopf_teardown_dropped_total Queued requests discarded by session teardown.
+# TYPE nvmeopf_teardown_dropped_total counter
+nvmeopf_teardown_dropped_total 5
 `
 
 func TestPrometheusGolden(t *testing.T) {
 	r := goldenRegistry()
 	r.IncReconnect()
 	r.IncReconnect()
+	r.IncDisconnect()
+	r.AddTeardownDrops(5)
 	got := r.PrometheusText()
 	if got != goldenText {
 		// Report the first diverging line for a readable failure.

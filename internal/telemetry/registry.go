@@ -94,6 +94,8 @@ type Registry struct {
 	connections     atomic.Int64
 	reconnects      atomic.Int64
 	transportErrors atomic.Int64
+	disconnects     atomic.Int64
+	teardownDrops   atomic.Int64
 
 	// Registry-wide default SLO, applied to tenants without their own.
 	defObjective atomic.Int64
@@ -303,6 +305,24 @@ func (r *Registry) IncTransportError() {
 		return
 	}
 	r.transportErrors.Add(1)
+}
+
+// IncDisconnect counts one session teardown: an initiator connection that
+// died (or closed) and had its target-side session reclaimed.
+func (r *Registry) IncDisconnect() {
+	if r == nil {
+		return
+	}
+	r.disconnects.Add(1)
+}
+
+// AddTeardownDrops counts queued requests discarded because their
+// tenant's session was torn down before they executed.
+func (r *Registry) AddTeardownDrops(n int64) {
+	if r == nil || n == 0 {
+		return
+	}
+	r.teardownDrops.Add(n)
 }
 
 // SetSLO declares one tenant's latency objective: completions slower than
@@ -540,6 +560,8 @@ type GlobalSnapshot struct {
 	Connections     int64 `json:"connections"`
 	Reconnects      int64 `json:"reconnects"`
 	TransportErrors int64 `json:"transport_errors"`
+	Disconnects     int64 `json:"disconnects"`
+	TeardownDrops   int64 `json:"teardown_drops"`
 }
 
 // Global snapshots the registry-wide counters.
@@ -551,6 +573,8 @@ func (r *Registry) Global() GlobalSnapshot {
 		Connections:     r.connections.Load(),
 		Reconnects:      r.reconnects.Load(),
 		TransportErrors: r.transportErrors.Load(),
+		Disconnects:     r.disconnects.Load(),
+		TeardownDrops:   r.teardownDrops.Load(),
 	}
 }
 

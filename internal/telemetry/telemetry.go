@@ -80,6 +80,10 @@ const (
 	// end-to-end latency in clock units. Emitted after StageReplay for
 	// coalesced members.
 	StageComplete
+	// StageTeardown: a session was torn down after its connection died.
+	// Emitted once per teardown (CID zero); Aux carries the number of
+	// queued requests dropped with it.
+	StageTeardown
 )
 
 // String implements fmt.Stringer.
@@ -103,6 +107,8 @@ func (s Stage) String() string {
 		return "arrive"
 	case StageComplete:
 		return "complete"
+	case StageTeardown:
+		return "teardown"
 	default:
 		return fmt.Sprintf("Stage(%d)", uint8(s))
 	}
@@ -111,7 +117,7 @@ func (s Stage) String() string {
 // StageFromString inverts Stage.String (used by dump readers). The second
 // result is false for unknown names.
 func StageFromString(s string) (Stage, bool) {
-	for st := StageSubmit; st <= StageComplete; st++ {
+	for st := StageSubmit; st <= StageTeardown; st++ {
 		if st.String() == s {
 			return st, true
 		}
@@ -142,8 +148,10 @@ func (s Stage) rank() int {
 		return 7
 	case StageComplete:
 		return 8
-	default:
+	case StageTeardown:
 		return 9
+	default:
+		return 10
 	}
 }
 

@@ -31,6 +31,8 @@
 package nvmeopf
 
 import (
+	"time"
+
 	"nvmeopf/internal/core"
 	"nvmeopf/internal/experiments"
 	"nvmeopf/internal/hostqp"
@@ -101,10 +103,32 @@ type Server = tcptrans.Server
 // ServerConfig configures a TCP target.
 type ServerConfig = tcptrans.ServerConfig
 
+// DialConfig bounds a connection's transport-level waits (handshake
+// timeout, request timeout) and optionally replaces the socket dialer
+// (fault injection plugs in here). The zero value gives the defaults.
+type DialConfig = tcptrans.DialConfig
+
 // Dial connects an initiator to a TCP target and completes the handshake.
 func Dial(addr string, cfg InitiatorConfig) (*Conn, error) {
 	return tcptrans.Dial(addr, cfg)
 }
+
+// DialWith is Dial with explicit transport timeouts and an optional
+// custom dialer.
+func DialWith(addr string, cfg InitiatorConfig, dcfg DialConfig) (*Conn, error) {
+	return tcptrans.DialWith(addr, cfg, dcfg)
+}
+
+// DialRetry dials with exponential backoff and jitter, aborting
+// immediately on permanent protocol rejections (see IsPermanent).
+func DialRetry(addr string, cfg InitiatorConfig, attempts int, backoff time.Duration) (*Conn, error) {
+	return tcptrans.DialRetry(addr, cfg, attempts, backoff)
+}
+
+// IsPermanent reports whether a dial error is a protocol-level rejection
+// (version mismatch, unknown namespace, target termination) that retrying
+// cannot fix.
+func IsPermanent(err error) bool { return tcptrans.IsPermanent(err) }
 
 // Listen starts a TCP target.
 func Listen(addr string, cfg ServerConfig) (*Server, error) {
