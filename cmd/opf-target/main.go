@@ -40,6 +40,11 @@ func main() {
 		recStall  = flag.Duration("recorder-stall", 0, "drain-stall anomaly threshold for auto snapshots (0: off)")
 		sloObj    = flag.Duration("slo", 0, "default per-tenant latency objective (0: no SLO tracking)")
 		sloTarget = flag.Float64("slo-target", 0.999, "fraction of completions that must meet -slo")
+
+		maxPendingTenant = flag.Int("max-pending-tenant", 0, "per-tenant pending-request cap: excess answered StatusBusy (0: off)")
+		maxPendingGlobal = flag.Int("max-pending-global", 0, "global pending-request cap: excess answered StatusBusy (0: off)")
+		lsHeadroom       = flag.Int("ls-headroom", 0, "slots of -max-pending-global reserved for latency-sensitive requests")
+		drainWatchdog    = flag.Duration("drain-watchdog", 0, "force-drain a TC queue parked this long with no draining flag (0: off)")
 	)
 	flag.Parse()
 
@@ -86,12 +91,16 @@ func main() {
 		}
 	}
 	srv, err := tcptrans.Listen(*addr, tcptrans.ServerConfig{
-		Mode:         m,
-		Device:       dev,
-		ReadLatency:  *readLat,
-		WriteLatency: *writeLat,
-		Telemetry:    tel,
-		Recorder:     rec,
+		Mode:                m,
+		Device:              dev,
+		ReadLatency:         *readLat,
+		WriteLatency:        *writeLat,
+		MaxPendingPerTenant: *maxPendingTenant,
+		MaxPendingGlobal:    *maxPendingGlobal,
+		LSHeadroom:          *lsHeadroom,
+		DrainWatchdog:       *drainWatchdog,
+		Telemetry:           tel,
+		Recorder:            rec,
 	})
 	if err != nil {
 		log.Fatalf("listen: %v", err)

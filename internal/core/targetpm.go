@@ -81,6 +81,30 @@ type TargetPMConfig struct {
 	// PM force-drains to avoid the lockup described in §IV-A. Zero
 	// disables the valve.
 	MaxPending int
+
+	// MaxPendingPerTenant caps how many requests one tenant may have
+	// pending (admitted but not yet completed) at the target, any class.
+	// Past the cap Admit refuses and the target answers StatusBusy
+	// instead of buffering unboundedly. Zero disables the per-tenant cap.
+	MaxPendingPerTenant int
+	// MaxPendingGlobal caps pending requests across all tenants. Zero
+	// disables the global cap.
+	MaxPendingGlobal int
+	// LSHeadroom reserves this many of the global cap's slots for
+	// latency-sensitive requests: non-LS admission stops at
+	// MaxPendingGlobal-LSHeadroom, so a TC flood cannot starve LS
+	// admission. Ignored when MaxPendingGlobal is zero.
+	LSHeadroom int
+
+	// Clock supplies monotonic time for the drain watchdog (nanoseconds;
+	// virtual clocks work too — only differences matter). Nil disables
+	// the watchdog regardless of WatchdogNS.
+	Clock func() int64
+	// WatchdogNS is the drain watchdog deadline: a TC queue whose oldest
+	// parked request has waited this long with no draining flag is
+	// force-drained by ExpireStale (host crashed or went silent
+	// mid-window). Zero disables the watchdog.
+	WatchdogNS int64
 }
 
 // drainBatch tracks one executing TC window awaiting coalesced completion.
@@ -102,9 +126,12 @@ type drainBatch struct {
 }
 
 // pendingQueue is one TC queue: FIFO of tagged CIDs. In isolated mode all
-// entries share one tenant; in shared mode they interleave.
+// entries share one tenant; in shared mode they interleave. firstAt is the
+// clock reading when the queue went non-empty — the drain watchdog's
+// deadline anchors there.
 type pendingQueue struct {
 	entries []TaggedCID
+	firstAt int64
 }
 
 func (q *pendingQueue) push(e TaggedCID) { q.entries = append(q.entries, e) }
@@ -112,6 +139,7 @@ func (q *pendingQueue) depth() int       { return len(q.entries) }
 func (q *pendingQueue) popAll() []TaggedCID {
 	out := q.entries
 	q.entries = nil
+	q.firstAt = 0
 	return out
 }
 
@@ -135,7 +163,11 @@ type TargetPM struct {
 	// pending queue prefix on every coalesced response (Alg. 2) and would
 	// otherwise report the earlier window complete prematurely.
 	inflight map[proto.TenantID][]*drainBatch
-	stats    TargetPMStats
+	// pending counts admitted-but-uncompleted requests per tenant (all
+	// classes) for admission control; pendingTotal is their sum.
+	pending      map[proto.TenantID]int
+	pendingTotal int
+	stats        TargetPMStats
 	// tel/trace are the live observability hooks. Both are optional: a
 	// nil registry records nothing (its methods are nil-receiver no-ops)
 	// and a nil trace skips event construction entirely.
@@ -153,6 +185,8 @@ type TargetPMStats struct {
 	RespsSent       int64 // wire responses emitted
 	RespsSuppressed int64 // completions absorbed by coalescing
 	TeardownDrops   int64 // queued requests discarded by session teardown
+	BusyRejections  int64 // requests refused admission with StatusBusy
+	WatchdogDrains  int64 // of ForcedDrains, those fired by the drain watchdog
 }
 
 // NewTargetPM creates a priority manager.
@@ -162,6 +196,7 @@ func NewTargetPM(cfg TargetPMConfig) *TargetPM {
 		queues:   make(map[proto.TenantID]*pendingQueue),
 		batches:  make(map[TaggedCID]*drainBatch),
 		inflight: make(map[proto.TenantID][]*drainBatch),
+		pending:  make(map[proto.TenantID]int),
 	}
 }
 
@@ -202,6 +237,70 @@ func (pm *TargetPM) QueueDepth(t proto.TenantID) int {
 	return 0
 }
 
+// Admit decides whether one arriving command may enter the target, and on
+// success charges it against the tenant's and the global pending caps
+// (undone by Release when the device completion lands or teardown drops
+// the request). Rules:
+//
+//   - Draining requests are always admitted: rejecting a drain would wedge
+//     the tenant's already-admitted parked window forever.
+//   - The per-tenant cap applies to every class — one tenant must not
+//     monopolize the target no matter how it labels its traffic.
+//   - The global cap reserves LSHeadroom slots for latency-sensitive
+//     requests: non-LS admission stops LSHeadroom slots early, so a TC
+//     flood saturating the target still leaves LS tenants room to admit.
+//
+// A false return means the caller must answer StatusBusy — the command was
+// never executed, so the host may resubmit verbatim.
+func (pm *TargetPM) Admit(t proto.TenantID, prio proto.Priority) bool {
+	if !prio.Draining() {
+		if pm.cfg.MaxPendingPerTenant > 0 && pm.pending[t] >= pm.cfg.MaxPendingPerTenant {
+			pm.reject(t)
+			return false
+		}
+		if g := pm.cfg.MaxPendingGlobal; g > 0 {
+			limit := g
+			if !prio.LatencySensitive() {
+				limit = g - pm.cfg.LSHeadroom
+			}
+			if pm.pendingTotal >= limit {
+				pm.reject(t)
+				return false
+			}
+		}
+	}
+	pm.pending[t]++
+	pm.pendingTotal++
+	return true
+}
+
+func (pm *TargetPM) reject(t proto.TenantID) {
+	pm.stats.BusyRejections++
+	pm.tel.IncBusyRejection(t)
+}
+
+// Release returns one admitted request's slot (completion, or teardown of
+// a request that never reached the device).
+func (pm *TargetPM) Release(t proto.TenantID) {
+	if pm.pending[t] > 0 {
+		pm.pending[t]--
+		if pm.pending[t] == 0 {
+			delete(pm.pending, t)
+		}
+	}
+	if pm.pendingTotal > 0 {
+		pm.pendingTotal--
+	}
+}
+
+// PendingRequests returns tenant t's admitted-but-uncompleted request
+// count.
+func (pm *TargetPM) PendingRequests(t proto.TenantID) int { return pm.pending[t] }
+
+// PendingTotal returns the admitted-but-uncompleted request count across
+// all tenants.
+func (pm *TargetPM) PendingTotal() int { return pm.pendingTotal }
+
 // OnCommand classifies one arriving command (Alg. 3). For
 // DispositionDrainBatch, batch lists every request to execute now, in FIFO
 // order, ending with the triggering command.
@@ -222,6 +321,9 @@ func (pm *TargetPM) OnCommand(t proto.TenantID, cid nvme.CID, prio proto.Priorit
 
 	case prio.ThroughputCritical():
 		q := pm.queue(t)
+		if q.depth() == 0 && pm.cfg.Clock != nil {
+			q.firstAt = pm.cfg.Clock()
+		}
 		q.push(self)
 		pm.stats.TCQueued++
 		pm.tel.IncTCQueued(t)
@@ -250,6 +352,42 @@ func (pm *TargetPM) OnCommand(t proto.TenantID, cid nvme.CID, prio proto.Priorit
 		}
 		return DispositionExecute, nil
 	}
+}
+
+// ExpireStale is the drain watchdog (needs both Clock and WatchdogNS
+// configured): every TC queue whose oldest parked request has waited at
+// least WatchdogNS with no draining flag is force-drained, and its batch
+// returned for the caller to execute — exactly as a DispositionDrainBatch
+// would be, except no triggering command exists (the batch owner is the
+// last parked request). Parked requests must never wedge forever just
+// because their host crashed mid-window. The runtime calls this from the
+// same reactor that calls OnCommand; like the rest of the PM it is not
+// synchronized.
+func (pm *TargetPM) ExpireStale(now int64) [][]TaggedCID {
+	if pm.cfg.Clock == nil || pm.cfg.WatchdogNS <= 0 {
+		return nil
+	}
+	var out [][]TaggedCID
+	for _, q := range pm.queues {
+		if q.depth() == 0 || now-q.firstAt < pm.cfg.WatchdogNS {
+			continue
+		}
+		batch := q.popAll()
+		last := batch[len(batch)-1]
+		pm.beginBatch(last.Tenant, last.CID, false, batch)
+		pm.stats.ForcedDrains++
+		pm.stats.WatchdogDrains++
+		pm.tel.ObserveDrain(last.Tenant, len(batch), true)
+		pm.tel.SetQueueDepth(last.Tenant, 0)
+		if pm.trace != nil {
+			// DrainStart keeps window correlation working; ForcedDrain
+			// marks why the window released.
+			pm.trace(telemetry.Event{Stage: telemetry.StageDrainStart, Tenant: last.Tenant, CID: last.CID, Aux: int64(len(batch))})
+			pm.trace(telemetry.Event{Stage: telemetry.StageForcedDrain, Tenant: last.Tenant, CID: last.CID, Aux: int64(len(batch))})
+		}
+		out = append(out, batch)
+	}
+	return out
 }
 
 // beginBatch registers an executing window so completions can be counted.

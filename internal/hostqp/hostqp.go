@@ -28,7 +28,10 @@ const ProtocolVersion = 1
 
 // ErrQueueFull is returned by Submit when QueueDepth commands are already
 // outstanding; callers doing their own flow control retry after the next
-// completion.
+// completion. The rejection has no side effects: no CID is consumed, no
+// PDU is emitted, and nothing is left in the pending queue — submit,
+// complete, and retry cycles keep depth accounting exact (regression-
+// tested by TestErrQueueFullLeavesNoState).
 var ErrQueueFull = errors.New("hostqp: queue depth exceeded")
 
 // ProtocolError is a handshake- or protocol-level rejection by the peer:
@@ -118,6 +121,13 @@ type IO struct {
 	// Prio optionally overrides the connection class for this request
 	// (zero value means "use the connection class").
 	Prio proto.Priority
+	// Idempotent declares that resubmitting this request verbatim is safe
+	// even if the original may have executed (e.g. a whole-block write of
+	// self-contained content). Reads and flushes are always idempotent;
+	// writes are replayed after a connection loss only when the caller
+	// sets this. Only the recovery layer (tcptrans.ResilientClient)
+	// consults it.
+	Idempotent bool
 	// Done receives the completion. It runs on the session's event
 	// context (the simulator loop or the transport reader goroutine).
 	Done func(Result)
@@ -267,7 +277,10 @@ func (s *Session) CanSubmit() bool {
 }
 
 // Submit issues one I/O. It returns an error if the session is not
-// connected, the queue is full, or the request is malformed.
+// connected, the queue is full, or the request is malformed. A rejected
+// Submit leaves no state behind — in particular an ErrQueueFull rejection
+// happens before the TC pending queue or the wire is touched, so depth
+// accounting stays exact across retry cycles.
 func (s *Session) Submit(io IO) error {
 	if !s.connected {
 		return errors.New("hostqp: submit before handshake")

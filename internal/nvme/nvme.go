@@ -54,11 +54,18 @@ const (
 	StatusLBAOutOfRange  Status = 0x0080
 	StatusCapacityExceed Status = 0x0081
 	StatusQueueFull      Status = 0x0101 // command-specific SCT
+	StatusBusy           Status = 0x0102 // command-specific SCT: admission cap hit, retry later
 	StatusInternalError  Status = 0x0006
 )
 
 // OK reports whether the status indicates success.
 func (s Status) OK() bool { return s == StatusSuccess }
+
+// Retryable reports whether the command may be resubmitted verbatim and is
+// expected to succeed once the target sheds load. Today only StatusBusy
+// (admission-control rejection) qualifies: the command was never executed,
+// so a retry cannot double-apply it.
+func (s Status) Retryable() bool { return s == StatusBusy }
 
 // String implements fmt.Stringer.
 func (s Status) String() string {
@@ -83,6 +90,8 @@ func (s Status) String() string {
 		return "CapacityExceeded"
 	case StatusQueueFull:
 		return "QueueFull"
+	case StatusBusy:
+		return "Busy"
 	case StatusInternalError:
 		return "InternalError"
 	default:

@@ -24,6 +24,13 @@ import (
 	"nvmeopf/internal/nvme"
 )
 
+// StatusBusy is the retryable admission-control status a target returns
+// when a tenant (or the target globally) is past its pending-request cap.
+// The command was never executed; hosts should back off and resubmit.
+// Re-exported here because it is part of the wire contract between
+// initiator and target, not a device-level status.
+const StatusBusy = nvme.StatusBusy
+
 // Type identifies a PDU type (values follow the NVMe/TCP spec).
 type Type uint8
 

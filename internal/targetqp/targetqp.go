@@ -19,6 +19,7 @@ package targetqp
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"nvmeopf/internal/core"
 	"nvmeopf/internal/nvme"
@@ -64,6 +65,20 @@ type Config struct {
 	// SharedQueueAblation disables per-tenant queue isolation (for the
 	// ablation benchmark only).
 	SharedQueueAblation bool
+	// MaxPendingPerTenant caps one tenant's admitted-but-uncompleted
+	// requests; past the cap commands are answered with the retryable
+	// proto.StatusBusy instead of buffered. Zero disables.
+	MaxPendingPerTenant int
+	// MaxPendingGlobal caps admitted-but-uncompleted requests across all
+	// tenants. Zero disables.
+	MaxPendingGlobal int
+	// LSHeadroom reserves slots of MaxPendingGlobal for latency-sensitive
+	// requests so a TC flood cannot starve LS admission.
+	LSHeadroom int
+	// DrainWatchdog force-drains a TC queue whose oldest parked request
+	// has waited this long with no draining flag (host crashed or went
+	// silent mid-window). Requires Clock. Zero disables.
+	DrainWatchdog time.Duration
 	// MaxDataLen is the largest in-capsule data accepted (advertised in
 	// ICResp). Zero means 1 MiB.
 	MaxDataLen uint32
@@ -140,8 +155,13 @@ func NewTarget(cfg Config, backend Backend) (*Target, error) {
 		cfg.Trace = telemetry.ChainTrace(cfg.Trace, cfg.Recorder.Trace)
 	}
 	pm := core.NewTargetPM(core.TargetPMConfig{
-		Isolated:   !cfg.SharedQueueAblation,
-		MaxPending: cfg.MaxPending,
+		Isolated:            !cfg.SharedQueueAblation,
+		MaxPending:          cfg.MaxPending,
+		MaxPendingPerTenant: cfg.MaxPendingPerTenant,
+		MaxPendingGlobal:    cfg.MaxPendingGlobal,
+		LSHeadroom:          cfg.LSHeadroom,
+		Clock:               cfg.Clock,
+		WatchdogNS:          cfg.DrainWatchdog.Nanoseconds(),
 	})
 	pm.SetTelemetry(cfg.Telemetry)
 	pm.SetTrace(cfg.Trace)
@@ -213,6 +233,7 @@ func (t *Target) CloseSession(s *Session) {
 	dropped := t.pm.DropTenant(s.tenant)
 	for _, cid := range dropped {
 		delete(s.reqs, cid)
+		t.pm.Release(s.tenant)
 	}
 	t.stats.Disconnects++
 	t.stats.TeardownDrops += int64(len(dropped))
@@ -365,6 +386,13 @@ func (s *Session) handleCmd(pdu *proto.CapsuleCmd) error {
 		// requests take the FIFO path with per-request completions.
 		prio = proto.PrioNormal
 	}
+	if !t.pm.Admit(s.tenant, prio) {
+		// Admission control: past the pending cap the target pushes back
+		// with a retryable busy status instead of buffering unboundedly.
+		// The command never executes, so a verbatim resubmit is safe.
+		s.respond(cid, nvme.StatusBusy, false)
+		return nil
+	}
 	req := &tReq{cmd: pdu.Cmd, prio: prio, data: pdu.Data}
 	if t.cfg.Clock != nil {
 		req.arrivedAt = t.cfg.Clock()
@@ -383,19 +411,46 @@ func (s *Session) handleCmd(pdu *proto.CapsuleCmd) error {
 		// Absorbed; the drain will release it.
 	case core.DispositionDrainBatch:
 		// Alg. 3: transition the whole window to the execution state.
-		for _, m := range batch {
-			owner := t.sessions[m.Tenant]
-			if owner == nil {
-				return fmt.Errorf("targetqp: batch member for unknown tenant %d", m.Tenant)
-			}
-			r, ok := owner.reqs[m.CID]
-			if !ok {
-				return fmt.Errorf("targetqp: batch member CID %d missing from pool", m.CID)
-			}
-			owner.execute(r)
+		if err := t.executeBatch(batch); err != nil {
+			return err
 		}
 	}
 	return nil
+}
+
+// executeBatch transitions one released window (drain-, valve-, or
+// watchdog-triggered) to the execution state, in FIFO order.
+func (t *Target) executeBatch(batch []core.TaggedCID) error {
+	for _, m := range batch {
+		owner := t.sessions[m.Tenant]
+		if owner == nil {
+			return fmt.Errorf("targetqp: batch member for unknown tenant %d", m.Tenant)
+		}
+		r, ok := owner.reqs[m.CID]
+		if !ok {
+			return fmt.Errorf("targetqp: batch member CID %d missing from pool", m.CID)
+		}
+		owner.execute(r)
+	}
+	return nil
+}
+
+// CheckWatchdog runs the PM's drain watchdog: every TC queue stale past
+// Config.DrainWatchdog is force-drained and executed now. Returns the
+// number of queues expired. The caller must invoke it from the same
+// context that delivers PDUs (the reactor/event loop); the transport runs
+// it on a timer. No-op unless both Clock and DrainWatchdog are set.
+func (t *Target) CheckWatchdog() (int, error) {
+	if t.cfg.Clock == nil || t.cfg.DrainWatchdog <= 0 {
+		return 0, nil
+	}
+	batches := t.pm.ExpireStale(t.cfg.Clock())
+	for _, batch := range batches {
+		if err := t.executeBatch(batch); err != nil {
+			return len(batches), err
+		}
+	}
+	return len(batches), nil
 }
 
 // execute hands one request to its namespace's backend, routed by the
@@ -437,6 +492,7 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 	// in-process transport the reused command can arrive re-entrantly,
 	// before this function returns.
 	delete(s.reqs, cid)
+	t.pm.Release(tenant)
 	if !st.OK() {
 		t.stats.Errors++
 	}

@@ -36,6 +36,59 @@ type DialConfig struct {
 	// Dialer optionally replaces net.Dial (fault injection wraps the
 	// socket here; see internal/faultnet.Dialer).
 	Dialer func(network, addr string) (net.Conn, error)
+	// Recovery opts the connection into transparent reconnect + replay:
+	// DialResilient returns a ResilientClient that re-dials after a
+	// connection death and resubmits eligible requests instead of
+	// surfacing every failure to the caller. Nil (the default) keeps the
+	// plain fail-fast Conn semantics.
+	Recovery *RecoveryConfig
+}
+
+// RecoveryConfig tunes a ResilientClient. The zero value of each field
+// selects the default documented on it.
+type RecoveryConfig struct {
+	// MaxAttempts bounds each reconnect's dial loop (default 8); the
+	// backoff policy is DialRetry's (exponential, 32× cap, jitter).
+	MaxAttempts int
+	// Backoff is the base reconnect backoff (default 10ms).
+	Backoff time.Duration
+	// Budget is the retry token bucket capacity (default 64). Every
+	// replayed or busy-retried request consumes one token; an empty
+	// bucket fails the request instead, so a sick target is never
+	// amplified by a retry storm.
+	Budget int
+	// RefillInterval returns one token per interval (default 100ms).
+	RefillInterval time.Duration
+	// RequeueLS / RequeueTC gate replay after a connection loss by wire
+	// class (latency-sensitive/normal vs throughput-critical). Replay
+	// additionally requires the request to be idempotent: reads and
+	// flushes always are; writes only with IO.Idempotent set.
+	RequeueLS bool
+	RequeueTC bool
+	// BusyBackoff is the wait before resubmitting a request the target
+	// answered with StatusBusy (default 2ms). Busy rejections were never
+	// executed, so they retry regardless of idempotency — but still
+	// consume budget.
+	BusyBackoff time.Duration
+}
+
+func (r RecoveryConfig) withDefaults() RecoveryConfig {
+	if r.MaxAttempts == 0 {
+		r.MaxAttempts = 8
+	}
+	if r.Backoff == 0 {
+		r.Backoff = 10 * time.Millisecond
+	}
+	if r.Budget == 0 {
+		r.Budget = 64
+	}
+	if r.RefillInterval == 0 {
+		r.RefillInterval = 100 * time.Millisecond
+	}
+	if r.BusyBackoff == 0 {
+		r.BusyBackoff = 2 * time.Millisecond
+	}
+	return r
 }
 
 // Defaults for DialConfig zero fields.
@@ -263,11 +316,29 @@ func DialRetry(addr string, cfg hostqp.Config, attempts int, backoff time.Durati
 
 // DialRetryWith is DialRetry with explicit transport timeouts.
 func DialRetryWith(addr string, cfg hostqp.Config, dcfg DialConfig, attempts int, backoff time.Duration) (*Conn, error) {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	c, used, err := retryLoop(attempts, backoff, time.Sleep, rng, func() (*Conn, error) {
+		return DialWith(addr, cfg, dcfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	if used > 1 {
+		cfg.Telemetry.IncReconnect()
+	}
+	return c, nil
+}
+
+// retryLoop is DialRetry's backoff engine, with the clock (sleep) and
+// jitter source injectable so the policy is testable without real waits:
+// the wait after attempt N doubles per attempt from backoff, capped at
+// 32×backoff, plus up to 50% jitter; a permanent protocol rejection stops
+// the loop immediately. Returns how many attempts were consumed.
+func retryLoop(attempts int, backoff time.Duration, sleep func(time.Duration), rng *rand.Rand, dial func() (*Conn, error)) (*Conn, int, error) {
 	if attempts < 1 {
 		attempts = 1
 	}
 	maxBackoff := 32 * backoff
-	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	wait := backoff
 	var lastErr error
 	for i := 0; i < attempts; i++ {
@@ -276,24 +347,33 @@ func DialRetryWith(addr string, cfg hostqp.Config, dcfg DialConfig, attempts int
 			if d > 0 {
 				d += time.Duration(rng.Int63n(int64(d)/2 + 1))
 			}
-			time.Sleep(d)
+			sleep(d)
 			if wait *= 2; wait > maxBackoff {
 				wait = maxBackoff
 			}
 		}
-		c, err := DialWith(addr, cfg, dcfg)
+		c, err := dial()
 		if err == nil {
-			if i > 0 {
-				cfg.Telemetry.IncReconnect()
-			}
-			return c, nil
+			return c, i + 1, nil
 		}
 		lastErr = err
 		if IsPermanent(err) {
-			break
+			return nil, i + 1, lastErr
 		}
 	}
-	return nil, lastErr
+	return nil, attempts, lastErr
+}
+
+// Err returns the error that broke the connection, or nil while it is
+// healthy. Safe from any goroutine: connErr is written on the reactor
+// strictly before dead is closed.
+func (c *Conn) Err() error {
+	select {
+	case <-c.dead:
+		return c.connErr
+	default:
+		return nil
+	}
 }
 
 // post schedules fn on the reactor.

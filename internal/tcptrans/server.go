@@ -30,6 +30,18 @@ type ServerConfig struct {
 	Device bdev.Device
 	// MaxPending is the PM safety valve (default 4096).
 	MaxPending int
+	// MaxPendingPerTenant / MaxPendingGlobal / LSHeadroom configure
+	// admission control: past a cap the target answers the retryable
+	// proto.StatusBusy instead of buffering unboundedly, with LSHeadroom
+	// slots of the global cap reserved for latency-sensitive requests.
+	// Zero caps disable admission control.
+	MaxPendingPerTenant int
+	MaxPendingGlobal    int
+	LSHeadroom          int
+	// DrainWatchdog force-drains any TC queue whose oldest parked request
+	// has waited this long with no draining flag (host crashed or went
+	// silent mid-window). Zero disables the watchdog.
+	DrainWatchdog time.Duration
 	// Workers is the device executor pool size (default 8).
 	Workers int
 	// ReadLatency/WriteLatency optionally inject device service time, so
@@ -89,12 +101,16 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 		conns:  make(map[net.Conn]struct{}),
 	}
 	tgt, err := targetqp.NewTarget(targetqp.Config{
-		Mode:       cfg.Mode,
-		MaxPending: cfg.MaxPending,
-		Telemetry:  cfg.Telemetry,
-		Trace:      cfg.Trace,
-		Recorder:   cfg.Recorder,
-		Clock:      func() int64 { return time.Now().UnixNano() },
+		Mode:                cfg.Mode,
+		MaxPending:          cfg.MaxPending,
+		MaxPendingPerTenant: cfg.MaxPendingPerTenant,
+		MaxPendingGlobal:    cfg.MaxPendingGlobal,
+		LSHeadroom:          cfg.LSHeadroom,
+		DrainWatchdog:       cfg.DrainWatchdog,
+		Telemetry:           cfg.Telemetry,
+		Trace:               cfg.Trace,
+		Recorder:            cfg.Recorder,
+		Clock:               func() int64 { return time.Now().UnixNano() },
 	}, &execBackend{s: s, nsid: 1, dev: cfg.Device})
 	if err != nil {
 		ln.Close()
@@ -121,6 +137,29 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 			}
 		}
 	}()
+	// Drain watchdog: a ticker posting the check to the reactor, which
+	// solely owns the target state. Ticking at a quarter of the deadline
+	// bounds how late past the deadline a force-drain can fire.
+	if cfg.DrainWatchdog > 0 {
+		tick := cfg.DrainWatchdog / 4
+		if tick <= 0 {
+			tick = cfg.DrainWatchdog
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					s.post(func() { _, _ = s.target.CheckWatchdog() })
+				case <-s.quit:
+					return
+				}
+			}
+		}()
+	}
 	// Device executor pool.
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)

@@ -237,8 +237,8 @@ func Correlate(host, target *Dump) *Correlation {
 		// key's in-flight instance belongs to. Batch-level events fan out
 		// to the tenant's open members via the state sets below.
 		arriveEpoch := map[reqKey]int{}
-		enqueued := map[uint8][]*Timeline{}  // tenant → enqueue seen, drain pending
-		draining := map[uint8][]*Timeline{}  // drain seen, notify pending
+		enqueued := map[uint8][]*Timeline{} // tenant → enqueue seen, drain pending
+		draining := map[uint8][]*Timeline{} // drain seen, notify pending
 		for _, e := range target.Events {
 			k := reqKey{e.Tenant, e.CID}
 			st := Stage(e.Stage)

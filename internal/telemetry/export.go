@@ -119,6 +119,8 @@ var tenantMetrics = []metricDef{
 	{"nvmeopf_tenant_suppressed_total", "counter", "Device completions absorbed by coalescing.", func(t TenantSnapshot) int64 { return t.Suppressed }},
 	{"nvmeopf_tenant_responses_total", "counter", "Wire responses emitted.", func(t TenantSnapshot) int64 { return t.Responses }},
 	{"nvmeopf_tenant_coalesced_responses_total", "counter", "Wire responses covering a whole window.", func(t TenantSnapshot) int64 { return t.Coalesced }},
+	{"nvmeopf_busy_rejections_total", "counter", "Requests refused admission with StatusBusy.", func(t TenantSnapshot) int64 { return t.BusyRejections }},
+	{"nvmeopf_replayed_requests_total", "counter", "Requests resubmitted by host-side recovery.", func(t TenantSnapshot) int64 { return t.Replayed }},
 }
 
 // PrometheusText renders the registry in the Prometheus text exposition

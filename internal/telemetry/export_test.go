@@ -33,6 +33,11 @@ func goldenRegistry() *Registry {
 	r.SetQueueDepth(3, 0)
 	r.ObserveDrain(3, 16, false)
 	r.IncResponse(3, true)
+	for i := 0; i < 3; i++ {
+		r.IncBusyRejection(3)
+	}
+	r.IncReplayed(3)
+	r.IncReplayed(3)
 	r.IncConnection()
 	r.IncConnection()
 	return r
@@ -97,6 +102,14 @@ nvmeopf_tenant_responses_total{tenant="3"} 1
 # TYPE nvmeopf_tenant_coalesced_responses_total counter
 nvmeopf_tenant_coalesced_responses_total{tenant="0"} 0
 nvmeopf_tenant_coalesced_responses_total{tenant="3"} 1
+# HELP nvmeopf_busy_rejections_total Requests refused admission with StatusBusy.
+# TYPE nvmeopf_busy_rejections_total counter
+nvmeopf_busy_rejections_total{tenant="0"} 0
+nvmeopf_busy_rejections_total{tenant="3"} 3
+# HELP nvmeopf_replayed_requests_total Requests resubmitted by host-side recovery.
+# TYPE nvmeopf_replayed_requests_total counter
+nvmeopf_replayed_requests_total{tenant="0"} 0
+nvmeopf_replayed_requests_total{tenant="3"} 2
 # HELP nvmeopf_tenant_coalescing_ratio Completions per wire response (>1 means coalescing).
 # TYPE nvmeopf_tenant_coalescing_ratio gauge
 nvmeopf_tenant_coalescing_ratio{tenant="0"} 0.0000

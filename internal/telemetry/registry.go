@@ -45,6 +45,9 @@ type tenantSlot struct {
 	responses    atomic.Int64 // wire responses emitted for this tenant
 	coalesced    atomic.Int64 // of which coalesced
 
+	busyRejections atomic.Int64 // admissions refused with StatusBusy
+	replayed       atomic.Int64 // requests resubmitted by recovery
+
 	// hist holds the per-class latency histograms. Installed lazily (one
 	// 15 KiB Hist per active tenant-class, CAS once) so an idle registry
 	// stays small; after installation Record is allocation-free.
@@ -279,6 +282,24 @@ func (r *Registry) IncResponse(t proto.TenantID, coalesced bool) {
 	if coalesced {
 		s.coalesced.Add(1)
 	}
+}
+
+// IncBusyRejection records one request refused admission with StatusBusy
+// (the tenant or the target globally was past its pending-request cap).
+func (r *Registry) IncBusyRejection(t proto.TenantID) {
+	if r == nil {
+		return
+	}
+	r.slot(t).busyRejections.Add(1)
+}
+
+// IncReplayed records one request a recovering host resubmitted after a
+// connection died or a StatusBusy pushback.
+func (r *Registry) IncReplayed(t proto.TenantID) {
+	if r == nil {
+		return
+	}
+	r.slot(t).replayed.Add(1)
 }
 
 // IncConnection counts one accepted/established connection.
@@ -542,6 +563,10 @@ type TenantSnapshot struct {
 	Suppressed   int64  `json:"suppressed"`
 	Responses    int64  `json:"responses"`
 	Coalesced    int64  `json:"coalesced"`
+	// BusyRejections counts requests refused admission with StatusBusy;
+	// Replayed counts requests the host's recovery layer resubmitted.
+	BusyRejections int64 `json:"busy_rejections"`
+	Replayed       int64 `json:"replayed"`
 	// CoalescingRatio is completions per wire response — the live form of
 	// the paper's Fig. 6(c) metric; > 1 means coalescing is paying off.
 	CoalescingRatio float64 `json:"coalescing_ratio"`
@@ -606,6 +631,9 @@ func (r *Registry) Tenants() []TenantSnapshot {
 			Suppressed:   s.suppressed.Load(),
 			Responses:    s.responses.Load(),
 			Coalesced:    s.coalesced.Load(),
+
+			BusyRejections: s.busyRejections.Load(),
+			Replayed:       s.replayed.Load(),
 		}
 		if snap.Responses > 0 {
 			snap.CoalescingRatio = float64(snap.Completed) / float64(snap.Responses)

@@ -283,9 +283,9 @@ func Analyze(c *Correlation, opts AnalyzeOptions) *Report {
 		sort.Slice(b.lats, func(i, j int) bool { return b.lats[i] < b.lats[j] })
 		ts := TenantStats{
 			Tenant: k[0], Class: Class(k[1]), Count: b.n,
-			P50: exactQuantile(b.lats, 0.50),
-			P95: exactQuantile(b.lats, 0.95),
-			P99: exactQuantile(b.lats, 0.99),
+			P50:      exactQuantile(b.lats, 0.50),
+			P95:      exactQuantile(b.lats, 0.95),
+			P99:      exactQuantile(b.lats, 0.99),
 			SpanMean: map[string]int64{},
 		}
 		if n := len(b.lats); n > 0 {

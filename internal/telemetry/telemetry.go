@@ -84,6 +84,14 @@ const (
 	// Emitted once per teardown (CID zero); Aux carries the number of
 	// queued requests dropped with it.
 	StageTeardown
+	// StageForcedDrain: the drain watchdog force-released a tenant's
+	// parked TC queue because no draining flag arrived within the deadline
+	// (host crashed or went silent mid-window). Aux carries the batch
+	// size; the CID is the last parked request's. Emitted alongside
+	// StageDrainStart so window correlation keeps working. (Appended after
+	// StageTeardown to keep recorded stage values stable; causally it sits
+	// with drain-start.)
+	StageForcedDrain
 )
 
 // String implements fmt.Stringer.
@@ -109,6 +117,8 @@ func (s Stage) String() string {
 		return "complete"
 	case StageTeardown:
 		return "teardown"
+	case StageForcedDrain:
+		return "forced-drain"
 	default:
 		return fmt.Sprintf("Stage(%d)", uint8(s))
 	}
@@ -117,7 +127,7 @@ func (s Stage) String() string {
 // StageFromString inverts Stage.String (used by dump readers). The second
 // result is false for unknown names.
 func StageFromString(s string) (Stage, bool) {
-	for st := StageSubmit; st <= StageTeardown; st++ {
+	for st := StageSubmit; st <= StageForcedDrain; st++ {
 		if st.String() == s {
 			return st, true
 		}
@@ -138,7 +148,7 @@ func (s Stage) rank() int {
 		return 2
 	case StageEnqueue:
 		return 3
-	case StageDrainStart:
+	case StageDrainStart, StageForcedDrain:
 		return 4
 	case StageDeviceComplete:
 		return 5
