@@ -7,8 +7,10 @@ package nvmeopf
 // stays tractable; run `opf-bench -exp all` for publication-scale tables.
 
 import (
+	"sync"
 	"testing"
 
+	"nvmeopf/internal/bdev"
 	"nvmeopf/internal/core"
 	"nvmeopf/internal/experiments"
 	"nvmeopf/internal/nvme"
@@ -259,6 +261,89 @@ func BenchmarkTCPLoopbackWrite(b *testing.B) {
 		<-done
 		inFlight--
 	}
+}
+
+// benchMultiConnTC drives 4 KiB TC writes from several concurrent
+// connections against one target and reports aggregate throughput.
+func benchMultiConnTC(b *testing.B, cfg ServerConfig, dcfg DialConfig, conns int) {
+	b.Helper()
+	dev, err := bdev.NewMemory(4096, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg.Mode = ModeOPF
+	cfg.Device = dev
+	srv, err := Listen("127.0.0.1:0", cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	clients := make([]*Conn, conns)
+	for i := range clients {
+		c, err := DialWith(srv.Addr(), InitiatorConfig{
+			Class: ThroughputCritical, Window: 16, QueueDepth: 64, NSID: 1,
+		}, dcfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	b.SetBytes(4096)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for ci, conn := range clients {
+		n := b.N / conns
+		if ci < b.N%conns {
+			n++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([]byte, 4096)
+			done := make(chan struct{}, 64)
+			inFlight := 0
+			for i := 0; i < n; i++ {
+				for inFlight >= 64 {
+					<-done
+					inFlight--
+				}
+				if err := conn.Submit(IO{
+					Op: OpWrite, LBA: uint64((ci*1024 + i%1024) * 8), Blocks: 1,
+					Data: buf, Done: func(Result) { done <- struct{}{} },
+				}); err != nil {
+					b.Error(err)
+					return
+				}
+				inFlight++
+			}
+			for inFlight > 0 {
+				<-done
+				inFlight--
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// BenchmarkMultiConnTCThroughput compares aggregate TC throughput at 4
+// concurrent initiator connections: the pre-shard transport (one
+// reactor, one inflight slot per connection — the serialized per-PDU
+// read→handle→read round trip — and one write syscall per PDU on both
+// ends) against the sharded pipelined/batched datapath with -shards=4.
+// The knobs reproduce the old deployment exactly, so the ratio is the
+// PR's aggregate win even on a single-core host; with real cores the
+// shards add CPU scaling on top.
+func BenchmarkMultiConnTCThroughput(b *testing.B) {
+	b.Run("baseline-1shard-serialized", func(b *testing.B) {
+		benchMultiConnTC(b,
+			ServerConfig{Shards: 1, InflightPerConn: 1, WriteBatchBytes: 1},
+			DialConfig{WriteBatchBytes: 1}, 4)
+	})
+	b.Run("sharded-4", func(b *testing.B) {
+		benchMultiConnTC(b, ServerConfig{Shards: 4}, DialConfig{}, 4)
+	})
 }
 
 // BenchmarkTCPLoopbackLatency measures single-request round-trip latency

@@ -32,6 +32,7 @@ func main() {
 		blockSize = flag.Uint("block-size", 4096, "block size in bytes")
 		readLat   = flag.Duration("read-lat", 0, "injected per-read device latency")
 		writeLat  = flag.Duration("write-lat", 0, "injected per-write device latency")
+		shards    = flag.Int("shards", 0, "reactor shards owning sessions round-robin (0: GOMAXPROCS)")
 		statsSec  = flag.Int("stats", 10, "stats print interval seconds (0: off)")
 		discovery = flag.String("discovery", "", "discovery endpoint to register with (optional)")
 		nqn       = flag.String("nqn", "nqn.2024-01.io.nvmeopf:target", "subsystem NQN for discovery registration")
@@ -93,6 +94,7 @@ func main() {
 	srv, err := tcptrans.Listen(*addr, tcptrans.ServerConfig{
 		Mode:                m,
 		Device:              dev,
+		Shards:              *shards,
 		ReadLatency:         *readLat,
 		WriteLatency:        *writeLat,
 		MaxPendingPerTenant: *maxPendingTenant,
@@ -106,7 +108,7 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	defer srv.Close()
-	log.Printf("nvme-opf target (%s) serving %d x %dB blocks on %s", m, *blocks, *blockSize, srv.Addr())
+	log.Printf("nvme-opf target (%s, %d shards) serving %d x %dB blocks on %s", m, srv.Shards(), *blocks, *blockSize, srv.Addr())
 	if tel != nil {
 		exp, merr := tel.Serve(*metrics)
 		if merr != nil {

@@ -189,6 +189,22 @@ type TargetPMStats struct {
 	WatchdogDrains  int64 // of ForcedDrains, those fired by the drain watchdog
 }
 
+// Accumulate adds o's counters into s. A sharded target runs one PM per
+// reactor shard; the serving layer merges the per-shard counters through
+// this when reporting target-wide stats.
+func (s *TargetPMStats) Accumulate(o TargetPMStats) {
+	s.LSBypassed += o.LSBypassed
+	s.TCQueued += o.TCQueued
+	s.Drains += o.Drains
+	s.ForcedDrains += o.ForcedDrains
+	s.PrematureFlush += o.PrematureFlush
+	s.RespsSent += o.RespsSent
+	s.RespsSuppressed += o.RespsSuppressed
+	s.TeardownDrops += o.TeardownDrops
+	s.BusyRejections += o.BusyRejections
+	s.WatchdogDrains += o.WatchdogDrains
+}
+
 // NewTargetPM creates a priority manager.
 func NewTargetPM(cfg TargetPMConfig) *TargetPM {
 	return &TargetPM{

@@ -1,0 +1,186 @@
+package proto
+
+// Allocation regressions for the transport hot path: marshal via
+// AppendPDU into a reused buffer and decode via a pooling Reader must be
+// allocation-free in steady state — this is the property the sharded TCP
+// datapath's throughput rests on.
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"nvmeopf/internal/nvme"
+)
+
+// loopReader replays a fixed byte stream forever without allocating.
+type loopReader struct {
+	data []byte
+	off  int
+}
+
+func (l *loopReader) Read(p []byte) (int, error) {
+	if l.off == len(l.data) {
+		l.off = 0
+	}
+	n := copy(p, l.data[l.off:])
+	l.off += n
+	return n, nil
+}
+
+func TestAppendPDUZeroAlloc(t *testing.T) {
+	skipIfRace(t)
+	cmd := &CapsuleCmd{
+		Cmd:    nvme.Command{Opcode: nvme.OpWrite, CID: 7, NSID: 1, SLBA: 42},
+		Prio:   PrioTCDraining,
+		Tenant: 3,
+		Data:   make([]byte, 4096),
+	}
+	resp := &CapsuleResp{Cpl: nvme.Completion{CID: 7}, Coalesced: true}
+	buf := make([]byte, 0, 64<<10)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = buf[:0]
+		buf = AppendPDU(buf, cmd)
+		buf = AppendPDU(buf, resp)
+	})
+	if allocs != 0 {
+		t.Errorf("AppendPDU into reused buffer: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestReaderZeroAllocCapsuleResp(t *testing.T) {
+	skipIfRace(t)
+	wire := Marshal(&CapsuleResp{Cpl: nvme.Completion{CID: 9}, Coalesced: true})
+	rd := NewReader(&loopReader{data: wire}, true)
+	// Warm the pools and grow the scratch before measuring.
+	for i := 0; i < 16; i++ {
+		p, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseInbound(p)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		p, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseInbound(p)
+	})
+	if allocs != 0 {
+		t.Errorf("Reader.Next(CapsuleResp): %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestReaderZeroAllocCapsuleCmdWithPayload(t *testing.T) {
+	skipIfRace(t)
+	wire := Marshal(&CapsuleCmd{
+		Cmd:  nvme.Command{Opcode: nvme.OpWrite, CID: 7, NSID: 1},
+		Data: bytes.Repeat([]byte{0xAB}, 4096),
+	})
+	rd := NewReader(&loopReader{data: wire}, true)
+	for i := 0; i < 16; i++ {
+		p, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseInbound(p)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		p, err := rd.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseInbound(p)
+	})
+	if allocs != 0 {
+		t.Errorf("Reader.Next(CapsuleCmd+4KiB): %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestReaderPooledMatchesPlainDecode(t *testing.T) {
+	pdus := []PDU{
+		&ICReq{PFV: 1, QueueDepth: 64, Prio: PrioThroughputCritical, NSID: 1},
+		&CapsuleCmd{
+			Cmd:    nvme.Command{Opcode: nvme.OpWrite, CID: 3, NSID: 1, SLBA: 8, NLB: 1},
+			Prio:   PrioTCDraining,
+			Tenant: 5,
+			Data:   bytes.Repeat([]byte{0x5C}, 8192),
+		},
+		&CapsuleResp{Cpl: nvme.Completion{CID: 3, Status: nvme.StatusSuccess}, Coalesced: true},
+		&C2HData{CCCID: 3, Offset: 512, Data: bytes.Repeat([]byte{0x77}, 1024)},
+		&H2CData{CCCID: 4, Offset: 0, Data: []byte{1, 2, 3}},
+	}
+	var wire []byte
+	for _, p := range pdus {
+		wire = AppendPDU(wire, p)
+	}
+	for _, pooled := range []bool{false, true} {
+		rd := NewReader(bytes.NewReader(wire), pooled)
+		for i, want := range pdus {
+			got, err := rd.Next()
+			if err != nil {
+				t.Fatalf("pooled=%v pdu %d: %v", pooled, i, err)
+			}
+			checkPDUEqual(t, got, want)
+		}
+		if _, err := rd.Next(); err != io.EOF {
+			t.Fatalf("pooled=%v: want EOF at stream end, got %v", pooled, err)
+		}
+	}
+}
+
+func checkPDUEqual(t *testing.T, got, want PDU) {
+	t.Helper()
+	if got.PDUType() != want.PDUType() {
+		t.Fatalf("type %v != %v", got.PDUType(), want.PDUType())
+	}
+	// Re-marshal both: equal wire bytes means equal decoded state.
+	if !bytes.Equal(Marshal(got), Marshal(want)) {
+		t.Fatalf("%v decoded state differs from original", want.PDUType())
+	}
+}
+
+func TestBufPool(t *testing.T) {
+	cases := []struct{ n, wantCap int }{
+		{1, 512}, {512, 512}, {513, 1024}, {4096, 4096}, {4097, 8192}, {1 << 20, 1 << 20},
+	}
+	for _, c := range cases {
+		b := GetBuf(c.n)
+		if len(b) != c.n || cap(b) != c.wantCap {
+			t.Errorf("GetBuf(%d): len=%d cap=%d, want len=%d cap=%d", c.n, len(b), cap(b), c.n, c.wantCap)
+		}
+		PutBuf(b)
+	}
+	// Oversized requests fall back to exact allocations and are never
+	// pooled.
+	big := GetBuf(maxBufClass + 1)
+	if len(big) != maxBufClass+1 {
+		t.Errorf("oversize GetBuf: len=%d", len(big))
+	}
+	PutBuf(big) // must not panic or poison the pool
+	// A buffer whose capacity is not an exact class is dropped, not pooled.
+	PutBuf(make([]byte, 100, 777))
+	PutBuf(nil)
+}
+
+func TestRecycleClearsState(t *testing.T) {
+	c := GetCapsuleCmd()
+	c.Data = []byte{1}
+	c.Tenant = 9
+	Recycle(c)
+	c2 := GetCapsuleCmd()
+	if c2.Data != nil || c2.Tenant != 0 {
+		t.Errorf("recycled CapsuleCmd not zeroed: %+v", c2)
+	}
+	Recycle(c2)
+}
+
+// skipIfRace skips allocation assertions under the race detector, whose
+// instrumentation allocates on paths that are clean in normal builds.
+func skipIfRace(t *testing.T) {
+	t.Helper()
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under -race")
+	}
+}

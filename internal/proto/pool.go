@@ -1,0 +1,300 @@
+package proto
+
+// Allocation-free hot path for the real transport. Three pools cooperate:
+//
+//   - payload buffers (GetBuf/PutBuf): size-classed sync.Pools backing
+//     in-capsule write data, device read buffers, and the Reader's pooled
+//     payload decode. Amortized zero allocations per PDU.
+//   - PDU structs (Recycle): the three hot capsule types cycle through
+//     sync.Pools so a steady-state datapath never allocates a PDU header
+//     object. Cold types (ICReq, ICResp, TermReq, discovery) are not
+//     pooled — they appear once per connection, not once per request.
+//   - the Reader's scratch buffer: one per connection, grown to the
+//     largest PDU seen and reused for every wire read.
+//
+// Ownership rules (the transports enforce them; the simulator never
+// pools):
+//
+//   - A buffer obtained from GetBuf has exactly one owner at a time; the
+//     owner either hands it off (send path) or returns it with PutBuf.
+//   - Recycle never touches the payload: callers that retained or pooled
+//     a PDU's Data release it separately, *before* recycling the struct.
+//   - PutBuf ignores slices whose capacity is not an exact pool class, so
+//     a user-owned buffer that leaks into a release path is dropped to the
+//     GC instead of poisoning the pool.
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+
+	"nvmeopf/internal/nvme"
+)
+
+// Payload-buffer size classes: powers of two from 512 B to 1 MiB (the
+// default MaxDataLen). Requests larger than the top class fall back to a
+// plain allocation.
+const (
+	minBufClass   = 512
+	maxBufClass   = 1 << 20
+	numBufClasses = 12 // 512 << 11 == 1 MiB
+)
+
+// bufPools[i] holds buffers of exactly minBufClass<<i bytes. The pooled
+// object is a *wrapped slice; wrappers themselves cycle through
+// wrapperPool so neither Get nor Put allocates in steady state.
+var bufPools [numBufClasses]sync.Pool
+
+// wrapper boxes a slice for sync.Pool (pooling a bare []byte would box it
+// into an interface and allocate on every Put).
+type wrapper struct{ b []byte }
+
+var wrapperPool = sync.Pool{New: func() any { return new(wrapper) }}
+
+// classFor returns the pool index for a requested size, or -1 when the
+// size is outside the pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > maxBufClass {
+		return -1
+	}
+	c, size := 0, minBufClass
+	for size < n {
+		size <<= 1
+		c++
+	}
+	return c
+}
+
+// GetBuf returns a buffer with len == n from the pool (capacity is the
+// size class). Sizes above the pooled range are plainly allocated.
+func GetBuf(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if w, _ := bufPools[c].Get().(*wrapper); w != nil {
+		b := w.b
+		w.b = nil
+		wrapperPool.Put(w)
+		return b[:n]
+	}
+	return make([]byte, n, minBufClass<<c)
+}
+
+// PutBuf returns a GetBuf buffer to its pool. Nil slices and slices whose
+// capacity does not match a pool class exactly (user-owned or oversized
+// buffers) are ignored.
+func PutBuf(b []byte) {
+	if b == nil {
+		return
+	}
+	c := classFor(cap(b))
+	if c < 0 || cap(b) != minBufClass<<c {
+		return
+	}
+	w := wrapperPool.Get().(*wrapper)
+	w.b = b[:0]
+	bufPools[c].Put(w)
+}
+
+// Struct pools for the per-request PDU types.
+var (
+	capsuleCmdPool  = sync.Pool{New: func() any { return new(CapsuleCmd) }}
+	capsuleRespPool = sync.Pool{New: func() any { return new(CapsuleResp) }}
+	c2hDataPool     = sync.Pool{New: func() any { return new(C2HData) }}
+)
+
+// GetCapsuleCmd returns a zeroed CapsuleCmd from the pool.
+func GetCapsuleCmd() *CapsuleCmd { return capsuleCmdPool.Get().(*CapsuleCmd) }
+
+// GetCapsuleResp returns a zeroed CapsuleResp from the pool.
+func GetCapsuleResp() *CapsuleResp { return capsuleRespPool.Get().(*CapsuleResp) }
+
+// GetC2HData returns a zeroed C2HData from the pool.
+func GetC2HData() *C2HData { return c2hDataPool.Get().(*C2HData) }
+
+// Recycle returns a per-request PDU struct to its pool; other PDU types
+// are ignored. It never releases the payload: a caller that owns p.Data
+// must PutBuf (or keep) it first — Recycle only drops the reference.
+func Recycle(p PDU) {
+	switch v := p.(type) {
+	case *CapsuleCmd:
+		*v = CapsuleCmd{}
+		capsuleCmdPool.Put(v)
+	case *CapsuleResp:
+		*v = CapsuleResp{}
+		capsuleRespPool.Put(v)
+	case *C2HData:
+		*v = C2HData{}
+		c2hDataPool.Put(v)
+	}
+}
+
+// ReleaseInbound retires a PDU obtained from a pooling Reader once the
+// state machines are done with it: any payload still attached goes back
+// to the buffer pool, then the struct is recycled. A handler that took
+// ownership of the payload (the target parking write data in its request
+// pool) must have cleared the Data field first.
+func ReleaseInbound(p PDU) {
+	switch v := p.(type) {
+	case *CapsuleCmd:
+		PutBuf(v.Data)
+		v.Data = nil
+	case *C2HData:
+		PutBuf(v.Data)
+		v.Data = nil
+	case *H2CData:
+		PutBuf(v.Data)
+		v.Data = nil
+	}
+	Recycle(p)
+}
+
+// pooledDecoder is implemented by the data-bearing PDU types: decode with
+// the payload drawn from the buffer pool instead of a fresh allocation.
+type pooledDecoder interface {
+	decodeBodyPooled(src []byte) error
+}
+
+// Reader decodes a PDU stream with a reusable scratch buffer. With
+// pooling enabled, per-request PDU structs come from the struct pools and
+// payloads from the buffer pool, making Next allocation-free in steady
+// state; the consumer retires each PDU with ReleaseInbound when done.
+// Without pooling, Next behaves like ReadPDU (fresh structs, fresh
+// payloads) while still reusing the scratch buffer for the wire read.
+//
+// A Reader is not safe for concurrent use; each connection's read loop
+// owns one. The PDU returned by Next is independent of the scratch
+// buffer, so the caller may pipeline it (hand it to another goroutine)
+// and call Next again immediately.
+type Reader struct {
+	r       io.Reader
+	scratch []byte
+	pooled  bool
+}
+
+// NewReader wraps r. pooled selects pooled structs and payloads (the
+// transport datapath); pass false when PDU payloads escape to callers
+// that never release them.
+func NewReader(r io.Reader, pooled bool) *Reader {
+	return &Reader{r: r, scratch: make([]byte, 4096), pooled: pooled}
+}
+
+// Next reads and decodes one PDU. The returned PDU does not alias the
+// reader's internal buffer.
+func (rd *Reader) Next() (PDU, error) {
+	if _, err := io.ReadFull(rd.r, rd.scratch[:chSize]); err != nil {
+		return nil, err
+	}
+	plen := binary.LittleEndian.Uint32(rd.scratch[4:])
+	if plen < chSize || plen > MaxPDUSize {
+		return nil, fmt.Errorf("proto: bad PLen %d", plen)
+	}
+	if int(plen) > len(rd.scratch) {
+		grown := make([]byte, 1<<bitsFor(int(plen)))
+		copy(grown, rd.scratch[:chSize])
+		rd.scratch = grown
+	}
+	buf := rd.scratch[:plen]
+	if _, err := io.ReadFull(rd.r, buf[chSize:]); err != nil {
+		return nil, err
+	}
+	typ := Type(buf[0])
+	flags := buf[1]
+	var p PDU
+	if rd.pooled {
+		switch typ {
+		case TypeCapsuleCmd:
+			p = GetCapsuleCmd()
+		case TypeCapsuleResp:
+			p = GetCapsuleResp()
+		case TypeC2HData:
+			p = GetC2HData()
+		}
+	}
+	if p == nil {
+		var err error
+		if p, err = newPDU(typ); err != nil {
+			return nil, err
+		}
+	}
+	body := buf[chSize:]
+	var err error
+	if pd, ok := p.(pooledDecoder); ok && rd.pooled {
+		err = pd.decodeBodyPooled(body)
+	} else {
+		err = p.decodeBody(body)
+	}
+	if err != nil {
+		if rd.pooled {
+			ReleaseInbound(p)
+		}
+		return nil, err
+	}
+	p.setHeaderFlags(flags)
+	return p, nil
+}
+
+// bitsFor returns ceil(log2(n)) for n >= 1.
+func bitsFor(n int) uint {
+	var b uint
+	for (1 << b) < n {
+		b++
+	}
+	return b
+}
+
+// clonePayload copies src into a pooled buffer (nil for empty payloads).
+func clonePayload(src []byte) []byte {
+	if len(src) == 0 {
+		return nil
+	}
+	dst := GetBuf(len(src))
+	copy(dst, src)
+	return dst
+}
+
+// decodeBodyPooled implements pooledDecoder for CapsuleCmd.
+func (p *CapsuleCmd) decodeBodyPooled(src []byte) error {
+	if len(src) < nvme.CommandSize {
+		return fmt.Errorf("proto: short CapsuleCmd body: %d", len(src))
+	}
+	if err := p.Cmd.Unmarshal(src); err != nil {
+		return err
+	}
+	p.Prio = Priority(src[sqePrioOffset] & 0x3)
+	p.Tenant = TenantID(src[sqeTenantOffset])
+	p.Data = clonePayload(src[nvme.CommandSize:])
+	return nil
+}
+
+// decodeBodyPooled implements pooledDecoder for C2HData.
+func (p *C2HData) decodeBodyPooled(src []byte) error {
+	if len(src) < c2hPSHSize {
+		return fmt.Errorf("proto: short C2HData body: %d", len(src))
+	}
+	p.CCCID = binary.LittleEndian.Uint16(src[0:])
+	p.Offset = binary.LittleEndian.Uint32(src[4:])
+	n := binary.LittleEndian.Uint32(src[8:])
+	if int(n) != len(src)-c2hPSHSize {
+		return fmt.Errorf("proto: C2HData length field %d != payload %d", n, len(src)-c2hPSHSize)
+	}
+	p.Data = clonePayload(src[c2hPSHSize:])
+	return nil
+}
+
+// decodeBodyPooled implements pooledDecoder for H2CData.
+func (p *H2CData) decodeBodyPooled(src []byte) error {
+	if len(src) < c2hPSHSize {
+		return fmt.Errorf("proto: short H2CData body: %d", len(src))
+	}
+	p.CCCID = binary.LittleEndian.Uint16(src[0:])
+	p.Offset = binary.LittleEndian.Uint32(src[4:])
+	n := binary.LittleEndian.Uint32(src[8:])
+	if int(n) != len(src)-c2hPSHSize {
+		return fmt.Errorf("proto: H2CData length field %d != payload %d", n, len(src)-c2hPSHSize)
+	}
+	p.Data = clonePayload(src[c2hPSHSize:])
+	return nil
+}

@@ -439,17 +439,55 @@ func (p *TermReq) setHeaderFlags(f uint8) {}
 // headers from triggering huge allocations.
 const MaxPDUSize = 16 << 20
 
-// Marshal encodes a PDU into a fresh byte slice.
-func Marshal(p PDU) []byte {
+// AppendPDU appends the encoding of p to dst and returns the extended
+// slice. When dst has capacity for the PDU this performs no allocation,
+// so a transport writer batching a drain window of PDUs into one reused
+// buffer marshals the whole burst allocation-free.
+func AppendPDU(dst []byte, p PDU) []byte {
 	size := p.WireSize()
-	buf := make([]byte, size)
+	off := len(dst)
+	dst = append(dst, make([]byte, size)...)
+	buf := dst[off:]
 	buf[0] = uint8(p.PDUType())
 	buf[1] = p.headerFlags()
 	buf[2] = chSize
 	buf[3] = chSize // data begins after PSH; informational in this dialect
 	binary.LittleEndian.PutUint32(buf[4:], uint32(size))
 	p.encodeBody(buf[chSize:])
-	return buf
+	return dst
+}
+
+// Marshal encodes a PDU into a fresh byte slice.
+func Marshal(p PDU) []byte {
+	return AppendPDU(make([]byte, 0, p.WireSize()), p)
+}
+
+// newPDU returns an empty PDU of the given wire type.
+func newPDU(typ Type) (PDU, error) {
+	switch typ {
+	case TypeICReq:
+		return &ICReq{}, nil
+	case TypeICResp:
+		return &ICResp{}, nil
+	case TypeCapsuleCmd:
+		return &CapsuleCmd{}, nil
+	case TypeCapsuleResp:
+		return &CapsuleResp{}, nil
+	case TypeC2HData:
+		return &C2HData{}, nil
+	case TypeH2CData:
+		return &H2CData{}, nil
+	case TypeH2CTermReq, TypeC2HTermReq:
+		return &TermReq{Dir: typ}, nil
+	case TypeDiscReq:
+		return &DiscReq{}, nil
+	case TypeDiscResp:
+		return &DiscResp{}, nil
+	case TypeDiscRegister:
+		return &DiscRegister{}, nil
+	default:
+		return nil, fmt.Errorf("proto: unknown PDU type 0x%02x", uint8(typ))
+	}
 }
 
 // Unmarshal decodes one full PDU from buf.
@@ -457,36 +495,14 @@ func Unmarshal(buf []byte) (PDU, error) {
 	if len(buf) < chSize {
 		return nil, fmt.Errorf("proto: short PDU: %d bytes", len(buf))
 	}
-	typ := Type(buf[0])
 	flags := buf[1]
 	plen := binary.LittleEndian.Uint32(buf[4:])
 	if int(plen) != len(buf) {
 		return nil, fmt.Errorf("proto: PLen %d != buffer %d", plen, len(buf))
 	}
-	var p PDU
-	switch typ {
-	case TypeICReq:
-		p = &ICReq{}
-	case TypeICResp:
-		p = &ICResp{}
-	case TypeCapsuleCmd:
-		p = &CapsuleCmd{}
-	case TypeCapsuleResp:
-		p = &CapsuleResp{}
-	case TypeC2HData:
-		p = &C2HData{}
-	case TypeH2CData:
-		p = &H2CData{}
-	case TypeH2CTermReq, TypeC2HTermReq:
-		p = &TermReq{Dir: typ}
-	case TypeDiscReq:
-		p = &DiscReq{}
-	case TypeDiscResp:
-		p = &DiscResp{}
-	case TypeDiscRegister:
-		p = &DiscRegister{}
-	default:
-		return nil, fmt.Errorf("proto: unknown PDU type 0x%02x", uint8(typ))
+	p, err := newPDU(Type(buf[0]))
+	if err != nil {
+		return nil, err
 	}
 	if err := p.decodeBody(buf[chSize:]); err != nil {
 		return nil, err

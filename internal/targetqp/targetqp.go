@@ -99,6 +99,22 @@ type Config struct {
 	// correlation. Nil disables latency recording; counters are
 	// unaffected.
 	Clock func() int64
+	// TenantBase and TenantStride carve the shared 0..255 tenant-ID space
+	// between shard-partitioned targets: this target assigns TenantBase,
+	// TenantBase+TenantStride, TenantBase+2*TenantStride, … so sibling
+	// shards never collide and shared telemetry stays per-tenant exact.
+	// Zero values mean base 0, stride 1 (a single unsharded target).
+	TenantBase   int
+	TenantStride int
+	// PooledPayloads opts the target into the proto buffer/struct pools:
+	// inbound write payloads are treated as pool-owned (taken from the
+	// CapsuleCmd and released once the device completes), and outbound
+	// CapsuleResp/C2HData PDUs come from the struct pools with pooled read
+	// buffers, to be released by the send function after marshal. Only a
+	// transport whose send path honours that ownership contract (the TCP
+	// server) may set it; the simulator passes PDUs by reference and must
+	// leave it false.
+	PooledPayloads bool
 }
 
 // Stats counts target-level PDU and request traffic. RespPDUs is the
@@ -117,13 +133,27 @@ type Stats struct {
 	TeardownDrops int64
 }
 
+// Accumulate adds o's counters into s — the merge a sharded deployment
+// uses to report target-wide stats across per-shard Targets.
+func (s *Stats) Accumulate(o Stats) {
+	s.Connections += o.Connections
+	s.CmdPDUs += o.CmdPDUs
+	s.RespPDUs += o.RespPDUs
+	s.DataPDUs += o.DataPDUs
+	s.Reads += o.Reads
+	s.Writes += o.Writes
+	s.Errors += o.Errors
+	s.Disconnects += o.Disconnects
+	s.TeardownDrops += o.TeardownDrops
+}
+
 // Target is one NVMe-oPF target instance: one backing namespace served to
 // many tenants. Create Sessions with NewSession as initiators connect.
 //
 // Target is not synchronized; in the simulator everything runs on the
-// event loop, and the TCP transport serializes access through a single
-// poller goroutine, mirroring the single-reactor SPDK deployment the paper
-// measures.
+// event loop, and the TCP transport serializes access through the reactor
+// goroutine of the shard that owns this Target (one Target per shard,
+// mirroring SPDK's reactor-per-core deployment).
 type Target struct {
 	cfg        Config
 	backends   map[uint32]Backend // NSID -> device
@@ -134,8 +164,11 @@ type Target struct {
 	// once the dead session's last in-flight device callback lands — so a
 	// stale completion can never be attributed to the ID's new owner.
 	freeTenants []proto.TenantID
-	stats       Stats
-	sessions    map[proto.TenantID]*Session
+	// freeReqs recycles request-pool entries so a steady-state datapath
+	// never allocates a tReq. Shard-local, like everything else here.
+	freeReqs []*tReq
+	stats    Stats
+	sessions map[proto.TenantID]*Session
 }
 
 // NewTarget creates a target whose backend serves its namespace's own ID
@@ -146,6 +179,12 @@ func NewTarget(cfg Config, backend Backend) (*Target, error) {
 	}
 	if cfg.MaxDataLen == 0 {
 		cfg.MaxDataLen = 1 << 20
+	}
+	if cfg.TenantStride <= 0 {
+		cfg.TenantStride = 1
+	}
+	if cfg.TenantBase < 0 || cfg.TenantBase > 255 {
+		return nil, fmt.Errorf("targetqp: tenant base %d outside 0..255", cfg.TenantBase)
 	}
 	ns := backend.Namespace()
 	if err := ns.Validate(); err != nil {
@@ -166,11 +205,12 @@ func NewTarget(cfg Config, backend Backend) (*Target, error) {
 	pm.SetTelemetry(cfg.Telemetry)
 	pm.SetTrace(cfg.Trace)
 	return &Target{
-		cfg:       cfg,
-		backends:  map[uint32]Backend{ns.ID: backend},
-		defaultNS: ns.ID,
-		pm:        pm,
-		sessions:  make(map[proto.TenantID]*Session),
+		cfg:        cfg,
+		backends:   map[uint32]Backend{ns.ID: backend},
+		defaultNS:  ns.ID,
+		pm:         pm,
+		nextTenant: cfg.TenantBase,
+		sessions:   make(map[proto.TenantID]*Session),
 	}, nil
 }
 
@@ -232,6 +272,12 @@ func (t *Target) CloseSession(s *Session) {
 	delete(t.sessions, s.tenant)
 	dropped := t.pm.DropTenant(s.tenant)
 	for _, cid := range dropped {
+		if req := s.reqs[cid]; req != nil {
+			if t.cfg.PooledPayloads {
+				proto.PutBuf(req.data)
+			}
+			t.putReq(req)
+		}
 		delete(s.reqs, cid)
 		t.pm.Release(s.tenant)
 	}
@@ -275,6 +321,23 @@ type tReq struct {
 	// arrivedAt is the Config.Clock value at command arrival, for
 	// target-side service-latency samples (0 when no clock is wired).
 	arrivedAt int64
+}
+
+// getReq draws a request-pool entry from the shard-local freelist.
+func (t *Target) getReq() *tReq {
+	if n := len(t.freeReqs); n > 0 {
+		r := t.freeReqs[n-1]
+		t.freeReqs = t.freeReqs[:n-1]
+		return r
+	}
+	return new(tReq)
+}
+
+// putReq retires a request-pool entry. The caller releases req.data first
+// when it is pool-owned; putReq only drops the reference.
+func (t *Target) putReq(r *tReq) {
+	*r = tReq{}
+	t.freeReqs = append(t.freeReqs, r)
 }
 
 // Session is the target side of one initiator connection.
@@ -340,7 +403,7 @@ func (s *Session) handleICReq(pdu *proto.ICReq) error {
 			return errors.New("targetqp: tenant ID space exhausted (256 initiators)")
 		}
 		s.tenant = proto.TenantID(t.nextTenant)
-		t.nextTenant++
+		t.nextTenant += t.cfg.TenantStride
 	}
 	t.sessions[s.tenant] = s
 	t.stats.Connections++
@@ -393,14 +456,20 @@ func (s *Session) handleCmd(pdu *proto.CapsuleCmd) error {
 		s.respond(cid, nvme.StatusBusy, false)
 		return nil
 	}
-	req := &tReq{cmd: pdu.Cmd, prio: prio, data: pdu.Data}
+	req := t.getReq()
+	req.cmd, req.prio, req.data = pdu.Cmd, prio, pdu.Data
+	if t.cfg.PooledPayloads {
+		// Take ownership of the pooled payload: the transport's
+		// ReleaseInbound must not free data parked in the request pool.
+		pdu.Data = nil
+	}
 	if t.cfg.Clock != nil {
 		req.arrivedAt = t.cfg.Clock()
 	}
 	s.reqs[cid] = req
-	t.cfg.Telemetry.IncSubmitted(s.tenant, int64(len(pdu.Data)))
+	t.cfg.Telemetry.IncSubmitted(s.tenant, int64(len(req.data)))
 	if t.cfg.Trace != nil {
-		t.cfg.Trace(telemetry.Event{Stage: telemetry.StageArrive, Tenant: s.tenant, CID: cid, Prio: prio, Aux: int64(len(pdu.Data))})
+		t.cfg.Trace(telemetry.Event{Stage: telemetry.StageArrive, Tenant: s.tenant, CID: cid, Prio: prio, Aux: int64(len(req.data))})
 	}
 
 	disposition, batch := t.pm.OnCommand(s.tenant, cid, prio)
@@ -509,9 +578,23 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 			// Read data always flows per request; only the completion
 			// notification is coalesced (§III-B).
 			t.stats.DataPDUs++
-			s.send(&proto.C2HData{CCCID: cid, Offset: 0, Data: data})
+			if t.cfg.PooledPayloads {
+				d := proto.GetC2HData()
+				d.CCCID = cid
+				d.Data = data
+				data = nil // the send path releases payload and struct
+				s.send(d)
+			} else {
+				s.send(&proto.C2HData{CCCID: cid, Offset: 0, Data: data})
+			}
 		}
 	}
+	if t.cfg.PooledPayloads {
+		proto.PutBuf(data)     // read data that never went on the wire
+		proto.PutBuf(req.data) // write payload, durably applied by now
+		req.data = nil
+	}
+	t.putReq(req)
 	// PM completion accounting runs even for tombstoned sessions: the dead
 	// tenant's in-flight commands may be members of a shared drain window,
 	// and siblings' coalesced responses must still release in order. The
@@ -538,6 +621,13 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 func (s *Session) respond(cid nvme.CID, st nvme.Status, coalesced bool) {
 	t := s.target
 	t.stats.RespPDUs++
+	if t.cfg.PooledPayloads {
+		r := proto.GetCapsuleResp()
+		r.Cpl = nvme.Completion{CID: cid, Status: st}
+		r.Coalesced = coalesced
+		s.send(r)
+		return
+	}
 	s.send(&proto.CapsuleResp{
 		Cpl:       nvme.Completion{CID: cid, Status: st},
 		Coalesced: coalesced,

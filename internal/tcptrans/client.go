@@ -36,6 +36,10 @@ type DialConfig struct {
 	// Dialer optionally replaces net.Dial (fault injection wraps the
 	// socket here; see internal/faultnet.Dialer).
 	Dialer func(network, addr string) (net.Conn, error)
+	// WriteBatchBytes caps how many marshalled bytes one outbound drain
+	// may coalesce into a single write syscall (default 256 KiB). 1
+	// degenerates to one syscall per PDU, the pre-shard writer.
+	WriteBatchBytes int
 	// Recovery opts the connection into transparent reconnect + replay:
 	// DialResilient returns a ResilientClient that re-dials after a
 	// connection death and resubmits eligible requests instead of
@@ -107,6 +111,9 @@ func (d DialConfig) withDefaults() DialConfig {
 	if d.Dialer == nil {
 		d.Dialer = net.Dial
 	}
+	if d.WriteBatchBytes <= 0 {
+		d.WriteBatchBytes = maxWriteBatch
+	}
 	return d
 }
 
@@ -136,6 +143,19 @@ type Conn struct {
 // there first (writer error, request-timeout escalation, failAll, Close).
 func (c *Conn) netClose() {
 	c.netOnce.Do(func() { c.netErr = c.conn.Close() })
+}
+
+// onceCloseConn hands the client writer a conn whose Close is the
+// connection's once-only netClose, so a writer-side teardown records the
+// real close error instead of a double-close failure.
+type onceCloseConn struct {
+	net.Conn
+	c *Conn
+}
+
+func (o onceCloseConn) Close() error {
+	o.c.netClose()
+	return o.c.netErr
 }
 
 // idleDrainDelay bounds how long a partial throughput-critical window may
@@ -181,21 +201,15 @@ func DialWith(addr string, cfg hostqp.Config, dcfg DialConfig) (*Conn, error) {
 	}
 	c.sess = sess
 
-	// Writer.
+	// Writer: batches queued PDUs into single writes (the same drain
+	// helper as the server side) and recycles marshalled structs. Write
+	// payloads stay caller-owned; only the reference is dropped. The
+	// close-once wrapper keeps socket teardown on the netOnce path no
+	// matter which goroutine loses the write race.
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		for {
-			select {
-			case p := <-out:
-				if err := proto.WritePDU(nc, p); err != nil {
-					c.netClose() // unblocks the reader, which runs failAll
-					return
-				}
-			case <-c.quit:
-				return
-			}
-		}
+		drainWriter(onceCloseConn{Conn: nc, c: c}, out, c.dead, c.quit, releaseClientPDU, dcfg.WriteBatchBytes)
 	}()
 	// Reactor: owns the session.
 	c.wg.Add(1)
@@ -210,24 +224,31 @@ func DialWith(addr string, cfg hostqp.Config, dcfg DialConfig) (*Conn, error) {
 			}
 		}
 	}()
-	// Reader.
+	// Reader: a pooling decoder — inbound C2HData payloads and response
+	// structs come from the proto pools and are released right after the
+	// session consumes them (hostqp copies read data into its own
+	// buffers), so the receive hot path is allocation-free.
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
+		rd := proto.NewReader(nc, true)
 		for {
-			p, err := proto.ReadPDU(nc)
+			p, err := rd.Next()
 			if err != nil {
 				c.post(func() { c.failAll(fmt.Errorf("tcptrans: read: %w", err)) })
 				return
 			}
 			ok := c.post(func() {
-				if herr := sess.HandlePDU(p); herr != nil {
+				herr := sess.HandlePDU(p)
+				proto.ReleaseInbound(p)
+				if herr != nil {
 					c.failAll(herr)
 					return
 				}
 				c.pump()
 			})
 			if !ok {
+				proto.ReleaseInbound(p)
 				return
 			}
 		}
@@ -329,14 +350,24 @@ func DialRetryWith(addr string, cfg hostqp.Config, dcfg DialConfig, attempts int
 	return c, nil
 }
 
+// defaultRetryBackoff floors the DialRetry backoff: a zero (or negative)
+// base would make every wait zero — maxBackoff = 32×0 — so a fleet
+// pointed at a dead target would reconnect-hammer it in a busy loop with
+// no jitter to break the lockstep.
+const defaultRetryBackoff = 10 * time.Millisecond
+
 // retryLoop is DialRetry's backoff engine, with the clock (sleep) and
 // jitter source injectable so the policy is testable without real waits:
-// the wait after attempt N doubles per attempt from backoff, capped at
-// 32×backoff, plus up to 50% jitter; a permanent protocol rejection stops
-// the loop immediately. Returns how many attempts were consumed.
+// the wait after attempt N doubles per attempt from backoff (floored at
+// defaultRetryBackoff), capped at 32×backoff, plus up to 50% jitter; a
+// permanent protocol rejection stops the loop immediately. Returns how
+// many attempts were consumed.
 func retryLoop(attempts int, backoff time.Duration, sleep func(time.Duration), rng *rand.Rand, dial func() (*Conn, error)) (*Conn, int, error) {
 	if attempts < 1 {
 		attempts = 1
+	}
+	if backoff <= 0 {
+		backoff = defaultRetryBackoff
 	}
 	maxBackoff := 32 * backoff
 	wait := backoff
@@ -376,8 +407,15 @@ func (c *Conn) Err() error {
 	}
 }
 
-// post schedules fn on the reactor.
+// post schedules fn on the reactor. After Close it reliably reports
+// false — the quit check runs first, so a buffered events channel cannot
+// win the select and swallow a stray post (e.g. a late idle-timer fire).
 func (c *Conn) post(fn func()) bool {
+	select {
+	case <-c.quit:
+		return false
+	default:
+	}
 	select {
 	case c.events <- fn:
 		return true
@@ -434,7 +472,10 @@ func (c *Conn) pump() {
 	c.armIdleDrain()
 }
 
-// armIdleDrain (re)starts the tail-flush timer; runs on the reactor.
+// armIdleDrain (re)starts the tail-flush timer; runs on the reactor. One
+// timer per connection, created on first use and re-armed with Reset —
+// pumping a deep queue must not allocate (and leak, until it fires) a
+// fresh timer per submission.
 func (c *Conn) armIdleDrain() {
 	if c.idle != nil {
 		c.idle.Stop()
@@ -442,14 +483,23 @@ func (c *Conn) armIdleDrain() {
 	if c.sess.PendingTC() == 0 {
 		return
 	}
-	c.idle = time.AfterFunc(idleDrainDelay, func() {
-		c.post(func() {
-			if c.connErr != nil || c.sess.PendingTC() == 0 || !c.sess.CanSubmit() {
-				return
-			}
-			c.sess.Flush()
-			_ = c.sess.Submit(hostqp.IO{Op: nvme.OpFlush, Done: func(hostqp.Result) {}})
-		})
+	if c.idle == nil {
+		c.idle = time.AfterFunc(idleDrainDelay, c.idleFlush)
+		return
+	}
+	c.idle.Reset(idleDrainDelay)
+}
+
+// idleFlush is the idle timer's callback: flush the partial TC window of
+// a connection that went quiet. Posting to a closed connection is a
+// no-op, so a timer that fires during teardown cannot touch dead state.
+func (c *Conn) idleFlush() {
+	c.post(func() {
+		if c.connErr != nil || c.sess.PendingTC() == 0 || !c.sess.CanSubmit() {
+			return
+		}
+		c.sess.Flush()
+		_ = c.sess.Submit(hostqp.IO{Op: nvme.OpFlush, Done: func(hostqp.Result) {}})
 	})
 }
 
@@ -512,7 +562,13 @@ func (c *Conn) Read(lba uint64, blocks uint32, prio proto.Priority) ([]byte, err
 func (c *Conn) Write(lba uint64, data []byte, prio proto.Priority) error {
 	bs := c.BlockSize()
 	if bs == 0 {
-		bs = 4096
+		// The handshake always learns a nonzero block size, so a zero here
+		// means the connection is closed or broken — report that instead
+		// of validating the payload against invented geometry.
+		if err := c.Err(); err != nil {
+			return fmt.Errorf("tcptrans: connection broken: %w", err)
+		}
+		return ErrClosed
 	}
 	if len(data) == 0 || len(data)%int(bs) != 0 {
 		return fmt.Errorf("tcptrans: %d bytes is not a multiple of the %dB block size", len(data), bs)

@@ -1,0 +1,138 @@
+package tcptrans
+
+// Regression tests for the transport-edge bugs: the DialRetry busy-spin
+// when backoff is zero, the per-pump idle-timer churn, and Conn.Write
+// inventing a 4096-byte geometry on a closed connection.
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+)
+
+// TestRetryLoopZeroBackoffFloored pins the busy-spin fix: with a zero
+// base backoff every wait used to be zero (maxBackoff = 32×0), so a
+// fleet pointed at a dead target would hammer it in a tight loop. The
+// floor must make every sleep at least the default base.
+func TestRetryLoopZeroBackoffFloored(t *testing.T) {
+	for _, backoff := range []time.Duration{0, -time.Second} {
+		var sleeps []time.Duration
+		record := func(d time.Duration) { sleeps = append(sleeps, d) }
+		rng := rand.New(rand.NewSource(1))
+		_, used, err := retryLoop(5, backoff, record, rng, func() (*Conn, error) {
+			return nil, errors.New("connection refused")
+		})
+		if err == nil || used != 5 {
+			t.Fatalf("backoff=%v: used=%d err=%v", backoff, used, err)
+		}
+		if len(sleeps) != 4 {
+			t.Fatalf("backoff=%v: %d sleeps, want 4", backoff, len(sleeps))
+		}
+		for i, d := range sleeps {
+			if d < defaultRetryBackoff {
+				t.Errorf("backoff=%v sleep %d = %v: below the %v floor (busy-spin)", backoff, i, d, defaultRetryBackoff)
+			}
+		}
+		// The floored base must still back off exponentially, not sit flat.
+		if last := sleeps[len(sleeps)-1]; last < 4*defaultRetryBackoff {
+			t.Errorf("backoff=%v: final sleep %v shows no exponential growth", backoff, last)
+		}
+	}
+}
+
+// TestIdleDrainTimerReused pins the timer-churn fix: pumping a stream of
+// TC submissions must re-arm one reusable timer, not allocate a fresh
+// time.AfterFunc per pump and leave the last one armed after Close.
+func TestIdleDrainTimerReused(t *testing.T) {
+	srv, err := NewMemoryServer("127.0.0.1:0", targetqp.ModeOPF, 4096, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), hostqp.Config{Class: proto.PrioThroughputCritical, Window: 4, QueueDepth: 8, NSID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// timerOnReactor reads c.idle where it is owned.
+	timerOnReactor := func() *time.Timer {
+		ch := make(chan *time.Timer, 1)
+		if !c.post(func() { ch <- c.idle }) {
+			return nil
+		}
+		return <-ch
+	}
+
+	buf := make([]byte, 4096)
+	if err := c.Write(1, buf, 0); err != nil { // first pump creates the timer
+		t.Fatal(err)
+	}
+	first := timerOnReactor()
+	if first == nil {
+		t.Fatal("no idle timer after first TC write")
+	}
+	for i := 0; i < 20; i++ {
+		if err := c.Write(uint64(1+i%4), buf, 0); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+	}
+	if again := timerOnReactor(); again != first {
+		t.Fatalf("idle timer reallocated across pumps: %p -> %p", first, again)
+	}
+
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After Close the reactor is gone: a late timer fire must find the
+	// post path closed (no stray event, no panic), and the timer must not
+	// be armed anymore.
+	if c.post(func() {}) {
+		t.Error("post succeeded after Close")
+	}
+	c.idleFlush() // what a stray fire would run; must be a no-op
+	if first.Stop() {
+		t.Error("idle timer still armed after Close")
+	}
+}
+
+// TestWriteClosedConnReportsError pins the geometry fix: Write on a
+// closed (or broken) connection must surface the connection error, not
+// silently validate the payload against an invented 4096-byte block
+// size.
+func TestWriteClosedConnReportsError(t *testing.T) {
+	srv, err := NewMemoryServer("127.0.0.1:0", targetqp.ModeOPF, 512, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := Dial(srv.Addr(), hostqp.Config{Window: 2, QueueDepth: 4, NSID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Write(0, make([]byte, 512), 0); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	// 512 bytes is a valid payload for this namespace; the old code
+	// validated it against a made-up 4096B geometry and returned a
+	// misleading "not a multiple of the block size" error. The fixed path
+	// reports the connection state — ErrClosed, or the transport error
+	// that broke the connection first (reader and Close race to set it).
+	err = c.Write(0, make([]byte, 512), 0)
+	if err == nil {
+		t.Fatal("Write on closed conn succeeded")
+	}
+	if strings.Contains(err.Error(), "block size") {
+		t.Errorf("Write on closed conn validated invented geometry: %v", err)
+	}
+	if !errors.Is(err, ErrClosed) && c.Err() == nil {
+		t.Errorf("Write on closed conn: %v is neither ErrClosed nor the connection error", err)
+	}
+}

@@ -3,15 +3,36 @@
 // target, and Dial opens initiator connections. The same sans-IO state
 // machines as the simulator (internal/hostqp, internal/targetqp) run the
 // protocol; this package only moves PDUs and provides the threading
-// model: one reactor goroutine owns each target's (or connection's)
-// state, mirroring SPDK's single-reactor deployment, with reader/writer
-// goroutines per socket and a worker pool executing device I/O.
+// model.
+//
+// The target datapath is sharded, mirroring SPDK's reactor-per-core
+// deployment: the server runs ServerConfig.Shards reactor goroutines
+// (default GOMAXPROCS), each the sole owner of one targetqp.Target
+// holding the sessions assigned to it round-robin at accept time. A
+// shard's sessions, PM queues, and request pool are touched only by its
+// reactor, so — exactly as in the paper's per-initiator isolation
+// argument (§IV) — the priority-manager state needs no locks even with
+// every core busy. Tenant IDs are strided across shards (shard i hands
+// out i, i+N, i+2N, …), so shared per-tenant telemetry stays exact.
+// Device completions are posted back to the owning shard; the device
+// executor pool and the backing bdev (which has its own synchronization)
+// are server-wide.
+//
+// Per connection, a reader goroutine decodes PDUs with a pooling
+// proto.Reader and pipelines them onto the shard's event queue under an
+// InflightPerConn bound — no per-PDU blocking round trip — and a writer
+// goroutine drains its outbound channel into batched vectored writes
+// (one syscall per drain window) marshalled allocation-free into a
+// reused buffer. Payload buffers and hot-path PDU structs cycle through
+// internal/proto's pools on both sides of the socket.
 package tcptrans
 
 import (
 	"errors"
 	"net"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"nvmeopf/internal/bdev"
@@ -28,13 +49,27 @@ type ServerConfig struct {
 	Mode targetqp.Mode
 	// Device is the backing store.
 	Device bdev.Device
+	// Shards is the number of reactor shards, each owning the sessions
+	// assigned to it (round-robin) with its own target state and event
+	// queue. Default GOMAXPROCS, capped at 256 (the tenant-ID space).
+	// 1 reproduces the old single-reactor deployment.
+	Shards int
+	// InflightPerConn bounds how many inbound PDUs one connection may
+	// have posted to its shard and not yet handled (default 64). 1
+	// degenerates to the old serialized read→handle→read round trip.
+	InflightPerConn int
+	// WriteBatchBytes caps how many marshalled bytes one outbound drain
+	// may coalesce into a single write syscall (default 256 KiB). 1
+	// degenerates to one syscall per PDU, the pre-shard writer.
+	WriteBatchBytes int
 	// MaxPending is the PM safety valve (default 4096).
 	MaxPending int
 	// MaxPendingPerTenant / MaxPendingGlobal / LSHeadroom configure
 	// admission control: past a cap the target answers the retryable
 	// proto.StatusBusy instead of buffering unboundedly, with LSHeadroom
 	// slots of the global cap reserved for latency-sensitive requests.
-	// Zero caps disable admission control.
+	// Zero caps disable admission control. The global cap and headroom
+	// are divided evenly (ceiling) across shards.
 	MaxPendingPerTenant int
 	MaxPendingGlobal    int
 	LSHeadroom          int
@@ -42,7 +77,8 @@ type ServerConfig struct {
 	// has waited this long with no draining flag (host crashed or went
 	// silent mid-window). Zero disables the watchdog.
 	DrainWatchdog time.Duration
-	// Workers is the device executor pool size (default 8).
+	// Workers is the device executor pool size (default 8), shared by all
+	// shards.
 	Workers int
 	// ReadLatency/WriteLatency optionally inject device service time, so
 	// a RAM-backed target behaves like flash.
@@ -51,11 +87,13 @@ type ServerConfig struct {
 	// (Device itself serves NSID 1).
 	ExtraNamespaces map[uint32]bdev.Device
 	// Telemetry optionally attaches a live metrics registry to the
-	// target (served over HTTP with telemetry.Registry.Serve). Nil
-	// disables at zero cost.
+	// target (served over HTTP with telemetry.Registry.Serve). The
+	// registry is lock-free and shared by all shards. Nil disables at
+	// zero cost.
 	Telemetry *telemetry.Registry
 	// Trace optionally receives PDU lifecycle events from the target
-	// state machines. It runs on the reactor goroutine: keep it fast.
+	// state machines. It runs on the reactor goroutines — possibly
+	// several concurrently — so it must be fast and thread-safe.
 	Trace telemetry.TraceFunc
 	// Recorder optionally attaches a target-side flight recorder (chained
 	// after Trace; attach it to Telemetry with SetRecorder to serve
@@ -63,18 +101,37 @@ type ServerConfig struct {
 	Recorder *telemetry.Recorder
 }
 
-// Server is a TCP NVMe-oPF target bound to a listener.
-type Server struct {
-	cfg    ServerConfig
-	ln     net.Listener
+// shard is one reactor: a goroutine that solely owns one targetqp.Target
+// and the sessions assigned to it.
+type shard struct {
+	srv    *Server
 	target *targetqp.Target
 	events chan func()
-	jobs   chan func()
-	quit   chan struct{}
-	wg     sync.WaitGroup
-	mu     sync.Mutex
-	conns  map[net.Conn]struct{}
-	closed bool
+}
+
+// post schedules fn on this shard's reactor; false if the server is
+// closed.
+func (sh *shard) post(fn func()) bool {
+	select {
+	case sh.events <- fn:
+		return true
+	case <-sh.srv.quit:
+		return false
+	}
+}
+
+// Server is a TCP NVMe-oPF target bound to a listener.
+type Server struct {
+	cfg       ServerConfig
+	ln        net.Listener
+	shards    []*shard
+	nextShard atomic.Uint32 // round-robin accept-time assignment
+	jobs      chan func()
+	quit      chan struct{}
+	wg        sync.WaitGroup
+	mu        sync.Mutex
+	conns     map[net.Conn]struct{}
+	closed    bool
 }
 
 // Listen starts a target on addr (e.g. "127.0.0.1:0").
@@ -88,58 +145,89 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 8
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Shards > 256 {
+		cfg.Shards = 256 // one tenant-ID stride lane per shard
+	}
+	if cfg.InflightPerConn <= 0 {
+		cfg.InflightPerConn = 64
+	}
+	if cfg.WriteBatchBytes <= 0 {
+		cfg.WriteBatchBytes = maxWriteBatch
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{
-		cfg:    cfg,
-		ln:     ln,
-		events: make(chan func(), 1024),
-		jobs:   make(chan func(), 1024),
-		quit:   make(chan struct{}),
-		conns:  make(map[net.Conn]struct{}),
+		cfg:   cfg,
+		ln:    ln,
+		jobs:  make(chan func(), 1024),
+		quit:  make(chan struct{}),
+		conns: make(map[net.Conn]struct{}),
 	}
-	tgt, err := targetqp.NewTarget(targetqp.Config{
-		Mode:                cfg.Mode,
-		MaxPending:          cfg.MaxPending,
-		MaxPendingPerTenant: cfg.MaxPendingPerTenant,
-		MaxPendingGlobal:    cfg.MaxPendingGlobal,
-		LSHeadroom:          cfg.LSHeadroom,
-		DrainWatchdog:       cfg.DrainWatchdog,
-		Telemetry:           cfg.Telemetry,
-		Trace:               cfg.Trace,
-		Recorder:            cfg.Recorder,
-		Clock:               func() int64 { return time.Now().UnixNano() },
-	}, &execBackend{s: s, nsid: 1, dev: cfg.Device})
-	if err != nil {
-		ln.Close()
-		return nil, err
+	clock := func() int64 { return time.Now().UnixNano() }
+	// The global admission cap and LS headroom are target-wide budgets;
+	// each shard polices an even (ceiling) slice of them.
+	perShard := func(total int) int {
+		if total <= 0 {
+			return total
+		}
+		return (total + cfg.Shards - 1) / cfg.Shards
 	}
-	for nsid, dev := range cfg.ExtraNamespaces {
-		if err := tgt.AddNamespace(&execBackend{s: s, nsid: nsid, dev: dev}); err != nil {
+	for i := 0; i < cfg.Shards; i++ {
+		sh := &shard{srv: s, events: make(chan func(), 1024)}
+		tgt, err := targetqp.NewTarget(targetqp.Config{
+			Mode:                cfg.Mode,
+			MaxPending:          cfg.MaxPending,
+			MaxPendingPerTenant: cfg.MaxPendingPerTenant,
+			MaxPendingGlobal:    perShard(cfg.MaxPendingGlobal),
+			LSHeadroom:          perShard(cfg.LSHeadroom),
+			DrainWatchdog:       cfg.DrainWatchdog,
+			Telemetry:           cfg.Telemetry,
+			Trace:               cfg.Trace,
+			Recorder:            cfg.Recorder,
+			Clock:               clock,
+			TenantBase:          i,
+			TenantStride:        cfg.Shards,
+			PooledPayloads:      true,
+		}, &execBackend{sh: sh, nsid: 1, dev: cfg.Device})
+		if err != nil {
 			ln.Close()
 			return nil, err
 		}
-	}
-	s.target = tgt
-
-	// Reactor: sole owner of the target state machine.
-	s.wg.Add(1)
-	go func() {
-		defer s.wg.Done()
-		for {
-			select {
-			case fn := <-s.events:
-				fn()
-			case <-s.quit:
-				return
+		for nsid, dev := range cfg.ExtraNamespaces {
+			if err := tgt.AddNamespace(&execBackend{sh: sh, nsid: nsid, dev: dev}); err != nil {
+				ln.Close()
+				return nil, err
 			}
 		}
-	}()
-	// Drain watchdog: a ticker posting the check to the reactor, which
-	// solely owns the target state. Ticking at a quarter of the deadline
-	// bounds how late past the deadline a force-drain can fire.
+		sh.target = tgt
+		s.shards = append(s.shards, sh)
+	}
+	cfg.Telemetry.SetShards(cfg.Shards)
+
+	// Reactors: each the sole owner of its shard's target state machine.
+	for _, sh := range s.shards {
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			for {
+				select {
+				case fn := <-sh.events:
+					fn()
+				case <-s.quit:
+					return
+				}
+			}
+		}()
+	}
+	// Drain watchdog: one ticker fanning the check out to every shard's
+	// reactor, each of which solely owns its target state. Ticking at a
+	// quarter of the deadline bounds how late past the deadline a
+	// force-drain can fire.
 	if cfg.DrainWatchdog > 0 {
 		tick := cfg.DrainWatchdog / 4
 		if tick <= 0 {
@@ -153,14 +241,17 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 			for {
 				select {
 				case <-t.C:
-					s.post(func() { _, _ = s.target.CheckWatchdog() })
+					for _, sh := range s.shards {
+						sh.post(func() { _, _ = sh.target.CheckWatchdog() })
+					}
 				case <-s.quit:
 					return
 				}
 			}
 		}()
 	}
-	// Device executor pool.
+	// Device executor pool, shared across shards (the bdev has its own
+	// synchronization; completions route back to the owning shard).
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go func() {
@@ -210,48 +301,59 @@ func (s *Server) Addr() string { return s.ln.Addr().String() }
 // is lock-free.
 func (s *Server) Telemetry() *telemetry.Registry { return s.cfg.Telemetry }
 
-// Stats returns the target's counters (snapshotted on the reactor).
+// Shards returns the number of reactor shards the server runs.
+func (s *Server) Shards() int { return len(s.shards) }
+
+// Stats returns the target's counters, merged across shards (each
+// shard's slice snapshotted on its own reactor).
 func (s *Server) Stats() targetqp.Stats {
-	ch := make(chan targetqp.Stats, 1)
-	if !s.post(func() { ch <- s.target.Stats() }) {
-		return targetqp.Stats{}
+	var agg targetqp.Stats
+	for _, sh := range s.shards {
+		ch := make(chan targetqp.Stats, 1)
+		if !sh.post(func() { ch <- sh.target.Stats() }) {
+			continue
+		}
+		select {
+		case st := <-ch:
+			agg.Accumulate(st)
+		case <-s.quit:
+		}
 	}
-	select {
-	case st := <-ch:
-		return st
-	case <-s.quit:
-		return targetqp.Stats{}
-	}
+	return agg
 }
 
-// PMStats returns the priority manager's counters (snapshotted on the
-// reactor).
+// PMStats returns the priority managers' counters, merged across shards.
 func (s *Server) PMStats() core.TargetPMStats {
-	ch := make(chan core.TargetPMStats, 1)
-	if !s.post(func() { ch <- s.target.PMStats() }) {
-		return core.TargetPMStats{}
+	var agg core.TargetPMStats
+	for _, sh := range s.shards {
+		ch := make(chan core.TargetPMStats, 1)
+		if !sh.post(func() { ch <- sh.target.PMStats() }) {
+			continue
+		}
+		select {
+		case st := <-ch:
+			agg.Accumulate(st)
+		case <-s.quit:
+		}
 	}
-	select {
-	case st := <-ch:
-		return st
-	case <-s.quit:
-		return core.TargetPMStats{}
-	}
+	return agg
 }
 
-// ActiveSessions returns the number of live sessions (snapshotted on the
-// reactor).
+// ActiveSessions returns the number of live sessions across all shards.
 func (s *Server) ActiveSessions() int {
-	ch := make(chan int, 1)
-	if !s.post(func() { ch <- s.target.ActiveSessions() }) {
-		return 0
+	total := 0
+	for _, sh := range s.shards {
+		ch := make(chan int, 1)
+		if !sh.post(func() { ch <- sh.target.ActiveSessions() }) {
+			continue
+		}
+		select {
+		case n := <-ch:
+			total += n
+		case <-s.quit:
+		}
 	}
-	select {
-	case n := <-ch:
-		return n
-	case <-s.quit:
-		return 0
-	}
+	return total
 }
 
 // Close shuts the server down and waits for its goroutines.
@@ -276,8 +378,11 @@ func (s *Server) Close() error {
 	return err
 }
 
-// serveConn runs one initiator connection: a writer goroutine serializes
-// outbound PDUs; the read loop forwards inbound PDUs to the reactor.
+// serveConn runs one initiator connection on the shard it is assigned
+// to: a writer goroutine batches outbound PDUs into single writes, and
+// the read loop pipelines inbound PDUs onto the shard's reactor under
+// the per-connection inflight bound — the reader does not wait for one
+// PDU to be handled before decoding the next.
 func (s *Server) serveConn(conn net.Conn) {
 	defer conn.Close()
 	defer func() {
@@ -285,6 +390,7 @@ func (s *Server) serveConn(conn net.Conn) {
 		delete(s.conns, conn)
 		s.mu.Unlock()
 	}()
+	sh := s.shards[int(s.nextShard.Add(1)-1)%len(s.shards)]
 
 	out := make(chan proto.PDU, 256)
 	connDone := make(chan struct{}) // closed when this connection ends
@@ -292,30 +398,23 @@ func (s *Server) serveConn(conn net.Conn) {
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		for {
-			select {
-			case p := <-out:
-				if err := proto.WritePDU(conn, p); err != nil {
-					conn.Close() // unblocks the read loop
-					return
-				}
-			case <-connDone:
-				return
-			}
-		}
+		drainWriter(conn, out, connDone, s.quit, releaseServerPDU, s.cfg.WriteBatchBytes)
 	}()
 
-	// Session creation must run on the reactor. The send closure may be
-	// invoked (by late device completions) long after the connection is
-	// gone, so it must never block or touch a closed channel: it selects
-	// against connDone and drops PDUs for dead connections.
+	// Session creation must run on the shard's reactor. The send closure
+	// may be invoked (by late device completions) long after the
+	// connection is gone, so it must never block or touch a closed
+	// channel: it selects against connDone and releases PDUs it drops for
+	// dead connections.
 	sessCh := make(chan *targetqp.Session, 1)
-	posted := s.post(func() {
-		sess, err := s.target.NewSession(func(p proto.PDU) {
+	posted := sh.post(func() {
+		sess, err := sh.target.NewSession(func(p proto.PDU) {
 			select {
 			case out <- p:
 			case <-connDone:
+				releaseServerPDU(p)
 			case <-s.quit:
+				releaseServerPDU(p)
 			}
 		})
 		if err != nil {
@@ -334,53 +433,66 @@ func (s *Server) serveConn(conn net.Conn) {
 		return
 	}
 
+	// Pipelined inbound: decode with a pooling reader, acquire an
+	// inflight slot, post the PDU to the reactor, decode the next —
+	// handler outcomes come back asynchronously. A protocol violation
+	// closes the socket from the reactor, which surfaces here as a read
+	// error on the next decode.
+	rd := proto.NewReader(conn, true)
+	inflight := make(chan struct{}, s.cfg.InflightPerConn)
 	for {
-		p, err := proto.ReadPDU(conn)
+		p, err := rd.Next()
 		if err != nil {
 			break
 		}
-		done := make(chan error, 1)
-		if !s.post(func() { done <- sess.HandlePDU(p) }) {
+		select {
+		case inflight <- struct{}{}:
+		case <-s.quit:
+			proto.ReleaseInbound(p)
+			p = nil
+		}
+		if p == nil {
 			break
 		}
-		var herr error
-		select {
-		case herr = <-done:
-		case <-s.quit:
-			herr = errors.New("server closed")
-		}
-		if herr != nil {
-			// A protocol violation, not a normal disconnect (those
-			// surface as read errors above).
-			s.cfg.Telemetry.IncTransportError()
+		if !sh.post(func() {
+			herr := sess.HandlePDU(p)
+			proto.ReleaseInbound(p)
+			<-inflight
+			if herr != nil {
+				// A protocol violation, not a normal disconnect (those
+				// surface as read errors in the read loop). The nil
+				// sentinel makes the writer flush anything queued ahead
+				// of it — a TermReq explaining the rejection — before
+				// closing the socket.
+				s.cfg.Telemetry.IncTransportError()
+				select {
+				case out <- nil:
+				case <-connDone:
+				case <-s.quit:
+				}
+			}
+		}) {
+			<-inflight
+			proto.ReleaseInbound(p)
 			break
 		}
 	}
-	// The connection is dead: tear the session down on the reactor so its
+	// The connection is dead: tear the session down on its reactor so its
 	// queued requests are dropped, its tenant ID eventually recycles, and
-	// in-flight completions stop trying to send. Late device completions
-	// for this session still land on the reactor after this, where the
-	// tombstoned session absorbs them.
-	s.post(func() { s.target.CloseSession(sess) })
+	// in-flight completions stop trying to send. The reactor queue is
+	// FIFO, so teardown runs after every pipelined PDU above. Late device
+	// completions for this session still land on the reactor after this,
+	// where the tombstoned session absorbs them.
+	sh.post(func() { sh.target.CloseSession(sess) })
 	close(connDone)
 	writerWG.Wait()
 }
 
-// post schedules fn on the reactor; false if the server is closed.
-func (s *Server) post(fn func()) bool {
-	select {
-	case s.events <- fn:
-		return true
-	case <-s.quit:
-		return false
-	}
-}
-
 // execBackend runs device commands on the worker pool with optional
-// injected latency, delivering completions back on the reactor. One
-// instance serves one namespace.
+// injected latency, delivering completions back on the owning shard's
+// reactor. One instance serves one (shard, namespace) pair.
 type execBackend struct {
-	s    *Server
+	sh   *shard
 	nsid uint32
 	dev  bdev.Device
 }
@@ -395,17 +507,18 @@ func (b *execBackend) Namespace() nvme.Namespace {
 // deep TC backlog in the job queue cannot delay them — the real-transport
 // analogue of the simulator's device-queue bypass.
 func (b *execBackend) Submit(cmd nvme.Command, data []byte, highPrio bool, done func(nvme.Completion, []byte)) {
+	srv := b.sh.srv
 	run := func() {
 		cpl, out := b.execute(cmd, data)
-		b.s.post(func() { done(cpl, out) })
+		b.sh.post(func() { done(cpl, out) })
 	}
 	if highPrio {
 		go run()
 		return
 	}
 	select {
-	case b.s.jobs <- run:
-	case <-b.s.quit:
+	case srv.jobs <- run:
+	case <-srv.quit:
 	default:
 		// Job queue saturated: spill to a goroutine rather than dropping
 		// or blocking the reactor.
@@ -413,10 +526,13 @@ func (b *execBackend) Submit(cmd nvme.Command, data []byte, highPrio bool, done 
 	}
 }
 
-// execute performs the device operation.
+// execute performs the device operation. Read buffers come from the
+// proto buffer pool; the completion path (or the drop path, for dead
+// sessions) returns them.
 func (b *execBackend) execute(cmd nvme.Command, data []byte) (nvme.Completion, []byte) {
 	dev := b.dev
 	ns := b.Namespace()
+	cfg := &b.sh.srv.cfg
 	cpl := nvme.Completion{CID: cmd.CID, Status: nvme.StatusSuccess}
 	if cmd.Opcode != nvme.OpFlush {
 		if st := ns.CheckRange(cmd.SLBA, cmd.Blocks()); !st.OK() {
@@ -426,18 +542,19 @@ func (b *execBackend) execute(cmd nvme.Command, data []byte) (nvme.Completion, [
 	}
 	switch cmd.Opcode {
 	case nvme.OpRead:
-		if b.s.cfg.ReadLatency > 0 {
-			time.Sleep(b.s.cfg.ReadLatency)
+		if cfg.ReadLatency > 0 {
+			time.Sleep(cfg.ReadLatency)
 		}
-		out := make([]byte, ns.Bytes(cmd.Blocks()))
+		out := proto.GetBuf(ns.Bytes(cmd.Blocks()))
 		if err := dev.ReadBlocks(out, cmd.SLBA); err != nil {
+			proto.PutBuf(out)
 			cpl.Status = nvme.StatusInternalError
 			return cpl, nil
 		}
 		return cpl, out
 	case nvme.OpWrite:
-		if b.s.cfg.WriteLatency > 0 {
-			time.Sleep(b.s.cfg.WriteLatency)
+		if cfg.WriteLatency > 0 {
+			time.Sleep(cfg.WriteLatency)
 		}
 		if len(data) != ns.Bytes(cmd.Blocks()) {
 			cpl.Status = nvme.StatusDataXferError

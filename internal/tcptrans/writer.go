@@ -1,0 +1,123 @@
+package tcptrans
+
+import (
+	"net"
+
+	"nvmeopf/internal/proto"
+)
+
+// maxWriteBatch caps how many marshalled bytes one drain of the outbound
+// channel may accumulate before flushing — a full coalesced drain window
+// of data PDUs goes out in one syscall, but a slow peer cannot force
+// unbounded buffering.
+const maxWriteBatch = 256 << 10
+
+// drainWriter is the outbound half of one connection, shared by the
+// server and the client: it pulls PDUs off out, marshals them with
+// AppendPDU into one reused buffer — greedily draining whatever else is
+// already queued, up to batch bytes (callers pass maxWriteBatch unless
+// configured otherwise; 1 degenerates to one syscall per PDU, the
+// pre-shard writer) — and flushes the batch with a single Write.
+// Marshalling is allocation-free in steady state, and a burst of N
+// coalesced responses costs one syscall instead of N.
+//
+// A nil PDU on out is the flush-then-close sentinel: everything queued
+// before it is written, then the socket is closed — how a reactor-side
+// protocol error tears the connection down without racing a final
+// TermReq off the wire.
+//
+// release, if non-nil, retires each PDU right after it is marshalled
+// (returning pooled payloads and structs); it also runs for PDUs consumed
+// after a write error, so the sender's pool accounting stays balanced.
+// done is closed by the connection's read loop at teardown; quit is the
+// server/client-wide shutdown signal.
+func drainWriter(conn net.Conn, out <-chan proto.PDU, done, quit <-chan struct{}, release func(proto.PDU), batch int) {
+	buf := make([]byte, 0, 64<<10)
+	free := func(p proto.PDU) {
+		if p != nil && release != nil {
+			release(p)
+		}
+	}
+	for {
+		var p proto.PDU
+		select {
+		case p = <-out:
+		case <-done:
+			// Best-effort: retire anything still queued so pooled buffers
+			// return instead of waiting for GC.
+			for {
+				select {
+				case p := <-out:
+					free(p)
+				default:
+					return
+				}
+			}
+		case <-quit:
+			return
+		}
+		buf = buf[:0]
+		closeAfter := p == nil
+		if p != nil {
+			buf = proto.AppendPDU(buf, p)
+			free(p)
+		}
+	drain:
+		for !closeAfter && len(buf) < batch {
+			select {
+			case p = <-out:
+				if p == nil {
+					closeAfter = true
+					break drain
+				}
+				buf = proto.AppendPDU(buf, p)
+				free(p)
+			default:
+				break drain
+			}
+		}
+		if len(buf) > 0 {
+			if _, err := conn.Write(buf); err != nil {
+				conn.Close() // unblocks the read loop
+				// Keep consuming (and releasing) until teardown so
+				// senders blocked on the channel make progress.
+				for {
+					select {
+					case p := <-out:
+						free(p)
+					case <-done:
+						return
+					case <-quit:
+						return
+					}
+				}
+			}
+		}
+		if closeAfter {
+			conn.Close() // unblocks the read loop; queued PDUs flushed
+		}
+	}
+}
+
+// releaseServerPDU retires an outbound PDU after the server writer has
+// marshalled (or dropped) it: pooled read payloads go back to the buffer
+// pool, per-request structs to the struct pools. Cold PDUs (ICResp,
+// TermReq) pass through Recycle as no-ops.
+func releaseServerPDU(p proto.PDU) {
+	if d, ok := p.(*proto.C2HData); ok {
+		proto.PutBuf(d.Data)
+		d.Data = nil
+	}
+	proto.Recycle(p)
+}
+
+// releaseClientPDU retires an outbound PDU after the client writer has
+// marshalled (or dropped) it. CapsuleCmd write payloads are user-owned
+// (hostqp passes the caller's slice through), so only the reference is
+// dropped — never the buffer.
+func releaseClientPDU(p proto.PDU) {
+	if c, ok := p.(*proto.CapsuleCmd); ok {
+		c.Data = nil
+	}
+	proto.Recycle(p)
+}

@@ -212,6 +212,9 @@ func (r *Registry) PrometheusText() string {
 	fmt.Fprintf(&b, "# HELP nvmeopf_transport_errors_total Transport-level failures.\n# TYPE nvmeopf_transport_errors_total counter\nnvmeopf_transport_errors_total %d\n", g.TransportErrors)
 	fmt.Fprintf(&b, "# HELP nvmeopf_disconnects_total Sessions torn down after their connection died.\n# TYPE nvmeopf_disconnects_total counter\nnvmeopf_disconnects_total %d\n", g.Disconnects)
 	fmt.Fprintf(&b, "# HELP nvmeopf_teardown_dropped_total Queued requests discarded by session teardown.\n# TYPE nvmeopf_teardown_dropped_total counter\nnvmeopf_teardown_dropped_total %d\n", g.TeardownDrops)
+	if n := r.Shards(); n > 0 {
+		fmt.Fprintf(&b, "# HELP nvmeopf_target_shards Reactor shards the target datapath runs.\n# TYPE nvmeopf_target_shards gauge\nnvmeopf_target_shards %d\n", n)
+	}
 	return b.String()
 }
 

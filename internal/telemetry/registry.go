@@ -99,6 +99,7 @@ type Registry struct {
 	transportErrors atomic.Int64
 	disconnects     atomic.Int64
 	teardownDrops   atomic.Int64
+	shards          atomic.Int64
 
 	// Registry-wide default SLO, applied to tenants without their own.
 	defObjective atomic.Int64
@@ -326,6 +327,24 @@ func (r *Registry) IncTransportError() {
 		return
 	}
 	r.transportErrors.Add(1)
+}
+
+// SetShards records how many reactor shards the attached target runs
+// (exported as the nvmeopf_target_shards gauge; 0 — never set — omits
+// it).
+func (r *Registry) SetShards(n int) {
+	if r == nil {
+		return
+	}
+	r.shards.Store(int64(n))
+}
+
+// Shards returns the recorded reactor shard count (0 when unset).
+func (r *Registry) Shards() int {
+	if r == nil {
+		return 0
+	}
+	return int(r.shards.Load())
 }
 
 // IncDisconnect counts one session teardown: an initiator connection that
