@@ -7,6 +7,7 @@ package nvmeopf
 // stays tractable; run `opf-bench -exp all` for publication-scale tables.
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -344,6 +345,83 @@ func BenchmarkMultiConnTCThroughput(b *testing.B) {
 	b.Run("sharded-4", func(b *testing.B) {
 		benchMultiConnTC(b, ServerConfig{Shards: 4}, DialConfig{}, 4)
 	})
+}
+
+// benchSmallIOReads drives small closed-loop reads from several
+// connections against one in-memory target and reports achieved IOPS.
+func benchSmallIOReads(b *testing.B, blockSize uint32, conns int) {
+	b.Helper()
+	const depth = 64
+	srv, err := ListenMemory("127.0.0.1:0", ModeOPF, blockSize, 1<<16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+	clients := make([]*Conn, conns)
+	for i := range clients {
+		c, err := Dial(srv.Addr(), InitiatorConfig{
+			Class: ThroughputCritical, Window: 16, QueueDepth: depth, NSID: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer c.Close()
+		clients[i] = c
+	}
+	b.SetBytes(int64(blockSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for ci, conn := range clients {
+		n := b.N / conns
+		if ci < b.N%conns {
+			n++
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			done := make(chan struct{}, depth)
+			inFlight := 0
+			for i := 0; i < n; i++ {
+				for inFlight >= depth {
+					<-done
+					inFlight--
+				}
+				if err := conn.Submit(IO{
+					Op: OpRead, LBA: uint64(ci*8192 + i%8192), Blocks: 1,
+					Done: func(Result) { done <- struct{}{} },
+				}); err != nil {
+					b.Error(err)
+					return
+				}
+				inFlight++
+			}
+			for inFlight > 0 {
+				<-done
+				inFlight--
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(b.N)/sec, "IOPS")
+	}
+}
+
+// BenchmarkSmallIOIOPS measures small-read IOPS over the real transport
+// across the sub-4K block sizes the paper's small-IO discussion covers
+// (512 B – 4 KiB) at one and four queue pairs. The per-PDU costs —
+// header parse, CID allocation, response stamping — dominate at these
+// sizes, so this is the regression canary for datapath CPU overhead.
+func BenchmarkSmallIOIOPS(b *testing.B) {
+	for _, bs := range []uint32{512, 1024, 2048, 4096} {
+		for _, conns := range []int{1, 4} {
+			b.Run(fmt.Sprintf("bs=%d/qp=%d", bs, conns), func(b *testing.B) {
+				benchSmallIOReads(b, bs, conns)
+			})
+		}
+	}
 }
 
 // BenchmarkTCPLoopbackLatency measures single-request round-trip latency

@@ -17,6 +17,7 @@ import (
 	"os/signal"
 	"time"
 
+	"nvmeopf/internal/autotune"
 	"nvmeopf/internal/bdev"
 	"nvmeopf/internal/targetqp"
 	"nvmeopf/internal/tcptrans"
@@ -41,6 +42,10 @@ func main() {
 		recStall  = flag.Duration("recorder-stall", 0, "drain-stall anomaly threshold for auto snapshots (0: off)")
 		sloObj    = flag.Duration("slo", 0, "default per-tenant latency objective (0: no SLO tracking)")
 		sloTarget = flag.Float64("slo-target", 0.999, "fraction of completions that must meet -slo")
+
+		auto    = flag.Bool("autotune", false, "adapt TC drain windows to the LS SLO (-slo must be set); off: static windows, bit-identical behavior")
+		autoMin = flag.Int("autotune-min-window", 0, "adaptive window floor (0: 1)")
+		autoMax = flag.Int("autotune-max-window", 0, "adaptive window ceiling and cold/healthy fallback (0: 32)")
 
 		maxPendingTenant = flag.Int("max-pending-tenant", 0, "per-tenant pending-request cap: excess answered StatusBusy (0: off)")
 		maxPendingGlobal = flag.Int("max-pending-global", 0, "global pending-request cap: excess answered StatusBusy (0: off)")
@@ -91,6 +96,18 @@ func main() {
 			tel.SetRecorder(rec) // serves JSONL dumps at /debug/trace
 		}
 	}
+	var atCfg *autotune.Config
+	if *auto {
+		if *sloObj <= 0 {
+			log.Fatalf("-autotune requires -slo (the LS latency objective the controller enforces)")
+		}
+		atCfg = &autotune.Config{
+			ObjectiveNS: sloObj.Nanoseconds(),
+			BudgetPPM:   autotune.BudgetPPMForTarget(*sloTarget),
+			MinWindow:   *autoMin,
+			MaxWindow:   *autoMax,
+		}
+	}
 	srv, err := tcptrans.Listen(*addr, tcptrans.ServerConfig{
 		Mode:                m,
 		Device:              dev,
@@ -103,6 +120,7 @@ func main() {
 		DrainWatchdog:       *drainWatchdog,
 		Telemetry:           tel,
 		Recorder:            rec,
+		Autotune:            atCfg,
 	})
 	if err != nil {
 		log.Fatalf("listen: %v", err)
@@ -115,7 +133,7 @@ func main() {
 			log.Fatalf("metrics: %v", merr)
 		}
 		defer exp.Close()
-		log.Printf("telemetry on http://%s/metrics (debug: /debug/tenants, /debug/windows, /debug/slo, /debug/trace, /debug/pprof/)", exp.Addr())
+		log.Printf("telemetry on http://%s/metrics (debug: /debug/tenants, /debug/windows, /debug/slo, /debug/autotune, /debug/trace, /debug/pprof/)", exp.Addr())
 	}
 	if *discovery != "" {
 		if derr := tcptrans.RegisterRemote(*discovery, *nqn, srv.Addr(), m); derr != nil {

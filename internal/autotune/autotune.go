@@ -1,0 +1,475 @@
+// Package autotune closes the control loop the paper's §IV-D window
+// formula leaves open: a per-shard feedback controller that, on every
+// drain completion, re-computes a tenant's TC drain window and admission
+// cap from the observed latency-sensitive signal — SLO burn rate, interval
+// p99, and drain occupancy. The law is QWin-style (PAPERS.md): multiplica-
+// tive back-off of the window while the LS error budget burns faster than
+// its target, additive growth while there is budget headroom and the
+// windows are actually filling, clamped to the static formula's bounds so
+// the controller degrades to today's behavior when telemetry is cold.
+//
+// Actuation is target-side only. The drain window proper is chosen by the
+// host (HostPM stamps the draining flag), so the controller constrains it
+// through the TargetPM's per-tenant force-drain valve: with the valve at
+// w < hostWindow, the tenant's queue releases at depth w and the effective
+// window becomes min(hostWindow, w). At the static bound the controller
+// clears its overrides entirely — hands-off means bit-identical to the
+// uncontrolled target.
+//
+// Threading mirrors the PM it drives: a Controller is owned by one reactor
+// shard and is not synchronized; only the Signal (the LS observation
+// stream, fed from every shard and from LS completions) is thread-safe.
+package autotune
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nvmeopf/internal/core"
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/telemetry"
+)
+
+// Actuator is what a controller drives: the per-tenant window valve and
+// admission cap of a target-side priority manager. *core.TargetPM
+// implements it.
+type Actuator interface {
+	SetTenantWindow(t proto.TenantID, w int)
+	SetTenantCap(t proto.TenantID, c int)
+}
+
+// Signal is the shared LS observation stream: thread-safe counters and a
+// histogram of latency-sensitive service latencies against one objective.
+// On a sharded target every shard's controller reads the same Signal, so
+// a TC tenant on shard 0 backs off for LS pain inflicted on shard 3 — the
+// device and NIC they contend on are target-wide.
+type Signal struct {
+	objective atomic.Int64
+	good      atomic.Int64
+	bad       atomic.Int64
+	hist      telemetry.Hist
+}
+
+// NewSignal creates a signal judging observations against objectiveNS.
+func NewSignal(objectiveNS int64) *Signal {
+	s := &Signal{}
+	s.objective.Store(objectiveNS)
+	return s
+}
+
+// Observe records one LS service latency (negative samples are ignored).
+func (s *Signal) Observe(latNS int64) {
+	if latNS < 0 {
+		return
+	}
+	s.hist.Record(latNS)
+	if latNS > s.objective.Load() {
+		s.bad.Add(1)
+	} else {
+		s.good.Add(1)
+	}
+}
+
+// Counts returns the cumulative within/over-objective sample counts.
+func (s *Signal) Counts() (good, bad int64) { return s.good.Load(), s.bad.Load() }
+
+// Snapshot copies the latency histogram for interval-quantile math.
+func (s *Signal) Snapshot() telemetry.HistSnapshot { return s.hist.Snapshot() }
+
+// Config parameterizes a controller. The zero values of everything but
+// ObjectiveNS select the documented defaults.
+type Config struct {
+	// ObjectiveNS is the LS latency objective the signal is judged
+	// against (required, > 0). Target-side controllers observe service
+	// latency (arrival to completion at the target), which excludes the
+	// fabric round trip — set it accordingly tighter than an end-to-end
+	// SLO.
+	ObjectiveNS int64
+	// BudgetPPM is the error budget: LS observations per million allowed
+	// over the objective (default 1000, i.e. a 99.9% target). The burn
+	// rate is the observed violation fraction over this budget; burn 1
+	// consumes the budget exactly as fast as it accrues.
+	BudgetPPM int64
+	// BurnShrink / BurnGrow bound the hysteresis band: interval burn
+	// above BurnShrink halves the window (multiplicative back-off),
+	// below BurnGrow allows additive growth, and the band between them
+	// holds — the damping that keeps the loop from oscillating around
+	// the threshold. Defaults 1.0 / 0.5.
+	BurnShrink float64
+	BurnGrow   float64
+	// MinWindow / MaxWindow clamp the controlled window. MaxWindow is the
+	// static formula's value for the deployment (core.OptimalWindow);
+	// at MaxWindow the controller clears its overrides entirely, so cold
+	// or healthy tenants run today's static behavior bit-identically.
+	// Defaults 1 / 32.
+	MinWindow int
+	MaxWindow int
+	// GrowStep is the additive increase per grow decision (default 2).
+	GrowStep int
+	// GrowFill gates growth on achieved drain occupancy: windows only
+	// grow when the mean completed batch filled at least this fraction
+	// of the current window (default 0.5) — a tenant whose batches run
+	// small gains nothing from a larger valve.
+	GrowFill float64
+	// GrowIntervals is how many consecutive healthy intervals a tenant
+	// must string together before each grow step (default 1: grow on
+	// the first healthy verdict). Raising it discriminates transient
+	// health inside an oscillating overload — where a back-off briefly
+	// clears the burn it caused — from a genuinely lightened load:
+	// only the latter sustains a streak.
+	GrowIntervals int
+	// GrowQuietNS is the controller-wide minimum spacing between grow
+	// decisions across all tenants (default 0: none; requires Clock).
+	// Constrained tenants sharing one bottleneck all see it clear at
+	// once, and a synchronized release re-floods it in a single step —
+	// the spacing serializes release so each probe's impact lands in
+	// the signal before the next tenant may follow.
+	GrowQuietNS int64
+	// CapFactor sets the admission-cap override to CapFactor × window
+	// while the controller is constraining a tenant (default 8; negative
+	// leaves admission caps untouched). Shrinking the window without
+	// capping pending lets a tenant hold the same backlog in more,
+	// smaller windows; the cap converts back-off into real admission
+	// push-back.
+	CapFactor int
+	// CooldownDrains is how many drain completions a tenant accumulates
+	// between decisions (default 8): the decision interval, and the
+	// second half of the oscillation damping (an actuation must be
+	// observed before the next one).
+	CooldownDrains int
+	// MinSamples is the minimum LS observations an interval needs for a
+	// verdict (default 32). Below it the tenant is cold: the controller
+	// holds its current actuation rather than acting on noise. Holding —
+	// not releasing — matters: back-off itself thins the tenant's decision
+	// intervals (a constrained tenant drains less often), so a release on
+	// sparseness would teleport every constrained tenant back to the
+	// static bound and undo the back-off it just earned.
+	MinSamples int64
+	// DryIntervals is how many consecutive zero-sample intervals release
+	// a tenant to the static bounds (default 3). A streak of truly empty
+	// intervals means the LS signal is gone — no one is left to protect —
+	// which is the one cold condition that should clear the overrides.
+	DryIntervals int
+	// Clock stamps decisions (nanoseconds; virtual clocks work). Nil
+	// stamps zero.
+	Clock func() int64
+	// Telemetry receives per-decision records for /debug/autotune and
+	// /metrics. Nil disables.
+	Telemetry *telemetry.Registry
+	// Signal is the LS observation stream. Nil creates a private one
+	// with ObjectiveNS; a sharded deployment shares one Signal across
+	// its per-shard controllers.
+	Signal *Signal
+}
+
+// withDefaults fills the documented defaults.
+func (cfg Config) withDefaults() Config {
+	if cfg.BudgetPPM <= 0 {
+		cfg.BudgetPPM = 1000
+	}
+	if cfg.BurnShrink <= 0 {
+		cfg.BurnShrink = 1.0
+	}
+	if cfg.BurnGrow <= 0 {
+		cfg.BurnGrow = 0.5
+	}
+	if cfg.MinWindow <= 0 {
+		cfg.MinWindow = 1
+	}
+	if cfg.MaxWindow <= 0 {
+		cfg.MaxWindow = 32
+	}
+	if cfg.GrowStep <= 0 {
+		cfg.GrowStep = 2
+	}
+	if cfg.GrowFill <= 0 {
+		cfg.GrowFill = 0.5
+	}
+	if cfg.GrowIntervals <= 0 {
+		cfg.GrowIntervals = 1
+	}
+	switch {
+	case cfg.CapFactor == 0:
+		cfg.CapFactor = 8
+	case cfg.CapFactor < 0:
+		cfg.CapFactor = 0 // caps disabled
+	}
+	if cfg.CooldownDrains <= 0 {
+		cfg.CooldownDrains = 8
+	}
+	if cfg.MinSamples <= 0 {
+		cfg.MinSamples = 32
+	}
+	if cfg.DryIntervals <= 0 {
+		cfg.DryIntervals = 3
+	}
+	return cfg
+}
+
+// BudgetPPMForTarget converts a compliance target (the fraction of LS
+// observations that must meet the objective, e.g. 0.999) to an error
+// budget in parts per million, mirroring the telemetry registry's SLO
+// accounting. Out-of-range targets select the 99.9% default.
+func BudgetPPMForTarget(target float64) int64 {
+	if target <= 0 || target >= 1 {
+		return 1000
+	}
+	ppm := int64((1 - target) * 1e6)
+	if ppm < 1 {
+		ppm = 1
+	}
+	return ppm
+}
+
+// tenantState is one tenant's loop state between decisions.
+type tenantState struct {
+	window   int
+	drains   int   // drain completions since the last decision
+	fillSum  int   // sum of completed batch sizes since the last decision
+	lastGood int64 // signal counters at the last decision
+	lastBad  int64
+	lastHist telemetry.HistSnapshot
+	primed   bool // baseline counters captured
+	dry      int  // consecutive zero-sample decision intervals
+	healthy  int  // consecutive healthy grow-eligible intervals
+}
+
+// Controller is one shard's feedback loop. Not synchronized: drive it from
+// the reactor that owns the shard's TargetPM (OnDrainComplete arrives via
+// the PM's drain hook, which already runs there). ObserveLS is the one
+// exception — it only touches the thread-safe Signal, so completions on
+// other execution contexts may feed it directly.
+type Controller struct {
+	cfg      Config
+	sig      *Signal
+	act      Actuator
+	tenants  map[proto.TenantID]*tenantState
+	lastGrow int64 // clock at the most recent grow decision, any tenant
+	grown    bool  // a grow has happened (lastGrow is meaningful)
+}
+
+// New creates a controller. ObjectiveNS must be positive and the window
+// bounds sane.
+func New(cfg Config) (*Controller, error) {
+	if cfg.ObjectiveNS <= 0 {
+		return nil, fmt.Errorf("autotune: objective %dns, want > 0", cfg.ObjectiveNS)
+	}
+	cfg = cfg.withDefaults()
+	if cfg.MinWindow > cfg.MaxWindow {
+		return nil, fmt.Errorf("autotune: min window %d > max %d", cfg.MinWindow, cfg.MaxWindow)
+	}
+	sig := cfg.Signal
+	if sig == nil {
+		sig = NewSignal(cfg.ObjectiveNS)
+	}
+	return &Controller{cfg: cfg, sig: sig, tenants: make(map[proto.TenantID]*tenantState)}, nil
+}
+
+// Bind attaches the actuator the decisions drive (the shard's TargetPM).
+func (c *Controller) Bind(act Actuator) { c.act = act }
+
+// Signal returns the controller's LS observation stream (for sharing
+// across shards, or feeding from tests).
+func (c *Controller) Signal() *Signal { return c.sig }
+
+// ObserveLS records one LS service latency into the signal. Thread-safe.
+func (c *Controller) ObserveLS(latNS int64) { c.sig.Observe(latNS) }
+
+// WindowFor returns the controller's current window for a tenant
+// (MaxWindow — the static bound — for tenants it has never decided on).
+func (c *Controller) WindowFor(t proto.TenantID) int {
+	if st, ok := c.tenants[t]; ok {
+		return st.window
+	}
+	return c.cfg.MaxWindow
+}
+
+// Forget drops a tenant's loop state and clears its actuator overrides
+// (session teardown: the tenant ID may be recycled).
+func (c *Controller) Forget(t proto.TenantID) {
+	delete(c.tenants, t)
+	if c.act != nil {
+		c.act.SetTenantWindow(t, 0)
+		c.act.SetTenantCap(t, 0)
+	}
+}
+
+// OnDrainComplete feeds one completed window into the loop; wire it to
+// core.TargetPM.SetDrainHook. Every CooldownDrains completions per tenant
+// it takes a decision over the interval since the tenant's last one.
+func (c *Controller) OnDrainComplete(dc core.DrainCompletion) {
+	st, ok := c.tenants[dc.Tenant]
+	if !ok {
+		st = &tenantState{window: c.cfg.MaxWindow}
+		c.tenants[dc.Tenant] = st
+	}
+	if !st.primed {
+		// Baseline the signal counters at first sight so the first
+		// decision judges this tenant's own interval, not history from
+		// before it connected.
+		st.lastGood, st.lastBad = c.sig.Counts()
+		st.lastHist = c.sig.Snapshot()
+		st.primed = true
+	}
+	st.drains++
+	st.fillSum += dc.Window
+	if st.drains < c.cfg.CooldownDrains {
+		return
+	}
+	c.decide(dc.Tenant, st)
+	st.drains = 0
+	st.fillSum = 0
+}
+
+// decide runs the control law over the interval since the tenant's last
+// decision and actuates + records the outcome.
+func (c *Controller) decide(t proto.TenantID, st *tenantState) {
+	good, bad := c.sig.Counts()
+	dGood, dBad := good-st.lastGood, bad-st.lastBad
+	samples := dGood + dBad
+	cur := c.sig.Snapshot()
+	p99 := intervalQuantile(cur, st.lastHist, 0.99)
+	fill := float64(st.fillSum) / float64(st.drains*st.window)
+	burn := -1.0
+	if samples > 0 {
+		violFrac := float64(dBad) / float64(samples)
+		burn = violFrac / (float64(c.cfg.BudgetPPM) / 1e6)
+	}
+
+	prev := st.window
+	if samples > 0 {
+		st.dry = 0
+	}
+	var now int64
+	if c.cfg.Clock != nil {
+		now = c.cfg.Clock()
+	}
+	var action, reason string
+	switch {
+	case samples == 0:
+		// Quiet interval: indistinguishable noise or a vanished signal.
+		// Hold until a streak proves there is no LS traffic to protect,
+		// then release to the static formula's behavior.
+		st.dry++
+		action = "cold"
+		if st.dry >= c.cfg.DryIntervals {
+			st.window = c.cfg.MaxWindow
+			reason = fmt.Sprintf("no LS samples for %d intervals: static bounds apply", st.dry)
+		} else {
+			reason = fmt.Sprintf("no LS samples (dry %d/%d): holding %d", st.dry, c.cfg.DryIntervals, st.window)
+		}
+	case samples < c.cfg.MinSamples:
+		// Sparse: too few samples for a verdict, but the signal is alive.
+		// Hold the current actuation — back-off thins these very intervals.
+		action = "cold"
+		reason = fmt.Sprintf("%d LS samples < %d: holding %d", samples, c.cfg.MinSamples, st.window)
+	case burn > c.cfg.BurnShrink:
+		st.healthy = 0
+		st.window = prev / 2
+		if st.window < c.cfg.MinWindow {
+			st.window = c.cfg.MinWindow
+		}
+		if st.window < prev {
+			action = "shrink"
+			reason = fmt.Sprintf("burn %.2f > %.2f: multiplicative back-off", burn, c.cfg.BurnShrink)
+		} else {
+			action = "hold"
+			reason = fmt.Sprintf("burn %.2f > %.2f at floor %d", burn, c.cfg.BurnShrink, c.cfg.MinWindow)
+		}
+	case burn < c.cfg.BurnGrow && st.window < c.cfg.MaxWindow && fill >= c.cfg.GrowFill:
+		st.healthy++
+		switch {
+		case st.healthy < c.cfg.GrowIntervals:
+			action = "hold"
+			reason = fmt.Sprintf("burn %.2f healthy %d/%d intervals: patience before growth", burn, st.healthy, c.cfg.GrowIntervals)
+		case c.cfg.GrowQuietNS > 0 && c.grown && now-c.lastGrow < c.cfg.GrowQuietNS:
+			// Streak complete but another tenant released recently; wait
+			// for its impact to land in the signal. The streak carries
+			// over, so this tenant grows at its first decision after the
+			// quiet period.
+			action = "hold"
+			reason = fmt.Sprintf("healthy, %.1fms grow-quiet remaining after a release elsewhere", float64(c.cfg.GrowQuietNS-(now-c.lastGrow))/1e6)
+		default:
+			st.healthy = 0
+			st.window = prev + c.cfg.GrowStep
+			if st.window > c.cfg.MaxWindow {
+				st.window = c.cfg.MaxWindow
+			}
+			c.lastGrow, c.grown = now, true
+			action = "grow"
+			reason = fmt.Sprintf("burn %.2f < %.2f, fill %.2f: additive grow", burn, c.cfg.BurnGrow, fill)
+		}
+	default:
+		action = "hold"
+		switch {
+		case st.window >= c.cfg.MaxWindow:
+			reason = fmt.Sprintf("burn %.2f healthy at static bound %d", burn, c.cfg.MaxWindow)
+		case burn >= c.cfg.BurnGrow:
+			st.healthy = 0
+			reason = fmt.Sprintf("burn %.2f inside hysteresis band [%.2f, %.2f]", burn, c.cfg.BurnGrow, c.cfg.BurnShrink)
+		default:
+			reason = fmt.Sprintf("fill %.2f < %.2f: window not earning growth", fill, c.cfg.GrowFill)
+		}
+	}
+
+	capv := c.apply(t, st.window)
+	st.lastGood, st.lastBad = good, bad
+	st.lastHist = cur
+	c.cfg.Telemetry.RecordAutotune(telemetry.AutotuneDecision{
+		Tenant:     t,
+		Action:     action,
+		Window:     st.window,
+		PrevWindow: prev,
+		Cap:        capv,
+		BurnRate:   burn,
+		LSP99NS:    p99,
+		Fill:       fill,
+		Samples:    samples,
+		Reason:     reason,
+		At:         now,
+	})
+}
+
+// apply actuates one tenant's window, returning the cap it set (0 when
+// admission caps are untouched). At the static bound the overrides clear:
+// a controller with nothing to say must leave no fingerprints.
+func (c *Controller) apply(t proto.TenantID, w int) int {
+	if c.act == nil {
+		return 0
+	}
+	if w >= c.cfg.MaxWindow {
+		c.act.SetTenantWindow(t, 0)
+		c.act.SetTenantCap(t, 0)
+		return 0
+	}
+	c.act.SetTenantWindow(t, w)
+	capv := 0
+	if c.cfg.CapFactor > 0 {
+		capv = w * c.cfg.CapFactor
+	}
+	c.act.SetTenantCap(t, capv)
+	return capv
+}
+
+// intervalQuantile computes a quantile over the samples recorded between
+// two snapshots of the same histogram (-1 when the interval is empty).
+func intervalQuantile(cur, prev telemetry.HistSnapshot, q float64) int64 {
+	if cur.Count <= prev.Count || len(cur.Counts) == 0 {
+		return -1
+	}
+	delta := telemetry.HistSnapshot{
+		Counts: make([]int64, len(cur.Counts)),
+		Count:  cur.Count - prev.Count,
+		Sum:    cur.Sum - prev.Sum,
+		// Max is cumulative; the interval max is unknowable from two
+		// snapshots, so the lifetime max conservatively caps the result.
+		Max: cur.Max,
+	}
+	for i := range cur.Counts {
+		delta.Counts[i] = cur.Counts[i]
+		if i < len(prev.Counts) {
+			delta.Counts[i] -= prev.Counts[i]
+		}
+	}
+	return delta.Quantile(q)
+}

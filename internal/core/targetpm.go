@@ -107,6 +107,25 @@ type TargetPMConfig struct {
 	WatchdogNS int64
 }
 
+// DrainCompletion describes one TC window whose device work has fully
+// completed and released (in window order). The drain hook receives it so a
+// feedback controller (internal/autotune) can re-evaluate the tenant's
+// window and caps once per drain epoch — the cadence QWin-style tuners
+// decide at, and the only point where a whole window's occupancy is known.
+type DrainCompletion struct {
+	// Tenant owning the completed window.
+	Tenant proto.TenantID
+	// Window is the batch size at formation (the achieved occupancy).
+	Window int
+	// Forced marks a window released by the safety valve or watchdog
+	// rather than a draining flag.
+	Forced bool
+	// Queued is the tenant's parked (unexecuted) request count at release.
+	Queued int
+	// Pending is the tenant's admitted-but-uncompleted request count.
+	Pending int
+}
+
 // drainBatch tracks one executing TC window awaiting coalesced completion.
 type drainBatch struct {
 	owner     proto.TenantID // tenant whose drain (or overflow) formed the batch
@@ -173,6 +192,17 @@ type TargetPM struct {
 	// and a nil trace skips event construction entirely.
 	tel   *telemetry.Registry
 	trace telemetry.TraceFunc
+
+	// drainHook fires once per completed window (see SetDrainHook).
+	drainHook func(DrainCompletion)
+	// winOv/capOv are per-tenant overrides a controller may set at run
+	// time, tightening (never loosening) the configured MaxPending valve
+	// and MaxPendingPerTenant cap. Zero means "no override" — fixed
+	// arrays so the hot-path lookups cost an index, not a map probe, and
+	// an idle controller leaves behavior bit-identical to the static
+	// configuration.
+	winOv [256]int32
+	capOv [256]int32
 }
 
 // TargetPMStats counts PM-level events for the experiments.
@@ -225,6 +255,68 @@ func (pm *TargetPM) SetTelemetry(r *telemetry.Registry) { pm.tel = r }
 // SetTrace attaches a lifecycle trace hook (nil disables).
 func (pm *TargetPM) SetTrace(fn telemetry.TraceFunc) { pm.trace = fn }
 
+// SetDrainHook attaches a function invoked once per TC window whose device
+// work has fully completed, at in-order release (nil disables). The hook
+// runs on the PM's own execution context (the reactor) and may call the
+// Set*/Reset* control methods re-entrantly.
+func (pm *TargetPM) SetDrainHook(fn func(DrainCompletion)) { pm.drainHook = fn }
+
+// SetTenantWindow sets (w > 0) or clears (w <= 0) tenant t's drain-window
+// valve override: the tenant's queue force-drains at depth w even when the
+// host keeps stamping a larger window, so the effective window becomes
+// min(host window, w). The override can only tighten the configured
+// MaxPending valve, never loosen it.
+func (pm *TargetPM) SetTenantWindow(t proto.TenantID, w int) {
+	if w < 0 {
+		w = 0
+	}
+	pm.winOv[t] = int32(w)
+}
+
+// TenantWindow returns tenant t's valve override (0 when none).
+func (pm *TargetPM) TenantWindow(t proto.TenantID) int { return int(pm.winOv[t]) }
+
+// SetTenantCap sets (c > 0) or clears (c <= 0) tenant t's admission-cap
+// override, tightening (never loosening) MaxPendingPerTenant for this
+// tenant only.
+func (pm *TargetPM) SetTenantCap(t proto.TenantID, c int) {
+	if c < 0 {
+		c = 0
+	}
+	pm.capOv[t] = int32(c)
+}
+
+// TenantCap returns tenant t's admission-cap override (0 when none).
+func (pm *TargetPM) TenantCap(t proto.TenantID) int { return int(pm.capOv[t]) }
+
+// ResetTenantControls clears both of tenant t's overrides (session
+// teardown: the ID may be recycled to an unrelated initiator).
+func (pm *TargetPM) ResetTenantControls(t proto.TenantID) {
+	pm.winOv[t] = 0
+	pm.capOv[t] = 0
+}
+
+// valveFor returns the effective force-drain valve for a request arriving
+// from tenant t: the tighter of the configured MaxPending and the tenant's
+// override (0 disables).
+func (pm *TargetPM) valveFor(t proto.TenantID) int {
+	v := pm.cfg.MaxPending
+	if o := int(pm.winOv[t]); o > 0 && (v == 0 || o < v) {
+		return o
+	}
+	return v
+}
+
+// capFor returns tenant t's effective pending-request cap: the tighter of
+// MaxPendingPerTenant and the tenant's override (0 disables).
+func (pm *TargetPM) capFor(t proto.TenantID) int {
+	c := pm.cfg.MaxPendingPerTenant
+	if o := int(pm.capOv[t]); o > 0 && (c == 0 || o < c) {
+		return o
+	}
+	return c
+}
+
 // key maps a tenant to its queue owner: per-tenant when isolated, one
 // shared slot otherwise.
 func (pm *TargetPM) key(t proto.TenantID) proto.TenantID {
@@ -270,7 +362,7 @@ func (pm *TargetPM) QueueDepth(t proto.TenantID) int {
 // never executed, so the host may resubmit verbatim.
 func (pm *TargetPM) Admit(t proto.TenantID, prio proto.Priority) bool {
 	if !prio.Draining() {
-		if pm.cfg.MaxPendingPerTenant > 0 && pm.pending[t] >= pm.cfg.MaxPendingPerTenant {
+		if limit := pm.capFor(t); limit > 0 && pm.pending[t] >= limit {
 			pm.reject(t)
 			return false
 		}
@@ -347,7 +439,7 @@ func (pm *TargetPM) OnCommand(t proto.TenantID, cid nvme.CID, prio proto.Priorit
 		if pm.trace != nil {
 			pm.trace(telemetry.Event{Stage: telemetry.StageEnqueue, Tenant: t, CID: cid, Prio: prio, Aux: int64(q.depth())})
 		}
-		if pm.cfg.MaxPending > 0 && q.depth() >= pm.cfg.MaxPending {
+		if valve := pm.valveFor(t); valve > 0 && q.depth() >= valve {
 			batch = q.popAll()
 			last := batch[len(batch)-1]
 			pm.beginBatch(last.Tenant, last.CID, false, batch)
@@ -498,6 +590,15 @@ func (pm *TargetPM) releaseInOrder(owner proto.TenantID) []RespDecision {
 	for len(q) > 0 && q[0].done {
 		b := q[0]
 		q = q[1:]
+		if pm.drainHook != nil {
+			pm.drainHook(DrainCompletion{
+				Tenant:  b.owner,
+				Window:  b.size,
+				Forced:  !b.hasDrain,
+				Queued:  pm.QueueDepth(b.owner),
+				Pending: pm.pending[b.owner],
+			})
+		}
 		if b.noCoalesce {
 			// Members already answered individually.
 			continue

@@ -24,6 +24,7 @@ var registry = map[string]Runner{
 	"fig8p1":    Fig8Pattern1,
 	"fig8p2":    Fig8Pattern2,
 	"ablations": Ablations,
+	"shiftmix":  ShiftMix,
 	"summary":   Summary,
 }
 

@@ -3,6 +3,7 @@ package simcluster
 import (
 	"fmt"
 
+	"nvmeopf/internal/autotune"
 	"nvmeopf/internal/hostqp"
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
@@ -21,6 +22,7 @@ type Cluster struct {
 	mode      targetqp.Mode
 	shared    bool // shared-queue ablation
 	seed      uint64
+	atCfg     *autotune.Config
 	tel       *telemetry.Registry
 	trace     telemetry.TraceFunc
 	hostRec   *telemetry.Recorder
@@ -47,6 +49,12 @@ type Options struct {
 	// Trace optionally receives target-side PDU lifecycle events. Runs
 	// on the event loop: keep it fast.
 	Trace telemetry.TraceFunc
+	// Autotune enables the closed-loop adaptive drain-window controller
+	// at every target node (one controller per node, on the virtual
+	// clock). The config's Clock/Telemetry fields are filled in from the
+	// cluster's when unset. Nil runs the static windows bit-identically
+	// to a cluster without the field.
+	Autotune *autotune.Config
 }
 
 // New creates an empty cluster.
@@ -57,6 +65,7 @@ func New(opts Options) *Cluster {
 		mode:    opts.Mode,
 		shared:  opts.SharedQueueAblation,
 		seed:    opts.Seed,
+		atCfg:   opts.Autotune,
 		tel:     opts.Telemetry,
 		trace:   opts.Trace,
 	}
@@ -135,6 +144,23 @@ func (c *Cluster) NewTargetNode(name string, backed bool) (*TargetNode, error) {
 		return nil, err
 	}
 	tn := &TargetNode{c: c, Name: name, CPU: cpu, NIC: nic, SSD: ssd}
+	var ctrl *autotune.Controller
+	if c.atCfg != nil {
+		// Each target node owns one controller on the virtual clock — the
+		// simulated analogue of the TCP server's per-shard controllers.
+		ac := *c.atCfg
+		if ac.Clock == nil {
+			ac.Clock = c.Eng.Now
+		}
+		if ac.Telemetry == nil {
+			ac.Telemetry = c.tel
+		}
+		var err error
+		ctrl, err = autotune.New(ac)
+		if err != nil {
+			return nil, err
+		}
+	}
 	tgt, err := targetqp.NewTarget(targetqp.Config{
 		Mode:                c.mode,
 		MaxPending:          4096,
@@ -142,6 +168,7 @@ func (c *Cluster) NewTargetNode(name string, backed bool) (*TargetNode, error) {
 		Telemetry:           c.tel,
 		Trace:               c.trace,
 		Clock:               c.Eng.Now, // virtual time drives latency samples
+		Autotune:            ctrl,
 	}, &ssdBackend{node: tn})
 	if err != nil {
 		return nil, err

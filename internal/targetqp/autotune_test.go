@@ -1,0 +1,107 @@
+package targetqp
+
+import (
+	"testing"
+
+	"nvmeopf/internal/autotune"
+	"nvmeopf/internal/hostqp"
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/telemetry"
+)
+
+// TestAutotuneWiring drives a real target with the adaptive controller
+// attached and checks every wire: Bind + drain hook on NewTarget, LS
+// completions feeding the signal, decisions actuating PM overrides, and
+// Forget on session teardown.
+func TestAutotuneWiring(t *testing.T) {
+	be := newFakeBackend(t, true)
+	now := int64(0)
+	clock := func() int64 { now += 1000; return now }
+	reg := telemetry.New()
+	ctrl, err := autotune.New(autotune.Config{
+		// A 1ns objective with the clock advancing 1000ns per reading
+		// makes every LS completion a violation: pure pain on the signal.
+		ObjectiveNS: 1, BudgetPPM: 100_000,
+		MinWindow: 1, MaxWindow: 16,
+		CooldownDrains: 1, MinSamples: 1,
+		Clock: clock, Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := NewTarget(Config{
+		Mode: ModeOPF, MaxPending: 256,
+		Clock: clock, Autotune: ctrl, Telemetry: reg,
+	}, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tgt.Autotune() != ctrl {
+		t.Fatal("Autotune() does not return the configured controller")
+	}
+
+	tc, tcSess := pair(t, tgt, tcCfg(4, 16))
+	ls, _ := pair(t, tgt, lsCfg())
+	tenant := tc.Tenant()
+
+	drain := func() {
+		t.Helper()
+		for i := 0; i < 4; i++ {
+			err := tc.Submit(hostqp.IO{
+				Op: nvme.OpWrite, LBA: uint64(i), Blocks: 1, Data: make([]byte, 512),
+				Done: func(hostqp.Result) {},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	// First drain primes the tenant; with CooldownDrains 1 its verdict is
+	// always cold (the interval holds no samples) and leaves no overrides.
+	drain()
+	if w := tgt.pm.TenantWindow(tenant); w != 0 {
+		t.Fatalf("override after cold verdict = %d, want none", w)
+	}
+
+	// LS traffic lands on the controller's signal — and only LS traffic:
+	// the TC drain above completed 4 writes without touching it.
+	for i := 0; i < 8; i++ {
+		err := ls.Submit(hostqp.IO{
+			Op: nvme.OpRead, LBA: 0, Blocks: 1,
+			Done: func(hostqp.Result) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if good, bad := ctrl.Signal().Counts(); good != 0 || bad != 8 {
+		t.Fatalf("LS signal = (%d good, %d bad), want (0, 8)", good, bad)
+	}
+
+	// The next drain sees burn 10x the budget: multiplicative back-off
+	// from the static bound, actuated as PM valve + admission cap.
+	drain()
+	if w := ctrl.WindowFor(tenant); w != 8 {
+		t.Fatalf("controller window = %d, want 8 (16 halved)", w)
+	}
+	if w := tgt.pm.TenantWindow(tenant); w != 8 {
+		t.Fatalf("PM valve override = %d, want 8", w)
+	}
+	if limit := tgt.pm.TenantCap(tenant); limit != 64 {
+		t.Fatalf("PM admission cap = %d, want 64 (window x factor 8)", limit)
+	}
+	if n := len(reg.AutotuneLog()); n != 2 {
+		t.Fatalf("decision log has %d entries, want 2 (cold, shrink)", n)
+	}
+
+	// Teardown forgets the tenant: the recycled ID's next owner must not
+	// inherit a window shrunk for this one's behavior.
+	tgt.CloseSession(tcSess)
+	if w := ctrl.WindowFor(tenant); w != 16 {
+		t.Fatalf("controller window after Forget = %d, want MaxWindow 16", w)
+	}
+	if w, limit := tgt.pm.TenantWindow(tenant), tgt.pm.TenantCap(tenant); w != 0 || limit != 0 {
+		t.Fatalf("PM overrides after Forget = (%d, %d), want cleared", w, limit)
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"time"
 
+	"nvmeopf/internal/autotune"
 	"nvmeopf/internal/core"
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
@@ -99,6 +100,13 @@ type Config struct {
 	// correlation. Nil disables latency recording; counters are
 	// unaffected.
 	Clock func() int64
+	// Autotune optionally attaches an adaptive drain-window controller
+	// owned by this target's reactor shard: it is bound to the PM, fed
+	// every drain completion, and fed LS service latencies (requires
+	// Clock for the latter). Nil leaves the static window configuration
+	// untouched — behavior is bit-identical to a target without the
+	// field.
+	Autotune *autotune.Controller
 	// TenantBase and TenantStride carve the shared 0..255 tenant-ID space
 	// between shard-partitioned targets: this target assigns TenantBase,
 	// TenantBase+TenantStride, TenantBase+2*TenantStride, … so sibling
@@ -204,6 +212,10 @@ func NewTarget(cfg Config, backend Backend) (*Target, error) {
 	})
 	pm.SetTelemetry(cfg.Telemetry)
 	pm.SetTrace(cfg.Trace)
+	if cfg.Autotune != nil {
+		cfg.Autotune.Bind(pm)
+		pm.SetDrainHook(cfg.Autotune.OnDrainComplete)
+	}
 	return &Target{
 		cfg:        cfg,
 		backends:   map[uint32]Backend{ns.ID: backend},
@@ -250,6 +262,10 @@ func (t *Target) PMStats() core.TargetPMStats { return t.pm.Stats() }
 // with (nil when telemetry is disabled).
 func (t *Target) Telemetry() *telemetry.Registry { return t.cfg.Telemetry }
 
+// Autotune returns the adaptive drain-window controller this target was
+// configured with (nil when adaptation is off).
+func (t *Target) Autotune() *autotune.Controller { return t.cfg.Autotune }
+
 // Mode returns the target's operating mode.
 func (t *Target) Mode() Mode { return t.cfg.Mode }
 
@@ -283,6 +299,12 @@ func (t *Target) CloseSession(s *Session) {
 	}
 	t.stats.Disconnects++
 	t.stats.TeardownDrops += int64(len(dropped))
+	if t.cfg.Autotune != nil {
+		// Drop the controller's loop state and clear its PM overrides: the
+		// tenant ID recycles, and the next owner must not inherit a window
+		// shrunk for this one's behavior.
+		t.cfg.Autotune.Forget(s.tenant)
+	}
 	t.cfg.Telemetry.IncDisconnect()
 	t.cfg.Telemetry.AddTeardownDrops(int64(len(dropped)))
 	if t.cfg.Trace != nil {
@@ -569,6 +591,11 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 		var svcLat int64 = -1 // <0 skips the latency sample
 		if t.cfg.Clock != nil && req.arrivedAt != 0 {
 			svcLat = t.cfg.Clock() - req.arrivedAt
+		}
+		if t.cfg.Autotune != nil && svcLat >= 0 && req.prio.LatencySensitive() {
+			// Feed the controller's LS signal with the target-side service
+			// latency — the quantity its objective is declared against.
+			t.cfg.Autotune.ObserveLS(svcLat)
 		}
 		t.cfg.Telemetry.IncCompleted(tenant, req.prio, svcLat, int64(len(data)), st.OK())
 		if t.cfg.Trace != nil {

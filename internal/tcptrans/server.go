@@ -35,6 +35,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"nvmeopf/internal/autotune"
 	"nvmeopf/internal/bdev"
 	"nvmeopf/internal/core"
 	"nvmeopf/internal/nvme"
@@ -99,6 +100,14 @@ type ServerConfig struct {
 	// after Trace; attach it to Telemetry with SetRecorder to serve
 	// /debug/trace). Nil disables.
 	Recorder *telemetry.Recorder
+	// Autotune enables the closed-loop adaptive drain-window controller:
+	// each reactor shard owns one autotune.Controller (fed by its own
+	// target's drain completions and LS service latencies), and all shards
+	// share one LS signal so a TC tenant backs off for LS pain anywhere on
+	// the target. The config's Clock/Telemetry/Signal fields are filled in
+	// from the server's when unset. Nil runs the static windows
+	// bit-identically to a server without the field.
+	Autotune *autotune.Config
 }
 
 // shard is one reactor: a goroutine that solely owns one targetqp.Target
@@ -169,6 +178,21 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 		conns: make(map[net.Conn]struct{}),
 	}
 	clock := func() int64 { return time.Now().UnixNano() }
+	// Adaptive windows: one controller per shard (owned by its reactor,
+	// like the PM it drives), all reading one shared LS signal.
+	var atCfg autotune.Config
+	if cfg.Autotune != nil {
+		atCfg = *cfg.Autotune
+		if atCfg.Clock == nil {
+			atCfg.Clock = clock
+		}
+		if atCfg.Telemetry == nil {
+			atCfg.Telemetry = cfg.Telemetry
+		}
+		if atCfg.Signal == nil {
+			atCfg.Signal = autotune.NewSignal(atCfg.ObjectiveNS)
+		}
+	}
 	// The global admission cap and LS headroom are target-wide budgets;
 	// each shard polices an even (ceiling) slice of them.
 	perShard := func(total int) int {
@@ -179,6 +203,14 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{srv: s, events: make(chan func(), 1024)}
+		var ctrl *autotune.Controller
+		if cfg.Autotune != nil {
+			ctrl, err = autotune.New(atCfg)
+			if err != nil {
+				ln.Close()
+				return nil, err
+			}
+		}
 		tgt, err := targetqp.NewTarget(targetqp.Config{
 			Mode:                cfg.Mode,
 			MaxPending:          cfg.MaxPending,
@@ -190,6 +222,7 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 			Trace:               cfg.Trace,
 			Recorder:            cfg.Recorder,
 			Clock:               clock,
+			Autotune:            ctrl,
 			TenantBase:          i,
 			TenantStride:        cfg.Shards,
 			PooledPayloads:      true,

@@ -9,7 +9,6 @@ import (
 	"sort"
 	"strings"
 	"sync"
-	"time"
 
 	"nvmeopf/internal/proto"
 )
@@ -21,6 +20,7 @@ import (
 //	/debug/tenants  JSON: live per-tenant instrument table
 //	/debug/windows  JSON: recent window-optimizer decisions
 //	/debug/slo      JSON: per-tenant SLO state and burn rates
+//	/debug/autotune JSON: adaptive-controller state and decision log
 //	/debug/trace    JSONL: flight-recorder dump (when one is attached)
 //	/debug/pprof/   net/http/pprof profiles from the live process
 //
@@ -30,7 +30,7 @@ import (
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
-		r.TickSLO(time.Now().UnixNano())
+		r.TickSLO(r.now())
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprint(w, r.PrometheusText())
 	})
@@ -49,7 +49,14 @@ func (r *Registry) Handler() http.Handler {
 		writeJSON(w, struct {
 			Windows []string      `json:"windows"`
 			SLOs    []SLOSnapshot `json:"slos"`
-		}{sloWindowNames(), r.SLOs(time.Now().UnixNano())})
+		}{sloWindowNames(), r.SLOs(r.now())})
+	})
+	mux.HandleFunc("/debug/autotune", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, struct {
+			Actions   []string              `json:"actions"`
+			Tenants   []AutotuneTenantState `json:"tenants"`
+			Decisions []AutotuneDecision    `json:"decisions"`
+		}{AutotuneActions, r.AutotuneStates(), r.AutotuneLog()})
 	})
 	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
 		rec := r.Recorder()
@@ -79,6 +86,7 @@ func sloWindowNames() []string {
 func writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false) // debug payloads, not HTML: keep "<" and ">" readable
 	enc.SetIndent("", "  ")
 	_ = enc.Encode(v)
 }
@@ -177,7 +185,7 @@ func (r *Registry) PrometheusText() string {
 			fmt.Fprintf(&b, "nvmeopf_tenant_latency_hist_ns_count{tenant=\"%d\",class=\"%s\"} %d\n", t.Tenant, c, hs.Count)
 		}
 	}
-	if slos := r.SLOs(time.Now().UnixNano()); len(slos) > 0 {
+	if slos := r.SLOs(r.now()); len(slos) > 0 {
 		b.WriteString("# HELP nvmeopf_tenant_slo_objective_ns Declared per-tenant latency objective.\n" +
 			"# TYPE nvmeopf_tenant_slo_objective_ns gauge\n")
 		for _, s := range slos {
@@ -203,6 +211,30 @@ func (r *Registry) PrometheusText() string {
 			}
 			if s.BurnTotal >= 0 {
 				fmt.Fprintf(&b, "nvmeopf_tenant_slo_burn_rate{tenant=\"%d\",window=\"total\"} %.4f\n", s.Tenant, s.BurnTotal)
+			}
+		}
+	}
+	if states := r.AutotuneStates(); len(states) > 0 {
+		b.WriteString("# HELP nvmeopf_autotune_window Adaptive drain-window controller's current window per tenant.\n" +
+			"# TYPE nvmeopf_autotune_window gauge\n")
+		for _, s := range states {
+			fmt.Fprintf(&b, "nvmeopf_autotune_window{tenant=\"%d\"} %d\n", s.Tenant, s.Window)
+		}
+		b.WriteString("# HELP nvmeopf_autotune_cap Admission cap set by the adaptive controller (0: cleared).\n" +
+			"# TYPE nvmeopf_autotune_cap gauge\n")
+		for _, s := range states {
+			fmt.Fprintf(&b, "nvmeopf_autotune_cap{tenant=\"%d\"} %d\n", s.Tenant, s.Cap)
+		}
+		b.WriteString("# HELP nvmeopf_autotune_burn_rate Interval LS burn rate at the last controller decision.\n" +
+			"# TYPE nvmeopf_autotune_burn_rate gauge\n")
+		for _, s := range states {
+			fmt.Fprintf(&b, "nvmeopf_autotune_burn_rate{tenant=\"%d\"} %.4f\n", s.Tenant, s.Last.BurnRate)
+		}
+		b.WriteString("# HELP nvmeopf_autotune_decisions_total Controller decisions by action.\n" +
+			"# TYPE nvmeopf_autotune_decisions_total counter\n")
+		for _, s := range states {
+			for i, a := range AutotuneActions {
+				fmt.Fprintf(&b, "nvmeopf_autotune_decisions_total{tenant=\"%d\",action=\"%s\"} %d\n", s.Tenant, a, s.Decisions[i])
 			}
 		}
 	}

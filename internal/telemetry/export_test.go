@@ -291,3 +291,237 @@ func TestServeAndClose(t *testing.T) {
 		t.Fatalf("double close: %v", err)
 	}
 }
+
+// fetchJSON fetches one debug endpoint and returns the exact body.
+func fetchJSON(t *testing.T, r *Registry, path string) string {
+	t.Helper()
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// diffGolden fails with the first diverging line of a golden comparison.
+func diffGolden(t *testing.T, got, want string) {
+	t.Helper()
+	if got == want {
+		return
+	}
+	gl, wl := strings.Split(got, "\n"), strings.Split(want, "\n")
+	for i := 0; i < len(gl) && i < len(wl); i++ {
+		if gl[i] != wl[i] {
+			t.Fatalf("line %d:\n got: %q\nwant: %q", i+1, gl[i], wl[i])
+		}
+	}
+	t.Fatalf("length mismatch: got %d lines, want %d", len(gl), len(wl))
+}
+
+// sloGoldenText is the exact /debug/slo body for the registry built in
+// TestDebugSLOGolden. Field order and shape are a contract: dashboards
+// parse this, so any change must be deliberate.
+const sloGoldenText = `{
+  "windows": [
+    "1m",
+    "5m",
+    "1h",
+    "total"
+  ],
+  "slos": [
+    {
+      "tenant": 2,
+      "objective_ns": 1000000,
+      "budget_ppm": 10000,
+      "good": 98,
+      "violations": 2,
+      "compliance": 0.98,
+      "burn_rate": [
+        -1,
+        4,
+        4
+      ],
+      "burn_total": 2
+    }
+  ]
+}
+`
+
+func TestDebugSLOGolden(t *testing.T) {
+	r := New()
+	const t0 = int64(10_000_000_000_000) // fixed virtual epoch: no wall clock
+	r.SetClock(func() int64 { return t0 + int64(2*time.Minute) })
+	defer r.SetClock(nil)
+	r.SetSLO(2, time.Millisecond, 0.99) // 10000 ppm error budget
+	// 50 in-objective completions checkpointed at t0: the 1m window has no
+	// checkpoint young enough (burn -1), the 5m and 1h windows measure the
+	// delta past t0.
+	for i := 0; i < 50; i++ {
+		r.IncCompleted(2, 1, 500_000, 0, true)
+	}
+	r.TickSLO(t0)
+	// Then 48 good and 2 violating completions inside the trailing window:
+	// interval violation fraction 2/50 = 4x the 1% budget, lifetime
+	// fraction 2/100 = 2x.
+	for i := 0; i < 48; i++ {
+		r.IncCompleted(2, 1, 500_000, 0, true)
+	}
+	r.IncCompleted(2, 1, 2_000_000, 0, true)
+	r.IncCompleted(2, 1, 3_000_000, 0, true)
+	diffGolden(t, fetchJSON(t, r, "/debug/slo"), sloGoldenText)
+}
+
+// autotuneGoldenText is the exact /debug/autotune body for the decisions
+// recorded in TestDebugAutotuneGolden: per-action counters in
+// AutotuneActions order, tenants sorted, decisions oldest first.
+const autotuneGoldenText = `{
+  "actions": [
+    "shrink",
+    "grow",
+    "hold",
+    "cold"
+  ],
+  "tenants": [
+    {
+      "tenant": 3,
+      "window": 16,
+      "cap": 128,
+      "decisions": [
+        1,
+        0,
+        0,
+        1
+      ],
+      "last": {
+        "tenant": 3,
+        "action": "shrink",
+        "window": 16,
+        "prev_window": 32,
+        "cap": 128,
+        "burn_rate": 2.5,
+        "ls_p99_ns": 250000,
+        "fill": 0.75,
+        "samples": 64,
+        "reason": "burn 2.50 > 1.00: multiplicative back-off",
+        "at": 200,
+        "seq": 2
+      }
+    },
+    {
+      "tenant": 5,
+      "window": 12,
+      "cap": 96,
+      "decisions": [
+        0,
+        1,
+        0,
+        0
+      ],
+      "last": {
+        "tenant": 5,
+        "action": "grow",
+        "window": 12,
+        "prev_window": 8,
+        "cap": 96,
+        "burn_rate": 0.25,
+        "ls_p99_ns": 90000,
+        "fill": 1,
+        "samples": 32,
+        "reason": "burn 0.25 < 0.50, fill 1.00: additive grow",
+        "at": 300,
+        "seq": 3
+      }
+    }
+  ],
+  "decisions": [
+    {
+      "tenant": 3,
+      "action": "cold",
+      "window": 32,
+      "prev_window": 32,
+      "cap": 0,
+      "burn_rate": -1,
+      "ls_p99_ns": -1,
+      "fill": 0,
+      "samples": 0,
+      "reason": "interval samples 0 < 8: static bounds",
+      "at": 100,
+      "seq": 1
+    },
+    {
+      "tenant": 3,
+      "action": "shrink",
+      "window": 16,
+      "prev_window": 32,
+      "cap": 128,
+      "burn_rate": 2.5,
+      "ls_p99_ns": 250000,
+      "fill": 0.75,
+      "samples": 64,
+      "reason": "burn 2.50 > 1.00: multiplicative back-off",
+      "at": 200,
+      "seq": 2
+    },
+    {
+      "tenant": 5,
+      "action": "grow",
+      "window": 12,
+      "prev_window": 8,
+      "cap": 96,
+      "burn_rate": 0.25,
+      "ls_p99_ns": 90000,
+      "fill": 1,
+      "samples": 32,
+      "reason": "burn 0.25 < 0.50, fill 1.00: additive grow",
+      "at": 300,
+      "seq": 3
+    }
+  ]
+}
+`
+
+func TestDebugAutotuneGolden(t *testing.T) {
+	r := New()
+	r.RecordAutotune(AutotuneDecision{
+		Tenant: 3, Action: "cold", Window: 32, PrevWindow: 32,
+		BurnRate: -1, LSP99NS: -1,
+		Reason: "interval samples 0 < 8: static bounds", At: 100,
+	})
+	r.RecordAutotune(AutotuneDecision{
+		Tenant: 3, Action: "shrink", Window: 16, PrevWindow: 32, Cap: 128,
+		BurnRate: 2.5, LSP99NS: 250_000, Fill: 0.75, Samples: 64,
+		Reason: "burn 2.50 > 1.00: multiplicative back-off", At: 200,
+	})
+	r.RecordAutotune(AutotuneDecision{
+		Tenant: 5, Action: "grow", Window: 12, PrevWindow: 8, Cap: 96,
+		BurnRate: 0.25, LSP99NS: 90_000, Fill: 1, Samples: 32,
+		Reason: "burn 0.25 < 0.50, fill 1.00: additive grow", At: 300,
+	})
+	diffGolden(t, fetchJSON(t, r, "/debug/autotune"), autotuneGoldenText)
+}
+
+// TestAutotuneLogWraps overfills the decision ring and checks it keeps
+// exactly the newest autotuneLogCap decisions, oldest first.
+func TestAutotuneLogWraps(t *testing.T) {
+	r := New()
+	for i := 0; i < autotuneLogCap+5; i++ {
+		r.RecordAutotune(AutotuneDecision{Tenant: 1, Action: "hold", At: int64(i)})
+	}
+	log := r.AutotuneLog()
+	if len(log) != autotuneLogCap {
+		t.Fatalf("log length = %d, want %d", len(log), autotuneLogCap)
+	}
+	if log[0].Seq != 6 || log[len(log)-1].Seq != uint64(autotuneLogCap+5) {
+		t.Fatalf("wrap kept wrong range: first seq %d, last seq %d",
+			log[0].Seq, log[len(log)-1].Seq)
+	}
+}

@@ -113,8 +113,43 @@ type Registry struct {
 	sloMu     sync.Mutex
 	sloChecks map[uint8][]sloCheckpoint // ring per tenant, oldest first
 
+	// Adaptive drain-window controller state (see autotune.go).
+	atMu    sync.Mutex
+	atSeq   uint64
+	atLog   []AutotuneDecision // ring of the last autotuneLogCap decisions
+	atPos   int
+	atState map[uint8]*autotuneTenant
+
+	// clock overrides the exporter's time source (nil: wall clock).
+	clock atomic.Pointer[func() int64]
+
 	// rec is the attached flight recorder (nil: /debug/trace disabled).
 	rec atomic.Pointer[Recorder]
+}
+
+// SetClock overrides the time source the HTTP exporter stamps scrapes
+// with (SLO checkpoints, burn-rate edges). Simulated deployments pass
+// their virtual clock; golden tests pass a fixed one. Nil restores the
+// wall clock.
+func (r *Registry) SetClock(fn func() int64) {
+	if r == nil {
+		return
+	}
+	if fn == nil {
+		r.clock.Store(nil)
+		return
+	}
+	r.clock.Store(&fn)
+}
+
+// now reads the registry's time source.
+func (r *Registry) now() int64 {
+	if r != nil {
+		if p := r.clock.Load(); p != nil {
+			return (*p)()
+		}
+	}
+	return time.Now().UnixNano()
 }
 
 // New creates an enabled registry.

@@ -64,6 +64,29 @@ type Spec struct {
 	// WarmupUntil / StopAt are virtual-clock bounds: completions inside
 	// [WarmupUntil, StopAt] are recorded; submission stops at StopAt.
 	WarmupUntil, StopAt int64
+	// StartAt delays the first submission until the virtual clock reaches
+	// it (0: submit as soon as the session connects). Phased experiments
+	// use it to switch a tenant on mid-run; pair it with a scheduled
+	// Kick, since a connected-but-idle session has no completion to
+	// re-enter the loop from.
+	StartAt int64
+	// SLOObjectiveNS, when positive, counts every recorded completion
+	// against a latency objective: Result.SLOGood/SLOBad accumulate
+	// exact (unbucketed) within/over-objective counts for end-to-end
+	// burn-rate math.
+	SLOObjectiveNS int64
+	// Defer, when set, schedules a callback d nanoseconds ahead on the
+	// driving clock (experiments wire it to the sim engine). With Defer
+	// set, a busy rejection from target admission control switches the
+	// loop to slow-start probing: one command per BusyBackoffNS tick while
+	// the valve stays shut, doubling per successful tick once admissions
+	// resume. Blind closed-loop refills against an admission cap are a
+	// reject storm — queue-depth-sized command bursts every backoff period
+	// that occupy the target poller and pollute its latency telemetry.
+	Defer func(d int64, fn func())
+	// BusyBackoffNS is the probe interval after a busy rejection (default
+	// 200µs). Only meaningful with Defer set.
+	BusyBackoffNS int64
 	// Seed for the op-mix / random-address stream.
 	Seed uint64
 	// UniqueBuffers allocates a fresh write payload per request (needed
@@ -80,6 +103,26 @@ type Result struct {
 	Submitted int64
 	Completed int64
 	Errors    int64
+	// Busy counts target admission pushback (retried after backoff when
+	// Spec.Defer is set; those retries are not errors).
+	Busy int64
+	// SLOGood/SLOBad count recorded completions within/over
+	// Spec.SLOObjectiveNS (both zero when no objective is set). Exact
+	// counts, not histogram-bucket approximations.
+	SLOGood int64
+	SLOBad  int64
+}
+
+// SLOBurn returns the end-to-end error-budget burn rate against a
+// compliance target expressed as violations-per-million (e.g. 1000 for
+// 99.9%): observed violation fraction over budget fraction. -1 when
+// nothing was recorded against an objective.
+func (r *Result) SLOBurn(budgetPPM int64) float64 {
+	total := r.SLOGood + r.SLOBad
+	if total <= 0 || budgetPPM <= 0 {
+		return -1
+	}
+	return (float64(r.SLOBad) / float64(total)) / (float64(budgetPPM) / 1e6)
 }
 
 // MeasuredNanos returns the measurement window length.
@@ -115,6 +158,8 @@ type Runner struct {
 	res     Result
 	done    bool
 	flushed bool
+	backoff bool // a probe tick is armed
+	probe   int  // slow-start refill budget per tick
 }
 
 // NewRunner prepares a runner over a connected (or connecting) session.
@@ -138,15 +183,26 @@ func NewRunner(sess *hostqp.Session, clock func() int64, spec Spec) (*Runner, er
 	return r, nil
 }
 
-// Start begins submitting once the session connects.
+// Start begins submitting once the session connects (and, with StartAt
+// set, once the clock reaches it — schedule a Kick at StartAt).
 func (r *Runner) Start() {
-	r.sess.OnConnect(func() {
-		for i := 0; i < r.spec.QueueDepth && r.sess.CanSubmit(); i++ {
-			if !r.submitOne() {
-				break
-			}
+	r.sess.OnConnect(func() { r.fill() })
+}
+
+// Kick (re)fills the queue now. Phased experiments schedule it at
+// Spec.StartAt; idempotent and harmless on an already-full runner.
+func (r *Runner) Kick() { r.fill() }
+
+// fill tops the closed loop up to the queue depth.
+func (r *Runner) fill() {
+	if r.clock() < r.spec.StartAt {
+		return
+	}
+	for i := 0; i < r.spec.QueueDepth && r.sess.CanSubmit(); i++ {
+		if !r.submitOne() {
+			break
 		}
-	})
+	}
 }
 
 // Result returns the measurements so far.
@@ -238,9 +294,50 @@ func (r *Runner) flushTail() {
 	}
 }
 
+// armProbe schedules one slow-start refill tick: submit `probe` commands,
+// double the budget, and re-arm while the loop is below its depth. Busy
+// completions reset the budget to one, so a shut valve costs a single
+// probe command per tick while an opened one refills exponentially.
+func (r *Runner) armProbe() {
+	if r.backoff || r.done {
+		return
+	}
+	r.backoff = true
+	d := r.spec.BusyBackoffNS
+	if d <= 0 {
+		d = 200_000
+	}
+	r.spec.Defer(d, func() {
+		r.backoff = false
+		if r.done || r.clock() < r.spec.StartAt {
+			return
+		}
+		for i := 0; i < r.probe && r.sess.CanSubmit(); i++ {
+			if !r.submitOne() {
+				return
+			}
+		}
+		if r.probe < r.spec.QueueDepth {
+			r.probe *= 2
+		}
+		if r.sess.CanSubmit() {
+			r.armProbe()
+		}
+	})
+}
+
 // onDone records a completion and keeps the loop closed.
 func (r *Runner) onDone(res hostqp.Result) {
 	r.res.Completed++
+	if res.Status == nvme.StatusBusy && r.spec.Defer != nil {
+		// Admission pushback is flow control, not a failure: the command
+		// never executed. Collapse to a single probe per tick and let the
+		// probe timer rediscover the admissible depth.
+		r.res.Busy++
+		r.probe = 1
+		r.armProbe()
+		return
+	}
 	if !res.Status.OK() {
 		r.res.Errors++
 	}
@@ -248,6 +345,13 @@ func (r *Runner) onDone(res hostqp.Result) {
 		bytes := int64(r.spec.Blocks) * int64(r.spec.BlockSize)
 		r.res.Recorded.Add(1, bytes)
 		r.res.Latency.Record(res.Latency())
+		if obj := r.spec.SLOObjectiveNS; obj > 0 {
+			if res.Latency() > obj {
+				r.res.SLOBad++
+			} else {
+				r.res.SLOGood++
+			}
+		}
 	}
 	r.submitOne()
 }

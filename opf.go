@@ -33,6 +33,7 @@ package nvmeopf
 import (
 	"time"
 
+	"nvmeopf/internal/autotune"
 	"nvmeopf/internal/core"
 	"nvmeopf/internal/experiments"
 	"nvmeopf/internal/hostqp"
@@ -153,6 +154,24 @@ func OptimalWindow(kind string, gbps float64, tcInitiators, qd int) int {
 	}
 	return core.OptimalWindow(k, gbps, tcInitiators, qd)
 }
+
+// AutotuneConfig parameterizes the closed-loop adaptive drain-window
+// controller: a per-shard feedback loop that, on every drain completion,
+// re-computes a tenant's TC drain window and admission cap from the
+// observed LS service-latency SLO burn rate and drain occupancy —
+// multiplicative back-off while the LS error budget burns too fast,
+// additive growth while there is headroom, clamped to the static
+// formula's bounds (cold or healthy tenants run the static configuration
+// bit-identically). Attach via ServerConfig.Autotune (one controller per
+// reactor shard, sharing one LS signal) or SimOptions.Autotune (one per
+// simulated target node); only ObjectiveNS is required. Decisions are
+// visible on /debug/autotune and /metrics when a Telemetry registry is
+// attached.
+type AutotuneConfig = autotune.Config
+
+// AutotuneBudgetPPM converts an SLO compliance target (e.g. 0.999) to the
+// violations-per-million error budget AutotuneConfig.BudgetPPM expects.
+func AutotuneBudgetPPM(target float64) int64 { return autotune.BudgetPPMForTarget(target) }
 
 // SimCluster is a deterministic simulated deployment.
 type SimCluster = simcluster.Cluster
