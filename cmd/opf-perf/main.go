@@ -116,6 +116,7 @@ func main() {
 		duration = flag.Duration("duration", 10*time.Second, "run duration")
 		span     = flag.Uint64("span", 1<<16, "LBA span per connection")
 		metrics  = flag.String("metrics-addr", "", "serve host-side /metrics and /debug endpoints on this address (empty: off)")
+		telInt   = flag.Duration("telemetry-interval", 0, "emit in-band TelemetryUpdate e2e feedback to the target at this cadence (0: off, wire-identical to builds without the channel)")
 		traceOut = flag.String("trace-dump", "", "write a host-side flight-recorder dump (JSONL) to this file at exit; pair with the target's /debug/trace for opf-trace")
 	)
 	flag.Parse()
@@ -152,10 +153,10 @@ func main() {
 		if i >= *ls {
 			class, depth, w = proto.PrioThroughputCritical, *qd, *window
 		}
-		conn, err := tcptrans.Dial(*addr, hostqp.Config{
+		conn, err := tcptrans.DialWith(*addr, hostqp.Config{
 			Class: class, Window: w, QueueDepth: depth, NSID: 1,
 			Telemetry: tel, Recorder: rec,
-		})
+		}, tcptrans.DialConfig{TelemetryInterval: *telInt})
 		if err != nil {
 			log.Fatalf("dial %d: %v", i, err)
 		}

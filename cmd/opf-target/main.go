@@ -46,6 +46,8 @@ func main() {
 		auto    = flag.Bool("autotune", false, "adapt TC drain windows to the LS SLO (-slo must be set); off: static windows, bit-identical behavior")
 		autoMin = flag.Int("autotune-min-window", 0, "adaptive window floor (0: 1)")
 		autoMax = flag.Int("autotune-max-window", 0, "adaptive window ceiling and cold/healthy fallback (0: 32)")
+		autoE2E = flag.Bool("autotune-e2e", false, "fold host-reported e2e latency (in-band TelemetryUpdate deltas) into -autotune decisions; off: service-side signal only, bit-identical behavior")
+		e2eSLO  = flag.Duration("autotune-e2e-slo", 0, "end-to-end latency objective for -autotune-e2e (0: same as -slo)")
 
 		maxPendingTenant = flag.Int("max-pending-tenant", 0, "per-tenant pending-request cap: excess answered StatusBusy (0: off)")
 		maxPendingGlobal = flag.Int("max-pending-global", 0, "global pending-request cap: excess answered StatusBusy (0: off)")
@@ -102,11 +104,15 @@ func main() {
 			log.Fatalf("-autotune requires -slo (the LS latency objective the controller enforces)")
 		}
 		atCfg = &autotune.Config{
-			ObjectiveNS: sloObj.Nanoseconds(),
-			BudgetPPM:   autotune.BudgetPPMForTarget(*sloTarget),
-			MinWindow:   *autoMin,
-			MaxWindow:   *autoMax,
+			ObjectiveNS:    sloObj.Nanoseconds(),
+			BudgetPPM:      autotune.BudgetPPMForTarget(*sloTarget),
+			MinWindow:      *autoMin,
+			MaxWindow:      *autoMax,
+			E2E:            *autoE2E,
+			E2EObjectiveNS: e2eSLO.Nanoseconds(),
 		}
+	} else if *autoE2E {
+		log.Fatalf("-autotune-e2e requires -autotune")
 	}
 	srv, err := tcptrans.Listen(*addr, tcptrans.ServerConfig{
 		Mode:                m,
@@ -133,7 +139,7 @@ func main() {
 			log.Fatalf("metrics: %v", merr)
 		}
 		defer exp.Close()
-		log.Printf("telemetry on http://%s/metrics (debug: /debug/tenants, /debug/windows, /debug/slo, /debug/autotune, /debug/trace, /debug/pprof/)", exp.Addr())
+		log.Printf("telemetry on http://%s/metrics (debug: /debug/tenants, /debug/windows, /debug/slo, /debug/autotune, /debug/e2e, /debug/trace, /debug/pprof/)", exp.Addr())
 	}
 	if *discovery != "" {
 		if derr := tcptrans.RegisterRemote(*discovery, *nqn, srv.Addr(), m); derr != nil {

@@ -47,6 +47,8 @@ type Signal struct {
 	objective atomic.Int64
 	good      atomic.Int64
 	bad       atomic.Int64
+	e2eGood   atomic.Int64
+	e2eBad    atomic.Int64
 	hist      telemetry.Hist
 }
 
@@ -72,6 +74,21 @@ func (s *Signal) Observe(latNS int64) {
 
 // Counts returns the cumulative within/over-objective sample counts.
 func (s *Signal) Counts() (good, bad int64) { return s.good.Load(), s.bad.Load() }
+
+// ObserveE2E adds host-observed end-to-end within/over-objective counts
+// (from TelemetryUpdate deltas, judged against the e2e objective at the
+// merge site). Thread-safe; inert unless a controller runs with Config.E2E.
+func (s *Signal) ObserveE2E(good, bad int64) {
+	if good > 0 {
+		s.e2eGood.Add(good)
+	}
+	if bad > 0 {
+		s.e2eBad.Add(bad)
+	}
+}
+
+// E2ECounts returns the cumulative e2e within/over-objective counts.
+func (s *Signal) E2ECounts() (good, bad int64) { return s.e2eGood.Load(), s.e2eBad.Load() }
 
 // Snapshot copies the latency histogram for interval-quantile math.
 func (s *Signal) Snapshot() telemetry.HistSnapshot { return s.hist.Snapshot() }
@@ -150,6 +167,18 @@ type Config struct {
 	// intervals means the LS signal is gone — no one is left to protect —
 	// which is the one cold condition that should clear the overrides.
 	DryIntervals int
+	// E2E folds the host-observed end-to-end term into the control law:
+	// within/over-objective counts fed through Signal.ObserveE2E join each
+	// decision, and the effective burn is the worse of the service and e2e
+	// burn rates. Off (the default) the law reads only the service signal
+	// and is bit-identical to a build without the feedback channel — e2e
+	// counts may still accumulate, they just never influence a decision.
+	E2E bool
+	// E2EObjectiveNS is the end-to-end latency objective host observations
+	// are judged against at the merge site (default: ObjectiveNS). An e2e
+	// objective normally sits above the service objective by the expected
+	// fabric round trip.
+	E2EObjectiveNS int64
 	// Clock stamps decisions (nanoseconds; virtual clocks work). Nil
 	// stamps zero.
 	Clock func() int64
@@ -203,6 +232,9 @@ func (cfg Config) withDefaults() Config {
 	if cfg.DryIntervals <= 0 {
 		cfg.DryIntervals = 3
 	}
+	if cfg.E2EObjectiveNS <= 0 {
+		cfg.E2EObjectiveNS = cfg.ObjectiveNS
+	}
 	return cfg
 }
 
@@ -223,15 +255,17 @@ func BudgetPPMForTarget(target float64) int64 {
 
 // tenantState is one tenant's loop state between decisions.
 type tenantState struct {
-	window   int
-	drains   int   // drain completions since the last decision
-	fillSum  int   // sum of completed batch sizes since the last decision
-	lastGood int64 // signal counters at the last decision
-	lastBad  int64
-	lastHist telemetry.HistSnapshot
-	primed   bool // baseline counters captured
-	dry      int  // consecutive zero-sample decision intervals
-	healthy  int  // consecutive healthy grow-eligible intervals
+	window      int
+	drains      int   // drain completions since the last decision
+	fillSum     int   // sum of completed batch sizes since the last decision
+	lastGood    int64 // signal counters at the last decision
+	lastBad     int64
+	lastE2EGood int64 // e2e signal counters at the last decision
+	lastE2EBad  int64
+	lastHist    telemetry.HistSnapshot
+	primed      bool // baseline counters captured
+	dry         int  // consecutive zero-sample decision intervals
+	healthy     int  // consecutive healthy grow-eligible intervals
 }
 
 // Controller is one shard's feedback loop. Not synchronized: drive it from
@@ -275,6 +309,18 @@ func (c *Controller) Signal() *Signal { return c.sig }
 // ObserveLS records one LS service latency into the signal. Thread-safe.
 func (c *Controller) ObserveLS(latNS int64) { c.sig.Observe(latNS) }
 
+// ObserveE2E feeds host-observed e2e within/over-objective counts into
+// the signal. Thread-safe; the control law ignores them unless Config.E2E
+// is set.
+func (c *Controller) ObserveE2E(good, bad int64) { c.sig.ObserveE2E(good, bad) }
+
+// E2EEnabled reports whether the e2e term participates in decisions.
+func (c *Controller) E2EEnabled() bool { return c.cfg.E2E }
+
+// E2EObjectiveNS returns the objective e2e observations are judged
+// against (for the merge site that splits deltas into good/bad).
+func (c *Controller) E2EObjectiveNS() int64 { return c.cfg.E2EObjectiveNS }
+
 // WindowFor returns the controller's current window for a tenant
 // (MaxWindow — the static bound — for tenants it has never decided on).
 func (c *Controller) WindowFor(t proto.TenantID) int {
@@ -308,6 +354,7 @@ func (c *Controller) OnDrainComplete(dc core.DrainCompletion) {
 		// decision judges this tenant's own interval, not history from
 		// before it connected.
 		st.lastGood, st.lastBad = c.sig.Counts()
+		st.lastE2EGood, st.lastE2EBad = c.sig.E2ECounts()
 		st.lastHist = c.sig.Snapshot()
 		st.primed = true
 	}
@@ -334,6 +381,22 @@ func (c *Controller) decide(t proto.TenantID, st *tenantState) {
 	if samples > 0 {
 		violFrac := float64(dBad) / float64(samples)
 		burn = violFrac / (float64(c.cfg.BudgetPPM) / 1e6)
+	}
+	eGood, eBad := c.sig.E2ECounts()
+	e2eTag := ""
+	if c.cfg.E2E {
+		// Fold the host-observed term in: the effective burn is the worse
+		// of the two signals, so an egress-only bottleneck — invisible to
+		// service latency by construction — still triggers back-off.
+		dEGood, dEBad := eGood-st.lastE2EGood, eBad-st.lastE2EBad
+		if eSamples := dEGood + dEBad; eSamples > 0 {
+			eBurn := (float64(dEBad) / float64(eSamples)) / (float64(c.cfg.BudgetPPM) / 1e6)
+			if eBurn > burn {
+				burn = eBurn
+				e2eTag = " [e2e]"
+			}
+			samples += eSamples
+		}
 	}
 
 	prev := st.window
@@ -371,10 +434,10 @@ func (c *Controller) decide(t proto.TenantID, st *tenantState) {
 		}
 		if st.window < prev {
 			action = "shrink"
-			reason = fmt.Sprintf("burn %.2f > %.2f: multiplicative back-off", burn, c.cfg.BurnShrink)
+			reason = fmt.Sprintf("burn %.2f > %.2f: multiplicative back-off%s", burn, c.cfg.BurnShrink, e2eTag)
 		} else {
 			action = "hold"
-			reason = fmt.Sprintf("burn %.2f > %.2f at floor %d", burn, c.cfg.BurnShrink, c.cfg.MinWindow)
+			reason = fmt.Sprintf("burn %.2f > %.2f at floor %d%s", burn, c.cfg.BurnShrink, c.cfg.MinWindow, e2eTag)
 		}
 	case burn < c.cfg.BurnGrow && st.window < c.cfg.MaxWindow && fill >= c.cfg.GrowFill:
 		st.healthy++
@@ -414,6 +477,7 @@ func (c *Controller) decide(t proto.TenantID, st *tenantState) {
 
 	capv := c.apply(t, st.window)
 	st.lastGood, st.lastBad = good, bad
+	st.lastE2EGood, st.lastE2EBad = eGood, eBad
 	st.lastHist = cur
 	c.cfg.Telemetry.RecordAutotune(telemetry.AutotuneDecision{
 		Tenant:     t,

@@ -468,3 +468,80 @@ func TestSharedSignalAcrossControllers(t *testing.T) {
 		t.Fatalf("shard-B window = %d, want 8 (shrunk by shard-A pain)", w)
 	}
 }
+
+// TestE2ETermIgnoredWhenDisabled pins the off-is-bit-identical contract:
+// e2e pain fed into the signal must not move a controller built without
+// Config.E2E.
+func TestE2ETermIgnoredWhenDisabled(t *testing.T) {
+	c, act, _ := testController(t, nil)
+	drain(c, 5, 1, 16) // prime
+	observe(c, 8, 0)   // healthy service signal
+	c.ObserveE2E(0, 100)
+	drain(c, 5, 1, 16)
+	if w := c.WindowFor(5); w != 16 {
+		t.Fatalf("window = %d after ignored e2e pain, want 16", w)
+	}
+	if act.wins[5] != 0 || act.caps[5] != 0 {
+		t.Fatalf("overrides = (%d, %d), want cleared", act.wins[5], act.caps[5])
+	}
+}
+
+// TestE2ETermTriggersBackoff is the egress-bottleneck shape: the service
+// signal is healthy (the target finishes fast) while the host sees e2e
+// violations — only the e2e term can justify back-off.
+func TestE2ETermTriggersBackoff(t *testing.T) {
+	c, act, _ := testController(t, func(cfg *Config) { cfg.E2E = true })
+	drain(c, 5, 1, 16) // prime
+	observe(c, 8, 0)   // service side: all good
+	c.ObserveE2E(0, 100)
+	drain(c, 5, 1, 16)
+	if w := c.WindowFor(5); w != 8 {
+		t.Fatalf("window = %d, want 8 (halved on e2e burn)", w)
+	}
+	if act.wins[5] != 8 {
+		t.Fatalf("actuated window = %d, want 8", act.wins[5])
+	}
+}
+
+// TestE2ETermCarriesSampleGate asserts e2e samples alone satisfy the
+// cold-interval gate: a tenant whose service signal is empty still gets a
+// verdict from host observations.
+func TestE2ETermCarriesSampleGate(t *testing.T) {
+	c, _, _ := testController(t, func(cfg *Config) { cfg.E2E = true })
+	drain(c, 5, 1, 16) // prime
+	c.ObserveE2E(0, 100)
+	drain(c, 5, 1, 16)
+	if w := c.WindowFor(5); w != 8 {
+		t.Fatalf("window = %d, want 8 (e2e-only interval must decide)", w)
+	}
+}
+
+// TestE2EHealthyDoesNotShrink: a healthy e2e stream must not override a
+// healthy service stream into back-off.
+func TestE2EHealthyDoesNotShrink(t *testing.T) {
+	c, _, _ := testController(t, func(cfg *Config) { cfg.E2E = true })
+	drain(c, 5, 1, 16)
+	observe(c, 8, 0)
+	c.ObserveE2E(100, 0)
+	drain(c, 5, 1, 16)
+	if w := c.WindowFor(5); w != 16 {
+		t.Fatalf("window = %d, want 16 (both signals healthy)", w)
+	}
+}
+
+func TestE2EObjectiveDefault(t *testing.T) {
+	c, err := New(Config{ObjectiveNS: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.E2EObjectiveNS(); got != 1000 {
+		t.Fatalf("default e2e objective = %d, want the service objective", got)
+	}
+	c, err = New(Config{ObjectiveNS: 1000, E2EObjectiveNS: 5000, E2E: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.E2EEnabled() || c.E2EObjectiveNS() != 5000 {
+		t.Fatalf("explicit e2e objective lost: enabled=%v obj=%d", c.E2EEnabled(), c.E2EObjectiveNS())
+	}
+}

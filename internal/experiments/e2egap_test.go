@@ -1,0 +1,74 @@
+package experiments
+
+import "testing"
+
+// egCfg is the reference configuration for the e2e-gap acceptance claim:
+// long enough for the e2e-fed controller's cold start (it begins at the
+// static bound and must see merged host deltas before it can decide) to
+// amortize within the measured window.
+func egCfg() Config {
+	return Config{SimMillis: 120, WarmupMillis: 10, Seed: 1}
+}
+
+// TestE2EGapServiceControllerIsBlind pins the premise: under an
+// egress-only bottleneck (shared host NIC + faultnet-paced return path),
+// the LS tenant's end-to-end SLO burns while the target-clock service
+// latency stays inside the controller's objective — so the
+// service-latency-only controller never makes a single decision.
+func TestE2EGapServiceControllerIsBlind(t *testing.T) {
+	r, err := RunE2EGap(egCfg(), "svc-only", egAutotune(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LSSamples == 0 {
+		t.Fatal("no LS samples measured")
+	}
+	if r.LSBurn <= 1 {
+		t.Errorf("LS burn = %.2f, want > 1 (the egress bottleneck must violate the e2e SLO)", r.LSBurn)
+	}
+	if r.Shrinks != 0 {
+		t.Errorf("service-only controller made %d shrink decisions against a bottleneck it cannot observe", r.Shrinks)
+	}
+	// The blindness is structural, and the merged telemetry quantifies it:
+	// the host-observed e2e p99 dominates the target-clock service p99.
+	if r.ServiceP99NS <= 0 || r.GapP99NS <= 0 {
+		t.Errorf("service p99 %d / gap %d, want both positive (merged split missing)", r.ServiceP99NS, r.GapP99NS)
+	}
+	if r.E2EP99NS <= r.ServiceP99NS {
+		t.Errorf("e2e p99 %d <= service p99 %d: no egress gap", r.E2EP99NS, r.ServiceP99NS)
+	}
+}
+
+// TestE2EGapFeedbackControllerReacts is the acceptance claim for the
+// feedback channel: the identical controller with the e2e term enabled
+// sees the merged host deltas violate the e2e objective, backs off, and
+// materially improves the LS tenant's burn over the blind variant.
+func TestE2EGapFeedbackControllerReacts(t *testing.T) {
+	blind, err := RunE2EGap(egCfg(), "svc-only", egAutotune(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fed, err := RunE2EGap(egCfg(), "e2e", egAutotune(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fed.Shrinks == 0 {
+		t.Error("e2e-fed controller made no shrink decisions: the feedback term never engaged")
+	}
+	if fed.LSSamples == 0 {
+		t.Fatal("no LS samples measured")
+	}
+	if blind.LSBurn > 0 && fed.LSBurn >= blind.LSBurn/2 {
+		t.Errorf("e2e-fed LS burn = %.2f, want < half of blind variant's %.2f", fed.LSBurn, blind.LSBurn)
+	}
+	// The p99 still touches full congestion during regrowth probes, but
+	// the mean must reflect the decongested majority of the run.
+	if fed.LSMeanNS >= blind.LSMeanNS {
+		t.Errorf("e2e-fed LS mean = %dns, want < blind variant's %dns", fed.LSMeanNS, blind.LSMeanNS)
+	}
+	// The back-off actuated: admission caps produced rejections the busy
+	// backoff absorbed.
+	if fed.Busy == 0 {
+		t.Error("no admission rejections: the caps never bound")
+	}
+}

@@ -25,6 +25,7 @@ var registry = map[string]Runner{
 	"fig8p2":    Fig8Pattern2,
 	"ablations": Ablations,
 	"shiftmix":  ShiftMix,
+	"e2egap":    E2EGap,
 	"summary":   Summary,
 }
 

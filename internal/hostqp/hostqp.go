@@ -174,10 +174,16 @@ type Session struct {
 	nsBlockSize  uint32
 	nsCapacity   uint64
 
-	// Clock correlation from the handshake (see handleICResp).
+	// Clock correlation from the handshake (see handleICResp), refreshed
+	// by every TelemetryAck when the feedback channel runs.
 	icReqSentAt  int64
 	clockOffset  int64 // target clock minus host clock
-	handshakeRTT int64 // bound on the offset estimate's error
+	handshakeRTT int64 // RTT of the most recent estimate (its error bound)
+
+	// e2e accumulates host-observed end-to-end telemetry between
+	// TelemetryUpdates. Nil until EnableE2E: sessions on transports that
+	// never emit updates pay nothing.
+	e2e *telemetry.E2EAccum
 
 	stats Stats
 }
@@ -267,6 +273,39 @@ func (s *Session) ClockOffset() (offset, rtt int64) {
 // Stats returns a copy of the session counters.
 func (s *Session) Stats() Stats { return s.stats }
 
+// EnableE2E attaches the end-to-end accumulator: from here on every
+// completion's host-observed latency (and busy push-back) is folded into
+// the deltas BuildTelemetryUpdate ships. Transports call it when their
+// telemetry cadence is configured; idempotent.
+func (s *Session) EnableE2E() {
+	if s.e2e == nil {
+		s.e2e = telemetry.NewE2EAccum()
+	}
+}
+
+// E2E returns the session's end-to-end accumulator (nil unless EnableE2E
+// ran). Transports use it to count resubmissions and busy retries that
+// happen above the session — all methods are nil-safe.
+func (s *Session) E2E() *telemetry.E2EAccum { return s.e2e }
+
+// BuildTelemetryUpdate assembles the next TelemetryUpdate PDU: the e2e
+// histogram deltas accumulated since the previous call, the current
+// outstanding depth, and the host clock for the ack's offset re-estimate.
+// Returns nil when the feedback channel is off or the handshake has not
+// completed — callers send whatever non-nil update they get, since even an
+// empty one refreshes the clock estimate and queue-depth gauge.
+func (s *Session) BuildTelemetryUpdate() *proto.TelemetryUpdate {
+	if s.e2e == nil || !s.connected {
+		return nil
+	}
+	u := &proto.TelemetryUpdate{
+		HostClock:  s.clock(),
+		QueueDepth: uint32(s.cids.Outstanding()),
+	}
+	s.e2e.FillUpdate(u)
+	return u
+}
+
 // Outstanding returns the number of commands in flight.
 func (s *Session) Outstanding() int { return s.cids.Outstanding() }
 
@@ -351,6 +390,8 @@ func (s *Session) HandlePDU(p proto.PDU) error {
 		return s.handleData(pdu)
 	case *proto.CapsuleResp:
 		return s.handleResp(pdu)
+	case *proto.TelemetryAck:
+		return s.handleTelemetryAck(pdu)
 	case *proto.TermReq:
 		return &ProtocolError{FES: pdu.FES, Reason: "terminated by target: " + pdu.Reason}
 	default:
@@ -387,6 +428,30 @@ func (s *Session) handleICResp(pdu *proto.ICResp) error {
 		fn()
 	}
 	s.onConnect = nil
+	return nil
+}
+
+// handleTelemetryAck re-estimates the host↔target clock offset from the
+// keep-alive round trip — the same NTP-style midpoint math as the
+// handshake, repeated on the telemetry cadence so the merged-trace time
+// axis tracks drift instead of freezing the handshake's one-shot estimate.
+func (s *Session) handleTelemetryAck(pdu *proto.TelemetryAck) error {
+	if pdu.TargetClock == 0 {
+		return nil // target does not share a clock
+	}
+	now := s.clock()
+	rtt := now - pdu.EchoHostClock
+	if rtt < 0 {
+		// An echo from our future means a stale or corrupt ack; drop the
+		// estimate, keep the session.
+		return nil
+	}
+	off := pdu.TargetClock - (pdu.EchoHostClock + rtt/2)
+	delta := off - s.clockOffset
+	s.clockOffset = off
+	s.handshakeRTT = rtt
+	s.cfg.Recorder.SetClockOffset(off, rtt)
+	s.cfg.Telemetry.RecordClockReestimate(s.tenant, delta)
 	return nil
 }
 
@@ -448,6 +513,11 @@ func (s *Session) handleResp(pdu *proto.CapsuleResp) error {
 		}
 		s.stats.Completed++
 		windowBytes += r.bytesMoved
+		if st == nvme.StatusBusy {
+			s.e2e.AddBusy()
+		} else if st.OK() {
+			s.e2e.Record(r.prio, now-r.submittedAt)
+		}
 		s.cfg.Telemetry.IncCompleted(s.tenant, r.prio, now-r.submittedAt, int64(r.readBytes), st.OK())
 		if s.cfg.Trace != nil {
 			if pdu.Coalesced {

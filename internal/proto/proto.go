@@ -65,6 +65,10 @@ func (t Type) String() string {
 		return "H2CData"
 	case TypeC2HData:
 		return "C2HData"
+	case TypeTelemetryUpdate:
+		return "TelemetryUpdate"
+	case TypeTelemetryAck:
+		return "TelemetryAck"
 	default:
 		return fmt.Sprintf("Type(0x%02x)", uint8(t))
 	}
@@ -485,6 +489,10 @@ func newPDU(typ Type) (PDU, error) {
 		return &DiscResp{}, nil
 	case TypeDiscRegister:
 		return &DiscRegister{}, nil
+	case TypeTelemetryUpdate:
+		return &TelemetryUpdate{}, nil
+	case TypeTelemetryAck:
+		return &TelemetryAck{}, nil
 	default:
 		return nil, fmt.Errorf("proto: unknown PDU type 0x%02x", uint8(typ))
 	}

@@ -2,6 +2,7 @@ package simcluster
 
 import (
 	"fmt"
+	"time"
 
 	"nvmeopf/internal/autotune"
 	"nvmeopf/internal/hostqp"
@@ -23,6 +24,8 @@ type Cluster struct {
 	shared    bool // shared-queue ablation
 	seed      uint64
 	atCfg     *autotune.Config
+	hostTelNS int64
+	telTicks  int // telemetry cadence events currently in the queue
 	tel       *telemetry.Registry
 	trace     telemetry.TraceFunc
 	hostRec   *telemetry.Recorder
@@ -55,19 +58,27 @@ type Options struct {
 	// cluster's when unset. Nil runs the static windows bit-identically
 	// to a cluster without the field.
 	Autotune *autotune.Config
+	// HostTelemetryNS enables the in-band e2e feedback channel on every
+	// initiator Connect creates: each emits one TelemetryUpdate every
+	// HostTelemetryNS of virtual time (the simulated keep-alive cadence),
+	// shipped through the same modelled NIC/link path as commands. Zero
+	// (the default) disables — no update PDUs exist and the cluster is
+	// bit-identical to one without the field.
+	HostTelemetryNS int64
 }
 
 // New creates an empty cluster.
 func New(opts Options) *Cluster {
 	return &Cluster{
-		Eng:     simnet.NewEngine(),
-		profile: opts.Profile,
-		mode:    opts.Mode,
-		shared:  opts.SharedQueueAblation,
-		seed:    opts.Seed,
-		atCfg:   opts.Autotune,
-		tel:     opts.Telemetry,
-		trace:   opts.Trace,
+		Eng:       simnet.NewEngine(),
+		profile:   opts.Profile,
+		mode:      opts.Mode,
+		shared:    opts.SharedQueueAblation,
+		seed:      opts.Seed,
+		atCfg:     opts.Autotune,
+		hostTelNS: opts.HostTelemetryNS,
+		tel:       opts.Telemetry,
+		trace:     opts.Trace,
 	}
 }
 
@@ -274,7 +285,7 @@ func (n *InitiatorNode) Connect(cfg hostqp.Config) (*Initiator, error) {
 	}
 	ini.tsess = tsess
 
-	sess, err := hostqp.New(cfg, func(p proto.PDU) {
+	hostSend := func(p proto.PDU) {
 		// Host -> target: poller tx, host link, target NIC, target rx.
 		size := p.WireSize()
 		payload := payloadBytes(p)
@@ -288,12 +299,38 @@ func (n *InitiatorNode) Connect(cfg hostqp.Config) (*Initiator, error) {
 				})
 			})
 		})
-	}, c.Eng.Now)
+	}
+	sess, err := hostqp.New(cfg, hostSend, c.Eng.Now)
 	if err != nil {
 		return nil, err
 	}
 	ini.Session = sess
 	sess.Start()
+	if c.hostTelNS > 0 {
+		sess.EnableE2E()
+		var tick func()
+		tick = func() {
+			// Sample liveness before emitting, and count only non-cadence
+			// events as work: the update we are about to send queues its
+			// own delivery events, and other tenants' heartbeats sit in the
+			// queue alongside real I/O — if either counted, the cadences
+			// would keep each other (and Run()) alive forever on an idle
+			// cluster. With the check first and sibling ticks excluded, an
+			// otherwise-idle cluster gets one final update per tenant and
+			// every cadence stops, so Run() still terminates.
+			c.telTicks--
+			alive := c.Eng.Pending() > c.telTicks
+			if u := sess.BuildTelemetryUpdate(); u != nil {
+				hostSend(u)
+			}
+			if alive {
+				c.telTicks++
+				c.Eng.Schedule(time.Duration(c.hostTelNS), tick)
+			}
+		}
+		c.telTicks++
+		c.Eng.Schedule(time.Duration(c.hostTelNS), tick)
+	}
 	return ini, nil
 }
 

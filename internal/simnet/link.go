@@ -45,6 +45,13 @@ type Link struct {
 	// busyUntil per direction (0 = A->B, 1 = B->A).
 	busyUntil [2]Time
 
+	// lastAt per direction: the latest delivery scheduled so far. The
+	// link models an ordered byte stream (TCP), so deliveries must stay
+	// FIFO even when an attached FaultProfile assigns size-dependent
+	// extra delays that would otherwise let a small message overtake a
+	// large one sent before it.
+	lastAt [2]Time
+
 	// Stats per direction.
 	stats [2]LinkStats
 
@@ -149,6 +156,13 @@ func (l *Link) Send(dir int, size int, deliver func()) Time {
 	st.Bytes += l.wireBytes(size)
 	st.BusyTime += tx
 	at := done + l.cfg.PropagationDelay + extra
+	// An ordered stream never reorders: a message cannot arrive before
+	// one serialized ahead of it, whatever per-message delay the fault
+	// profile added.
+	if at < l.lastAt[dir] {
+		at = l.lastAt[dir]
+	}
+	l.lastAt[dir] = at
 	if deliver != nil {
 		l.eng.At(at, deliver)
 	}

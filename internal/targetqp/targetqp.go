@@ -139,6 +139,9 @@ type Stats struct {
 	// TeardownDrops counts their queued requests that never executed.
 	Disconnects   int64
 	TeardownDrops int64
+	// TelemetryUpdates counts host feedback PDUs merged — zero on any
+	// deployment that never enabled the e2e channel.
+	TelemetryUpdates int64
 }
 
 // Accumulate adds o's counters into s — the merge a sharded deployment
@@ -153,6 +156,7 @@ func (s *Stats) Accumulate(o Stats) {
 	s.Errors += o.Errors
 	s.Disconnects += o.Disconnects
 	s.TeardownDrops += o.TeardownDrops
+	s.TelemetryUpdates += o.TelemetryUpdates
 }
 
 // Target is one NVMe-oPF target instance: one backing namespace served to
@@ -307,6 +311,9 @@ func (t *Target) CloseSession(s *Session) {
 	}
 	t.cfg.Telemetry.IncDisconnect()
 	t.cfg.Telemetry.AddTeardownDrops(int64(len(dropped)))
+	// Clear the dead host's last-reported gauges so the recycled tenant ID
+	// does not inherit them.
+	t.cfg.Telemetry.ResetE2EGauges(s.tenant)
 	if t.cfg.Trace != nil {
 		t.cfg.Trace(telemetry.Event{Stage: telemetry.StageTeardown, Tenant: s.tenant, Aux: int64(len(dropped))})
 	}
@@ -388,6 +395,8 @@ func (s *Session) HandlePDU(p proto.PDU) error {
 		return s.handleICReq(pdu)
 	case *proto.CapsuleCmd:
 		return s.handleCmd(pdu)
+	case *proto.TelemetryUpdate:
+		return s.handleTelemetryUpdate(pdu)
 	case *proto.TermReq:
 		return fmt.Errorf("targetqp: connection terminated by host: FES=%d %s", pdu.FES, pdu.Reason)
 	default:
@@ -446,6 +455,43 @@ func (s *Session) handleICReq(pdu *proto.ICReq) error {
 		resp.TargetClock = t.cfg.Clock()
 	}
 	s.send(resp)
+	return nil
+}
+
+// handleTelemetryUpdate merges one host feedback PDU into the tenant's
+// end-to-end view, feeds the autotune e2e term when it is enabled, and
+// acks with the target clock so the host can re-estimate the clock offset
+// on the same round trip. A geometry mismatch is a protocol error — the
+// connection dies rather than silently corrupting per-tenant quantiles.
+func (s *Session) handleTelemetryUpdate(pdu *proto.TelemetryUpdate) error {
+	if !s.connected {
+		return errors.New("targetqp: telemetry before handshake")
+	}
+	if s.dead {
+		return nil
+	}
+	t := s.target
+	if err := t.cfg.Telemetry.MergeE2E(s.tenant, pdu); err != nil {
+		return fmt.Errorf("targetqp: %w", err)
+	}
+	t.stats.TelemetryUpdates++
+	if at := t.cfg.Autotune; at != nil && at.E2EEnabled() {
+		// Only the latency-sensitive classes join the signal: the e2e term
+		// protects the same traffic the service term does.
+		obj := at.E2EObjectiveNS()
+		for i := range pdu.Classes {
+			cd := &pdu.Classes[i]
+			if !cd.Class.LatencySensitive() {
+				continue
+			}
+			at.ObserveE2E(telemetry.ClassDeltaGoodBad(cd, obj))
+		}
+	}
+	ack := &proto.TelemetryAck{EchoHostClock: pdu.HostClock}
+	if t.cfg.Clock != nil {
+		ack.TargetClock = t.cfg.Clock()
+	}
+	s.send(ack)
 	return nil
 }
 

@@ -40,6 +40,14 @@ type DialConfig struct {
 	// may coalesce into a single write syscall (default 256 KiB). 1
 	// degenerates to one syscall per PDU, the pre-shard writer.
 	WriteBatchBytes int
+	// TelemetryInterval is the cadence the connection emits TelemetryUpdate
+	// PDUs on: the in-band feedback channel shipping host-observed
+	// end-to-end latency deltas, outstanding depth, and busy/retry counts
+	// to the target, whose ack re-estimates the clock offset each round.
+	// Zero (the default) disables the channel entirely — nothing new
+	// appears on the wire and the session skips e2e accumulation, so
+	// behavior is bit-identical to a build without it.
+	TelemetryInterval time.Duration
 	// Recovery opts the connection into transparent reconnect + replay:
 	// DialResilient returns a ResilientClient that re-dials after a
 	// connection death and resubmits eligible requests instead of
@@ -200,6 +208,11 @@ func DialWith(addr string, cfg hostqp.Config, dcfg DialConfig) (*Conn, error) {
 		return nil, err
 	}
 	c.sess = sess
+	if dcfg.TelemetryInterval > 0 {
+		// Attach the accumulator before any goroutine can touch the
+		// session; the emission ticker starts below.
+		sess.EnableE2E()
+	}
 
 	// Writer: batches queued PDUs into single writes (the same drain
 	// helper as the server side) and recycles marshalled structs. Write
@@ -281,6 +294,39 @@ func DialWith(addr string, cfg hostqp.Config, dcfg DialConfig) (*Conn, error) {
 							c.netClose()
 							c.failAll(fmt.Errorf("tcptrans: request timeout: oldest outstanding request %v old (limit %v)",
 								time.Duration(age), dcfg.RequestTimeout))
+						}
+					})
+				case <-c.dead:
+					return
+				case <-c.quit:
+					return
+				}
+			}
+		}()
+	}
+
+	// Telemetry cadence: on each tick the reactor snapshots the session's
+	// e2e deltas into one TelemetryUpdate and queues it on the writer.
+	// Heartbeat updates (no new samples) still go out — they refresh the
+	// target's queue-depth gauge and the clock-offset estimate.
+	if dcfg.TelemetryInterval > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			tick := time.NewTicker(dcfg.TelemetryInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					c.post(func() {
+						if c.connErr != nil {
+							return
+						}
+						if u := c.sess.BuildTelemetryUpdate(); u != nil {
+							select {
+							case out <- u:
+							case <-c.quit:
+							}
 						}
 					})
 				case <-c.dead:
@@ -636,6 +682,12 @@ func (c *Conn) Defer(fn func()) { c.post(fn) }
 // configured with (nil when telemetry is disabled). Safe from any
 // goroutine.
 func (c *Conn) Telemetry() *telemetry.Registry { return c.tel }
+
+// AddE2ERetries counts n host-side resubmissions into the connection's
+// e2e feedback accumulator. No-op when DialConfig.TelemetryInterval is
+// unset; safe from any goroutine (the accumulator is attached before the
+// connection's goroutines start and its counters are atomic).
+func (c *Conn) AddE2ERetries(n int64) { c.sess.E2E().AddRetries(n) }
 
 // Stats snapshots the session counters.
 func (c *Conn) Stats() hostqp.Stats {

@@ -298,6 +298,10 @@ func (rc *ResilientClient) recover() {
 		rc.mu.Unlock()
 		if op.replayed {
 			rc.cfg.Telemetry.IncReplayed(c.Tenant())
+			// Feed the resubmission into the e2e feedback channel too, so
+			// the target sees host-side retry pressure it never observes as
+			// commands (no-op when the channel is off).
+			c.AddE2ERetries(1)
 		}
 		rc.submitOn(c, op)
 	}

@@ -1,0 +1,327 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"nvmeopf/internal/proto"
+)
+
+// The end-to-end feedback plane: hosts accumulate what they actually
+// observe — end-to-end latency per class, busy push-back, resubmissions —
+// and ship sparse histogram deltas to the target inside TelemetryUpdate
+// PDUs on the transport's keep-alive cadence. The target merges each
+// tenant's deltas into per-tenant e2e histograms that share the service
+// histograms' bucket geometry, so the merge is exact (bucket-wise
+// addition, no re-sampling) and the egress gap — host e2e p99 minus
+// target service p99 — is directly comparable. This closes the blind spot
+// the service-side signal has by construction: queueing that happens
+// after a completion leaves the target's NIC.
+
+// HistSubBits is the histogram geometry tag carried in
+// proto.TelemetryUpdate.SubBits: the sub-bucket resolution of the HDR
+// grid both sides must share for deltas to merge exactly.
+const HistSubBits = histSubBits
+
+// wirePriority maps a latency class back to the representative wire
+// priority TelemetryUpdate carries for it.
+func (c Class) wirePriority() proto.Priority {
+	if c == ClassLS {
+		return proto.PrioLatencySensitive
+	}
+	return proto.PrioThroughputCritical
+}
+
+// E2EAccum accumulates one host session's end-to-end observations between
+// TelemetryUpdates. Record runs on the completion path (lock-free, no
+// allocation after the first sample per class); FillUpdate runs on the
+// emission cadence and extracts the delta since the previous call.
+// AddBusy/AddRetries are safe from any goroutine; Record and FillUpdate
+// must run on the session's event context (they share the delta
+// baseline).
+type E2EAccum struct {
+	hist    [numClasses]*Hist
+	prev    [numClasses][]int64
+	prevSum [numClasses]int64
+	busy    atomic.Int64
+	retries atomic.Int64
+}
+
+// NewE2EAccum creates an accumulator.
+func NewE2EAccum() *E2EAccum { return &E2EAccum{} }
+
+// Record adds one end-to-end completion latency (clock units; negative
+// samples are dropped). A nil accumulator ignores the call.
+func (a *E2EAccum) Record(prio proto.Priority, latency int64) {
+	if a == nil || latency < 0 {
+		return
+	}
+	c := ClassOf(prio)
+	if a.hist[c] == nil {
+		a.hist[c] = &Hist{}
+	}
+	a.hist[c].Record(latency)
+}
+
+// AddBusy counts one StatusBusy completion.
+func (a *E2EAccum) AddBusy() {
+	if a == nil {
+		return
+	}
+	a.busy.Add(1)
+}
+
+// AddRetries counts n resubmitted commands (replays after a connection
+// loss, re-sends after busy push-back).
+func (a *E2EAccum) AddRetries(n int64) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.retries.Add(n)
+}
+
+// FillUpdate writes the deltas since the previous FillUpdate into u
+// (Classes, SubBits, Busy, Retries) and advances the baseline. The caller
+// fills HostClock and QueueDepth. Returns true when the update carries
+// any new information (samples, busy or retry counts) — heartbeat-only
+// updates still refresh the clock estimate and queue-depth gauge, so
+// callers typically send either way.
+func (a *E2EAccum) FillUpdate(u *proto.TelemetryUpdate) bool {
+	u.SubBits = HistSubBits
+	u.Classes = nil
+	fresh := false
+	if a == nil {
+		return false
+	}
+	u.Busy = uint32(a.busy.Swap(0))
+	u.Retries = uint32(a.retries.Swap(0))
+	fresh = u.Busy > 0 || u.Retries > 0
+	for c := Class(0); c < numClasses; c++ {
+		h := a.hist[c]
+		if h == nil {
+			continue
+		}
+		snap := h.Snapshot()
+		prev := a.prev[c]
+		cd := proto.TelemetryClassDelta{Class: c.wirePriority()}
+		top := -1
+		for i, n := range snap.Counts {
+			var p int64
+			if prev != nil {
+				p = prev[i]
+			}
+			if d := n - p; d > 0 {
+				cd.Buckets = append(cd.Buckets, proto.TelemetryBucket{
+					Index: uint16(i), Count: uint32(d),
+				})
+				top = i
+			}
+		}
+		if top < 0 {
+			continue
+		}
+		cd.Sum = uint64(snap.Sum - a.prevSum[c])
+		// The per-window maximum is bounded by the top occupied delta
+		// bucket (and never beyond the lifetime max).
+		mx := histBucketUpper(top)
+		if mx > snap.Max {
+			mx = snap.Max
+		}
+		cd.Max = uint64(mx)
+		a.prev[c] = snap.Counts
+		a.prevSum[c] = snap.Sum
+		u.Classes = append(u.Classes, cd)
+		fresh = true
+	}
+	return fresh
+}
+
+// ClassDeltaGoodBad splits one wire class delta's samples into within/over-
+// objective counts by bucket bound: a bucket whose upper bound meets the
+// objective counts as good. The verdict carries the histogram's resolution
+// (≤3.1% relative error) — the same contract as every quantile the
+// registry serves. Out-of-range indices are skipped, matching mergeDelta.
+func ClassDeltaGoodBad(cd *proto.TelemetryClassDelta, objectiveNS int64) (good, bad int64) {
+	for _, b := range cd.Buckets {
+		if int(b.Index) >= histBuckets {
+			continue
+		}
+		if histBucketUpper(int(b.Index)) <= objectiveNS {
+			good += int64(b.Count)
+		} else {
+			bad += int64(b.Count)
+		}
+	}
+	return good, bad
+}
+
+// e2eClassHist returns the tenant's e2e histogram for a class, installing
+// it on first use (same lazy-CAS pattern as the service histograms).
+func (s *tenantSlot) e2eClassHist(c Class) *Hist {
+	if h := s.e2eHist[c].Load(); h != nil {
+		return h
+	}
+	h := &Hist{}
+	if s.e2eHist[c].CompareAndSwap(nil, h) {
+		return h
+	}
+	return s.e2eHist[c].Load()
+}
+
+// mergeDelta adds one wire class delta into the histogram. Out-of-range
+// bucket indices are dropped (a host speaking a wider geometry already
+// failed the SubBits check; this is belt-and-suspenders for corruption).
+func (h *Hist) mergeDelta(cd *proto.TelemetryClassDelta) {
+	for _, b := range cd.Buckets {
+		if int(b.Index) >= histBuckets {
+			continue
+		}
+		h.counts[b.Index].Add(int64(b.Count))
+	}
+	h.sum.Add(int64(cd.Sum))
+	for {
+		m := h.max.Load()
+		if int64(cd.Max) <= m || h.max.CompareAndSwap(m, int64(cd.Max)) {
+			break
+		}
+	}
+}
+
+// MergeE2E merges one host's TelemetryUpdate into the tenant's end-to-end
+// view. The geometry tag must match this registry's grid — a mismatch is
+// an error (merging across grids would silently corrupt quantiles). A nil
+// registry accepts and drops the update.
+func (r *Registry) MergeE2E(t proto.TenantID, u *proto.TelemetryUpdate) error {
+	if u.SubBits != HistSubBits {
+		return fmt.Errorf("telemetry: TelemetryUpdate geometry sub-bits %d != %d", u.SubBits, HistSubBits)
+	}
+	if r == nil {
+		return nil
+	}
+	s := r.slot(t)
+	s.e2eUpdates.Add(1)
+	s.e2eQueueDepth.Store(int64(u.QueueDepth))
+	s.e2eBusy.Add(int64(u.Busy))
+	s.e2eRetries.Add(int64(u.Retries))
+	for i := range u.Classes {
+		cd := &u.Classes[i]
+		if len(cd.Buckets) == 0 && cd.Sum == 0 {
+			continue
+		}
+		s.e2eClassHist(ClassOf(cd.Class)).mergeDelta(cd)
+	}
+	return nil
+}
+
+// E2EHist returns the tenant's merged end-to-end histogram for a class
+// (nil when no host reported samples for it yet).
+func (r *Registry) E2EHist(t proto.TenantID, c Class) *Hist {
+	if r == nil || c >= numClasses {
+		return nil
+	}
+	return r.tenants[t].e2eHist[c].Load()
+}
+
+// ResetE2EGauges clears the tenant's last-value e2e gauges on session
+// teardown so a recycled tenant ID does not inherit a dead host's
+// outstanding queue depth. Cumulative counters and histograms are kept,
+// like every other tenant metric.
+func (r *Registry) ResetE2EGauges(t proto.TenantID) {
+	if r == nil {
+		return
+	}
+	r.tenants[t].e2eQueueDepth.Store(0)
+}
+
+// RecordClockReestimate records one periodic clock-offset refresh on the
+// host: delta is the new estimate minus the previous one (ns), the drift
+// the keep-alive round trip just corrected.
+func (r *Registry) RecordClockReestimate(t proto.TenantID, delta int64) {
+	if r == nil {
+		return
+	}
+	s := r.slot(t)
+	s.clockReest.Add(1)
+	s.clockReestDelta.Store(delta)
+}
+
+// ClockReestimates returns how many re-estimates the tenant performed and
+// the last one's delta.
+func (r *Registry) ClockReestimates(t proto.TenantID) (count, lastDelta int64) {
+	if r == nil {
+		return 0, 0
+	}
+	s := &r.tenants[t]
+	return s.clockReest.Load(), s.clockReestDelta.Load()
+}
+
+// E2EClassSnapshot is one class's end-to-end view next to the target-side
+// service latency it telescopes over.
+type E2EClassSnapshot struct {
+	Class   string `json:"class"`
+	Samples int64  `json:"samples"`
+	P50NS   int64  `json:"p50_ns"`
+	P99NS   int64  `json:"p99_ns"`
+	MaxNS   int64  `json:"max_ns"`
+	// ServiceP99NS is the target-side service p99 for the same class;
+	// GapP99NS = P99NS − ServiceP99NS is the egress gap: latency the host
+	// saw that the target's own telemetry cannot.
+	ServiceP99NS int64 `json:"service_p99_ns"`
+	GapP99NS     int64 `json:"gap_p99_ns"`
+}
+
+// E2ESnapshot is one tenant's state on the feedback channel.
+type E2ESnapshot struct {
+	Tenant     uint8              `json:"tenant"`
+	Updates    int64              `json:"updates"`
+	QueueDepth int64              `json:"queue_depth"`
+	Busy       int64              `json:"busy"`
+	Retries    int64              `json:"retries"`
+	Classes    []E2EClassSnapshot `json:"classes"`
+}
+
+// E2E snapshots every tenant that reported at least one TelemetryUpdate,
+// in tenant order (served at /debug/e2e).
+func (r *Registry) E2E() []E2ESnapshot {
+	if r == nil {
+		return nil
+	}
+	var out []E2ESnapshot
+	for i := range r.tenants {
+		s := &r.tenants[i]
+		if !s.touched.Load() || s.e2eUpdates.Load() == 0 {
+			continue
+		}
+		snap := E2ESnapshot{
+			Tenant:     uint8(i),
+			Updates:    s.e2eUpdates.Load(),
+			QueueDepth: s.e2eQueueDepth.Load(),
+			Busy:       s.e2eBusy.Load(),
+			Retries:    s.e2eRetries.Load(),
+		}
+		for c := Class(0); c < numClasses; c++ {
+			h := s.e2eHist[c].Load()
+			if h == nil {
+				continue
+			}
+			hs := h.Snapshot()
+			if hs.Count == 0 {
+				continue
+			}
+			cs := E2EClassSnapshot{
+				Class:   c.String(),
+				Samples: hs.Count,
+				P50NS:   hs.Quantile(0.50),
+				P99NS:   hs.Quantile(0.99),
+				MaxNS:   hs.Max,
+			}
+			if sh := s.hist[c].Load(); sh != nil {
+				cs.ServiceP99NS = sh.Quantile(0.99)
+			}
+			cs.GapP99NS = cs.P99NS - cs.ServiceP99NS
+			snap.Classes = append(snap.Classes, cs)
+		}
+		out = append(out, snap)
+	}
+	return out
+}

@@ -21,12 +21,14 @@ import (
 //	/debug/windows  JSON: recent window-optimizer decisions
 //	/debug/slo      JSON: per-tenant SLO state and burn rates
 //	/debug/autotune JSON: adaptive-controller state and decision log
+//	/debug/e2e      JSON: host-reported end-to-end view per tenant
 //	/debug/trace    JSONL: flight-recorder dump (when one is attached)
 //	/debug/pprof/   net/http/pprof profiles from the live process
 //
 // The handler only reads snapshots; it never blocks the record path.
 // Each /metrics scrape also checkpoints the SLO counters (TickSLO), so
-// the multi-window burn rates advance at scrape cadence.
+// the multi-window burn rates advance at scrape cadence. The /debug/*
+// endpoints are read-only: non-GET requests are answered 405.
 func (r *Registry) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
@@ -34,31 +36,36 @@ func (r *Registry) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprint(w, r.PrometheusText())
 	})
-	mux.HandleFunc("/debug/tenants", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/debug/tenants", getOnly(func(w http.ResponseWriter) {
 		writeJSON(w, struct {
 			Global  GlobalSnapshot   `json:"global"`
 			Tenants []TenantSnapshot `json:"tenants"`
 		}{r.Global(), r.Tenants()})
-	})
-	mux.HandleFunc("/debug/windows", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	mux.HandleFunc("/debug/windows", getOnly(func(w http.ResponseWriter) {
 		writeJSON(w, struct {
 			Windows []WindowDecision `json:"windows"`
 		}{r.WindowLog()})
-	})
-	mux.HandleFunc("/debug/slo", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	mux.HandleFunc("/debug/slo", getOnly(func(w http.ResponseWriter) {
 		writeJSON(w, struct {
 			Windows []string      `json:"windows"`
 			SLOs    []SLOSnapshot `json:"slos"`
 		}{sloWindowNames(), r.SLOs(r.now())})
-	})
-	mux.HandleFunc("/debug/autotune", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	mux.HandleFunc("/debug/autotune", getOnly(func(w http.ResponseWriter) {
 		writeJSON(w, struct {
 			Actions   []string              `json:"actions"`
 			Tenants   []AutotuneTenantState `json:"tenants"`
 			Decisions []AutotuneDecision    `json:"decisions"`
 		}{AutotuneActions, r.AutotuneStates(), r.AutotuneLog()})
-	})
-	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	mux.HandleFunc("/debug/e2e", getOnly(func(w http.ResponseWriter) {
+		writeJSON(w, struct {
+			Tenants []E2ESnapshot `json:"tenants"`
+		}{r.E2E()})
+	}))
+	mux.HandleFunc("/debug/trace", getOnly(func(w http.ResponseWriter) {
 		rec := r.Recorder()
 		if rec == nil {
 			http.Error(w, "no flight recorder attached", http.StatusNotFound)
@@ -66,7 +73,7 @@ func (r *Registry) Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "application/x-ndjson")
 		_ = rec.WriteJSONL(w)
-	})
+	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -81,6 +88,20 @@ func sloWindowNames() []string {
 		names = append(names, w.Name)
 	}
 	return append(names, "total")
+}
+
+// getOnly gates a read-only debug endpoint: anything but GET is answered
+// 405 with an Allow header, so accidental POSTs can't be mistaken for
+// accepted input.
+func getOnly(h func(http.ResponseWriter)) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet {
+			w.Header().Set("Allow", http.MethodGet)
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w)
+	}
 }
 
 func writeJSON(w http.ResponseWriter, v interface{}) {
@@ -237,6 +258,83 @@ func (r *Registry) PrometheusText() string {
 				fmt.Fprintf(&b, "nvmeopf_autotune_decisions_total{tenant=\"%d\",action=\"%s\"} %d\n", s.Tenant, a, s.Decisions[i])
 			}
 		}
+	}
+	if e2e := r.E2E(); len(e2e) > 0 {
+		b.WriteString("# HELP nvmeopf_e2e_latency_hist_ns Host-observed end-to-end latency histogram per class, merged from TelemetryUpdate deltas.\n" +
+			"# TYPE nvmeopf_e2e_latency_hist_ns histogram\n")
+		for _, s := range e2e {
+			for c := Class(0); c < numClasses; c++ {
+				h := r.E2EHist(proto.TenantID(s.Tenant), c)
+				if h == nil {
+					continue
+				}
+				hs := h.Snapshot()
+				if hs.Count == 0 {
+					continue
+				}
+				for _, le := range histExportBounds {
+					fmt.Fprintf(&b, "nvmeopf_e2e_latency_hist_ns_bucket{tenant=\"%d\",class=\"%s\",le=\"%d\"} %d\n",
+						s.Tenant, c, le, hs.CumulativeLE(le))
+				}
+				fmt.Fprintf(&b, "nvmeopf_e2e_latency_hist_ns_bucket{tenant=\"%d\",class=\"%s\",le=\"+Inf\"} %d\n",
+					s.Tenant, c, hs.Count)
+				fmt.Fprintf(&b, "nvmeopf_e2e_latency_hist_ns_sum{tenant=\"%d\",class=\"%s\"} %d\n", s.Tenant, c, hs.Sum)
+				fmt.Fprintf(&b, "nvmeopf_e2e_latency_hist_ns_count{tenant=\"%d\",class=\"%s\"} %d\n", s.Tenant, c, hs.Count)
+			}
+		}
+		b.WriteString("# HELP nvmeopf_e2e_gap_ns Egress gap: host-observed e2e p99 minus target-side service p99.\n" +
+			"# TYPE nvmeopf_e2e_gap_ns gauge\n")
+		for _, s := range e2e {
+			for _, cs := range s.Classes {
+				fmt.Fprintf(&b, "nvmeopf_e2e_gap_ns{tenant=\"%d\",class=\"%s\"} %d\n", s.Tenant, cs.Class, cs.GapP99NS)
+			}
+		}
+		b.WriteString("# HELP nvmeopf_e2e_updates_total TelemetryUpdate PDUs merged from hosts.\n" +
+			"# TYPE nvmeopf_e2e_updates_total counter\n")
+		for _, s := range e2e {
+			fmt.Fprintf(&b, "nvmeopf_e2e_updates_total{tenant=\"%d\"} %d\n", s.Tenant, s.Updates)
+		}
+		b.WriteString("# HELP nvmeopf_e2e_host_queue_depth Host-side outstanding commands at the last update.\n" +
+			"# TYPE nvmeopf_e2e_host_queue_depth gauge\n")
+		for _, s := range e2e {
+			fmt.Fprintf(&b, "nvmeopf_e2e_host_queue_depth{tenant=\"%d\"} %d\n", s.Tenant, s.QueueDepth)
+		}
+		b.WriteString("# HELP nvmeopf_e2e_busy_total Host-observed StatusBusy completions.\n" +
+			"# TYPE nvmeopf_e2e_busy_total counter\n")
+		for _, s := range e2e {
+			fmt.Fprintf(&b, "nvmeopf_e2e_busy_total{tenant=\"%d\"} %d\n", s.Tenant, s.Busy)
+		}
+		b.WriteString("# HELP nvmeopf_e2e_retries_total Host-side resubmissions reported over the feedback channel.\n" +
+			"# TYPE nvmeopf_e2e_retries_total counter\n")
+		for _, s := range e2e {
+			fmt.Fprintf(&b, "nvmeopf_e2e_retries_total{tenant=\"%d\"} %d\n", s.Tenant, s.Retries)
+		}
+	}
+	var clockHdr bool
+	for i := range r.tenants {
+		s := &r.tenants[i]
+		if !s.touched.Load() || s.clockReest.Load() == 0 {
+			continue
+		}
+		if !clockHdr {
+			b.WriteString("# HELP nvmeopf_clock_reestimate_delta_ns Last periodic clock-offset re-estimate minus the previous estimate.\n" +
+				"# TYPE nvmeopf_clock_reestimate_delta_ns gauge\n")
+			clockHdr = true
+		}
+		fmt.Fprintf(&b, "nvmeopf_clock_reestimate_delta_ns{tenant=\"%d\"} %d\n", i, s.clockReestDelta.Load())
+	}
+	clockHdr = false
+	for i := range r.tenants {
+		s := &r.tenants[i]
+		if !s.touched.Load() || s.clockReest.Load() == 0 {
+			continue
+		}
+		if !clockHdr {
+			b.WriteString("# HELP nvmeopf_clock_reestimates_total Periodic clock-offset re-estimates performed.\n" +
+				"# TYPE nvmeopf_clock_reestimates_total counter\n")
+			clockHdr = true
+		}
+		fmt.Fprintf(&b, "nvmeopf_clock_reestimates_total{tenant=\"%d\"} %d\n", i, s.clockReest.Load())
 	}
 	g := r.Global()
 	fmt.Fprintf(&b, "# HELP nvmeopf_connections_total Connections established.\n# TYPE nvmeopf_connections_total counter\nnvmeopf_connections_total %d\n", g.Connections)

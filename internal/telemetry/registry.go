@@ -60,6 +60,21 @@ type tenantSlot struct {
 	sloBudgetPPM atomic.Int64
 	sloGood      atomic.Int64
 	sloBad       atomic.Int64
+
+	// Host-reported end-to-end view, merged from TelemetryUpdate PDUs
+	// (see e2e.go). The histograms share the service-side geometry, so
+	// host deltas add in exactly.
+	e2eHist       [numClasses]atomic.Pointer[Hist]
+	e2eUpdates    atomic.Int64 // TelemetryUpdates merged for this tenant
+	e2eQueueDepth atomic.Int64 // gauge: host outstanding at the last update
+	e2eBusy       atomic.Int64 // host-observed StatusBusy completions
+	e2eRetries    atomic.Int64 // host-side resubmissions
+
+	// Periodic clock re-estimation (host side): how many keep-alive
+	// round trips refreshed the offset, and the last refresh's delta
+	// against the previous estimate.
+	clockReest      atomic.Int64
+	clockReestDelta atomic.Int64
 }
 
 // classHist returns the tenant's histogram for a class, installing it on
