@@ -53,6 +53,9 @@ func main() {
 		maxPendingGlobal = flag.Int("max-pending-global", 0, "global pending-request cap: excess answered StatusBusy (0: off)")
 		lsHeadroom       = flag.Int("ls-headroom", 0, "slots of -max-pending-global reserved for latency-sensitive requests")
 		drainWatchdog    = flag.Duration("drain-watchdog", 0, "force-drain a TC queue parked this long with no draining flag (0: off)")
+
+		writeBatch = flag.Int("write-batch", 0, "per-connection writer batch cap in bytes before a vectored flush (0: default 256 KiB)")
+		maxDataLen = flag.Uint("max-data-len", 0, "largest single C2HData payload; larger reads are segmented (0: default 1 MiB)")
 	)
 	flag.Parse()
 
@@ -124,6 +127,8 @@ func main() {
 		MaxPendingGlobal:    *maxPendingGlobal,
 		LSHeadroom:          *lsHeadroom,
 		DrainWatchdog:       *drainWatchdog,
+		WriteBatchBytes:     *writeBatch,
+		MaxDataLen:          uint32(*maxDataLen),
 		Telemetry:           tel,
 		Recorder:            rec,
 		Autotune:            atCfg,

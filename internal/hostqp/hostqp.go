@@ -83,6 +83,17 @@ type Config struct {
 	// the clock-offset estimate that lets opf-trace merge host and target
 	// dumps onto one time axis. Nil disables.
 	Recorder *telemetry.Recorder
+	// OnReadBuffer and OnReadRetire are transport-owned hooks for the
+	// zero-copy read path. When the namespace geometry is known, Submit
+	// preallocates each read's destination buffer and announces it via
+	// OnReadBuffer(cid, buf) before the command reaches the wire; the
+	// transport registers it so its reader can land C2HData payloads
+	// directly at the right offset (proto.Reader.SetC2HSink).
+	// OnReadRetire(cid) runs when the read leaves the pending set —
+	// completion, replay, or FailAll — so the registration never outlives
+	// the request. Nil hooks disable the path at zero cost.
+	OnReadBuffer func(cid nvme.CID, buf []byte)
+	OnReadRetire func(cid nvme.CID)
 }
 
 // Validate checks the configuration. QueueDepth is capped at 65535: the
@@ -135,13 +146,35 @@ type IO struct {
 
 // pendingReq is the host-side request state.
 type pendingReq struct {
-	io          IO
-	prio        proto.Priority // wire priority (selects the LS/TC histogram)
-	coalescable bool           // routed through the host PM's pending queue
-	submittedAt int64
-	readBuf     []byte
-	readBytes   int
-	bytesMoved  int64 // accounted on completion for the dynamic tuner
+	io           IO
+	prio         proto.Priority // wire priority (selects the LS/TC histogram)
+	coalescable  bool           // routed through the host PM's pending queue
+	submittedAt  int64
+	readBuf      []byte
+	readBytes    int    // bytes covered by accepted (non-overlapping) fragments
+	expectedRead int    // Blocks × block size; 0 when geometry is unknown
+	spans        []span // accepted C2HData fragments, kept sorted by start
+	bytesMoved   int64  // accounted on completion for the dynamic tuner
+}
+
+// span is one accepted C2HData fragment, [start, end) in buffer bytes.
+type span struct{ start, end int }
+
+// addSpan records fragment [start, end) in the request's coverage map,
+// rejecting any overlap with an already-accepted fragment — a duplicate
+// or overlapping retransmission would otherwise double-count readBytes
+// and let a read complete "fully covered" with holes in the data.
+// Fragments per read are few (usually one), so the sorted insert is
+// cheap.
+func (r *pendingReq) addSpan(start, end int) bool {
+	i := sort.Search(len(r.spans), func(i int) bool { return r.spans[i].end > start })
+	if i < len(r.spans) && r.spans[i].start < end {
+		return false // overlaps spans[i]
+	}
+	r.spans = append(r.spans, span{})
+	copy(r.spans[i+1:], r.spans[i:])
+	r.spans[i] = span{start, end}
+	return true
 }
 
 // Stats counts host-session events.
@@ -173,6 +206,7 @@ type Session struct {
 	drainedBytes int64 // bytes completed since last drain (tuner input)
 	nsBlockSize  uint32
 	nsCapacity   uint64
+	maxDataLen   uint32 // from ICResp; caps geometry-unknown read assembly
 
 	// Clock correlation from the handshake (see handleICResp), refreshed
 	// by every TelemetryAck when the feedback channel runs.
@@ -363,7 +397,20 @@ func (s *Session) Submit(io IO) error {
 		req.bytesMoved = int64(len(data))
 		s.stats.BytesWrited += int64(len(data))
 	case nvme.OpRead:
-		req.readBuf = nil // allocated when data arrives; size from PDUs
+		if s.nsBlockSize > 0 {
+			// Geometry known: preallocate the full destination so inbound
+			// C2HData can land directly at Offset (the transport's reader
+			// sinks payload bytes straight into this buffer) and so wire
+			// offsets are validated against the expected length, not
+			// trusted.
+			req.expectedRead = int(io.Blocks) * int(s.nsBlockSize)
+			req.readBuf = make([]byte, req.expectedRead)
+			if s.cfg.OnReadBuffer != nil {
+				s.cfg.OnReadBuffer(cid, req.readBuf)
+			}
+		} else {
+			req.readBuf = nil // grown as data arrives, capped at maxDataLen
+		}
 	}
 	s.reqs[cid] = req
 	s.stats.Submitted++
@@ -409,6 +456,10 @@ func (s *Session) handleICResp(pdu *proto.ICResp) error {
 	s.tenant = pdu.Tenant
 	s.nsBlockSize = pdu.BlockSize
 	s.nsCapacity = pdu.Capacity
+	s.maxDataLen = pdu.MaxDataLen
+	if s.maxDataLen == 0 {
+		s.maxDataLen = 1 << 20 // pre-geometry target: assume the default
+	}
 	if pdu.TargetClock != 0 {
 		// NTP-style one-shot estimate: the target sampled its clock midway
 		// through our round trip, so offset = T - (t0 + rtt/2), with the
@@ -455,22 +506,49 @@ func (s *Session) handleTelemetryAck(pdu *proto.TelemetryAck) error {
 	return nil
 }
 
+// handleData assembles one C2HData fragment into the read's destination
+// buffer. Wire offsets are never trusted: a fragment must fit inside the
+// request's expected read length (or, on geometry-unknown sessions, the
+// handshake-advertised MaxDataLen), so a corrupt or hostile target cannot
+// force a ~4 GiB allocation with an attacker-chosen uint32 offset, and
+// overlapping or duplicate fragments are rejected rather than
+// double-counted. Every rejection is a typed *ProtocolError, which
+// transports escalate to a connection reset.
 func (s *Session) handleData(pdu *proto.C2HData) error {
 	s.stats.DataPDUs++
 	req, ok := s.reqs[pdu.CCCID]
 	if !ok {
-		return fmt.Errorf("hostqp: C2HData for unknown CID %d", pdu.CCCID)
+		return &ProtocolError{Reason: fmt.Sprintf("C2HData for unknown CID %d", pdu.CCCID)}
 	}
 	if req.io.Op != nvme.OpRead {
-		return fmt.Errorf("hostqp: C2HData for non-read CID %d", pdu.CCCID)
+		return &ProtocolError{Reason: fmt.Sprintf("C2HData for non-read CID %d", pdu.CCCID)}
 	}
-	end := int(pdu.Offset) + len(pdu.Data)
-	if req.readBuf == nil || end > len(req.readBuf) {
+	off := int(pdu.Offset)
+	end := off + len(pdu.Data)
+	limit := req.expectedRead
+	if limit == 0 {
+		limit = int(s.maxDataLen)
+	}
+	if end > limit {
+		return &ProtocolError{Reason: fmt.Sprintf(
+			"C2HData [%d, %d) for CID %d exceeds the %d-byte read", off, end, pdu.CCCID, limit)}
+	}
+	if len(pdu.Data) == 0 {
+		return nil // carries no coverage; nothing to assemble
+	}
+	if !req.addSpan(off, end) {
+		return &ProtocolError{Reason: fmt.Sprintf(
+			"overlapping C2HData [%d, %d) for CID %d", off, end, pdu.CCCID)}
+	}
+	if end > len(req.readBuf) {
 		grown := make([]byte, end)
 		copy(grown, req.readBuf)
 		req.readBuf = grown
 	}
-	copy(req.readBuf[pdu.Offset:], pdu.Data)
+	if &req.readBuf[off] != &pdu.Data[0] {
+		// Not already landed in place by the transport's zero-copy sink.
+		copy(req.readBuf[off:], pdu.Data)
+	}
 	req.readBytes += len(pdu.Data)
 	req.bytesMoved = int64(req.readBytes)
 	s.stats.BytesRead += int64(len(pdu.Data))
@@ -507,7 +585,16 @@ func (s *Session) handleResp(pdu *proto.CapsuleResp) error {
 		if err := s.cids.Release(c); err != nil {
 			return err
 		}
+		if r.io.Op == nvme.OpRead && s.cfg.OnReadRetire != nil {
+			s.cfg.OnReadRetire(c)
+		}
 		st := pdu.Cpl.Status
+		if st.OK() && r.expectedRead > 0 && r.readBytes < r.expectedRead {
+			// The target claims success but the accepted fragments do not
+			// cover the read (dropped or rejected-duplicate data): surface
+			// a transfer error instead of returning a buffer with holes.
+			st = nvme.StatusDataXferError
+		}
 		if !st.OK() {
 			s.stats.Errors++
 		}
@@ -574,6 +661,9 @@ func (s *Session) FailAll(st nvme.Status) int {
 		req := s.reqs[cid]
 		delete(s.reqs, cid)
 		_ = s.cids.Release(cid)
+		if req.io.Op == nvme.OpRead && s.cfg.OnReadRetire != nil {
+			s.cfg.OnReadRetire(cid)
+		}
 		s.stats.Completed++
 		s.stats.Errors++
 		s.cfg.Telemetry.IncCompleted(s.tenant, req.prio, now-req.submittedAt, int64(req.readBytes), false)

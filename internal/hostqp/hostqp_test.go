@@ -442,3 +442,237 @@ func TestBadPFVIsProtocolError(t *testing.T) {
 		t.Fatalf("PFV mismatch surfaced as %T (%v), want *ProtocolError", err, err)
 	}
 }
+
+// connectGeom completes the handshake with a namespace geometry, so reads
+// preallocate their full destination buffer at submit time.
+func (h *harness) connectGeom(t *testing.T, tenant proto.TenantID, blockSize uint32) {
+	t.Helper()
+	h.sess.Start()
+	h.out = nil
+	if err := h.sess.HandlePDU(&proto.ICResp{
+		PFV: ProtocolVersion, Tenant: tenant, MaxDataLen: 1 << 20,
+		BlockSize: blockSize, Capacity: 1 << 20,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHostileOffsetRejected: a C2HData whose wire offset points past the
+// read's expected length used to size the reassembly buffer — a hostile
+// target could force a ~4 GiB allocation with a single 16-byte fragment.
+// The offset must be clamped against the expected read length (or the
+// handshake MaxDataLen when geometry is unknown), rejected as a typed
+// *ProtocolError, and must not grow the buffer.
+func TestHostileOffsetRejected(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 2))
+	h.connect(t, 1)
+	_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 1, Done: func(Result) {}})
+	cid := h.lastCmd(t).Cmd.CID
+	err := h.sess.HandlePDU(&proto.C2HData{
+		CCCID: cid, Offset: 0xFFFF_F000, Data: make([]byte, 16),
+	})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("hostile offset surfaced as %T (%v), want *ProtocolError", err, err)
+	}
+	if req := h.sess.reqs[cid]; len(req.readBuf) != 0 {
+		t.Fatalf("hostile offset grew the read buffer to %d bytes", len(req.readBuf))
+	}
+}
+
+// TestHostileOffsetRejectedGeometryKnown: with geometry known the clamp is
+// the exact expected read length, not MaxDataLen.
+func TestHostileOffsetRejectedGeometryKnown(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 2))
+	h.connectGeom(t, 1, 4096)
+	_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 1, Done: func(Result) {}})
+	cid := h.lastCmd(t).Cmd.CID
+	// One byte past the 4096-byte read: rejected even though well under
+	// MaxDataLen.
+	err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: 1, Data: make([]byte, 4096)})
+	var pe *ProtocolError
+	if !errors.As(err, &pe) {
+		t.Fatalf("out-of-bounds fragment surfaced as %T (%v), want *ProtocolError", err, err)
+	}
+	if req := h.sess.reqs[cid]; len(req.readBuf) != 4096 {
+		t.Fatalf("read buffer resized to %d bytes, want the preallocated 4096", len(req.readBuf))
+	}
+}
+
+// TestOverlappingFragmentsRejected: duplicate and partially-overlapping
+// C2HData fragments used to double-count readBytes, marking a read
+// complete with holes in the data. Both must be rejected.
+func TestOverlappingFragmentsRejected(t *testing.T) {
+	cases := []struct {
+		name string
+		off2 uint32
+		len2 int
+	}{
+		{"duplicate", 0, 4096},
+		{"tail-overlap", 2048, 4096},
+		{"contained", 1024, 512},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := newHarness(t, tcConfig(1, 2))
+			h.connectGeom(t, 1, 4096)
+			var done bool
+			_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 2, Done: func(Result) { done = true }})
+			cid := h.lastCmd(t).Cmd.CID
+			if err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: 0, Data: make([]byte, 4096)}); err != nil {
+				t.Fatal(err)
+			}
+			err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: tc.off2, Data: make([]byte, tc.len2)})
+			var pe *ProtocolError
+			if !errors.As(err, &pe) {
+				t.Fatalf("overlapping fragment surfaced as %T (%v), want *ProtocolError", err, err)
+			}
+			if done {
+				t.Fatal("request completed despite the protocol error")
+			}
+		})
+	}
+}
+
+// TestNonOverlappingFragmentsStillAssemble: adjacent fragments (touching
+// at a boundary) are not overlaps.
+func TestNonOverlappingFragmentsStillAssemble(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 2))
+	h.connectGeom(t, 1, 4096)
+	var got []byte
+	var st nvme.Status
+	_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 2, Done: func(r Result) { got, st = r.Data, r.Status }})
+	cid := h.lastCmd(t).Cmd.CID
+	for _, frag := range []struct {
+		off uint32
+		n   int
+	}{{4096, 4096}, {0, 2048}, {2048, 2048}} {
+		seg := make([]byte, frag.n)
+		for i := range seg {
+			seg[i] = byte(frag.off >> 8)
+		}
+		if err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: frag.off, Data: seg}); err != nil {
+			t.Fatalf("fragment at %d rejected: %v", frag.off, err)
+		}
+	}
+	if err := h.sess.HandlePDU(&proto.CapsuleResp{Cpl: nvme.Completion{CID: cid}}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.OK() || len(got) != 8192 || got[0] != 0 || got[4096] != 16 {
+		t.Fatalf("assembly wrong: status=%v len=%d", st, len(got))
+	}
+}
+
+// TestShortReadEscalatesToDataXferError: a target claiming success while
+// having delivered fewer data bytes than the read requested must not
+// surface as a clean read — the coverage gap becomes StatusDataXferError.
+func TestShortReadEscalatesToDataXferError(t *testing.T) {
+	h := newHarness(t, tcConfig(1, 2))
+	h.connectGeom(t, 1, 4096)
+	var st nvme.Status
+	_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 2, Done: func(r Result) { st = r.Status }})
+	cid := h.lastCmd(t).Cmd.CID
+	if err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: 0, Data: make([]byte, 4096)}); err != nil {
+		t.Fatal(err)
+	}
+	// 4096 of 8192 bytes delivered, yet the target claims success.
+	if err := h.sess.HandlePDU(&proto.CapsuleResp{Cpl: nvme.Completion{CID: cid, Status: nvme.StatusSuccess}}); err != nil {
+		t.Fatal(err)
+	}
+	if st != nvme.StatusDataXferError {
+		t.Fatalf("short read completed with %v, want StatusDataXferError", st)
+	}
+}
+
+// TestReadBufferHooksLifecycle: with geometry known, Submit preallocates
+// the full destination and announces it via OnReadBuffer; completion (and
+// FailAll) retire the registration via OnReadRetire — the window in which
+// a transport zero-copy sink may land payload bytes directly.
+func TestReadBufferHooksLifecycle(t *testing.T) {
+	bufs := make(map[nvme.CID][]byte)
+	retired := make(map[nvme.CID]int)
+	cfg := tcConfig(1, 4)
+	cfg.OnReadBuffer = func(cid nvme.CID, buf []byte) { bufs[cid] = buf }
+	cfg.OnReadRetire = func(cid nvme.CID) { retired[cid]++ }
+	h := newHarness(t, cfg)
+	h.connectGeom(t, 1, 4096)
+
+	var got []byte
+	_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 2, Done: func(r Result) { got = r.Data }})
+	cid := h.lastCmd(t).Cmd.CID
+	buf, ok := bufs[cid]
+	if !ok || len(buf) != 8192 {
+		t.Fatalf("OnReadBuffer: got %d bytes registered, want 8192", len(buf))
+	}
+	// Simulate the transport sink: land bytes directly in the registered
+	// buffer and hand the session an aliasing fragment (Borrowed).
+	copy(buf[:4096], bytes47(4096))
+	if err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: 0, Data: buf[:4096], Borrowed: true}); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf[4096:], bytes47(4096))
+	if err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: 4096, Data: buf[4096:], Borrowed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if retired[cid] != 0 {
+		t.Fatal("read retired before its response")
+	}
+	if err := h.sess.HandlePDU(&proto.CapsuleResp{Cpl: nvme.Completion{CID: cid}}); err != nil {
+		t.Fatal(err)
+	}
+	if retired[cid] != 1 {
+		t.Fatalf("OnReadRetire ran %d times, want 1", retired[cid])
+	}
+	if len(got) != 8192 || got[0] != 47 || got[8191] != 47 {
+		t.Fatalf("zero-copy landed data wrong: len=%d", len(got))
+	}
+
+	// Writes never register buffers.
+	_ = h.sess.Submit(IO{Op: nvme.OpWrite, LBA: 0, Blocks: 1, Data: make([]byte, 4096), Done: func(Result) {}})
+	if len(bufs) != 1 {
+		t.Fatalf("write registered a read buffer: %d registrations", len(bufs))
+	}
+
+	// FailAll retires the write's CID-adjacent reads too: submit another
+	// read, then kill the session.
+	_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 8, Blocks: 1, Done: func(Result) {}})
+	readCID := h.lastCmd(t).Cmd.CID
+	h.sess.FailAll(nvme.StatusAborted)
+	if retired[readCID] != 1 {
+		t.Fatalf("FailAll did not retire the in-flight read (retired=%d)", retired[readCID])
+	}
+}
+
+func bytes47(n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = 47
+	}
+	return b
+}
+
+// TestGeometryUnknownReadsStillGrow: sessions whose handshake carried no
+// BlockSize (older targets) keep the lazy-grow assembly path, capped at
+// the advertised MaxDataLen.
+func TestGeometryUnknownReadsStillGrow(t *testing.T) {
+	called := false
+	cfg := tcConfig(1, 2)
+	cfg.OnReadBuffer = func(nvme.CID, []byte) { called = true }
+	h := newHarness(t, cfg)
+	h.connect(t, 1) // BlockSize 0: geometry unknown
+	var got []byte
+	_ = h.sess.Submit(IO{Op: nvme.OpRead, LBA: 0, Blocks: 1, Done: func(r Result) { got = r.Data }})
+	if called {
+		t.Fatal("geometry-unknown read registered a zero-copy buffer")
+	}
+	cid := h.lastCmd(t).Cmd.CID
+	if err := h.sess.HandlePDU(&proto.C2HData{CCCID: cid, Offset: 0, Data: bytes47(4096)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.sess.HandlePDU(&proto.CapsuleResp{Cpl: nvme.Completion{CID: cid}}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4096 || got[0] != 47 {
+		t.Fatalf("lazy-grow assembly wrong: len=%d", len(got))
+	}
+}

@@ -142,7 +142,12 @@ func ReleaseInbound(p PDU) {
 		PutBuf(v.Data)
 		v.Data = nil
 	case *C2HData:
-		PutBuf(v.Data)
+		// A Borrowed payload lives in a caller-owned destination buffer
+		// (landed there by a C2HSink); returning it to the pool would
+		// poison the pool with memory the caller keeps using.
+		if !v.Borrowed {
+			PutBuf(v.Data)
+		}
 		v.Data = nil
 	case *H2CData:
 		PutBuf(v.Data)
@@ -172,6 +177,7 @@ type Reader struct {
 	r       io.Reader
 	scratch []byte
 	pooled  bool
+	sink    C2HSink
 }
 
 // NewReader wraps r. pooled selects pooled structs and payloads (the
@@ -180,6 +186,23 @@ type Reader struct {
 func NewReader(r io.Reader, pooled bool) *Reader {
 	return &Reader{r: r, scratch: make([]byte, 4096), pooled: pooled}
 }
+
+// C2HSink resolves the destination buffer for an inbound C2HData
+// payload: given the PDU-specific header fields (command ID, byte offset,
+// payload length), it returns the caller-owned slice the payload bytes
+// should land in, or nil to decline. A non-nil return must have length
+// exactly length; anything else falls back to a pooled read.
+//
+// The sink runs on the Reader's goroutine while the rest of the PDU is
+// still on the wire, so it must not block on the consumer of the PDU.
+type C2HSink func(cccid nvme.CID, offset, length uint32) []byte
+
+// SetC2HSink installs the zero-copy destination resolver for C2HData
+// payloads. When the sink accepts a payload, Next reads the bytes from
+// the wire directly into the returned buffer — no pool staging, no copy —
+// and marks the returned PDU Borrowed so release paths leave the caller's
+// memory alone. A nil sink (the default) restores pooled decoding.
+func (rd *Reader) SetC2HSink(s C2HSink) { rd.sink = s }
 
 // Next reads and decodes one PDU. The returned PDU does not alias the
 // reader's internal buffer.
@@ -190,6 +213,9 @@ func (rd *Reader) Next() (PDU, error) {
 	plen := binary.LittleEndian.Uint32(rd.scratch[4:])
 	if plen < chSize || plen > MaxPDUSize {
 		return nil, fmt.Errorf("proto: bad PLen %d", plen)
+	}
+	if rd.sink != nil && Type(rd.scratch[0]) == TypeC2HData && plen >= chSize+c2hPSHSize {
+		return rd.nextC2HDataSink(int(plen), rd.scratch[1])
 	}
 	if int(plen) > len(rd.scratch) {
 		grown := make([]byte, 1<<bitsFor(int(plen)))
@@ -232,6 +258,67 @@ func (rd *Reader) Next() (PDU, error) {
 		}
 		return nil, err
 	}
+	p.setHeaderFlags(flags)
+	return p, nil
+}
+
+// nextC2HDataSink is the zero-copy read path: the 16-byte PDU-specific
+// header is decoded from scratch, then the payload bytes are read from
+// the wire directly into the destination the sink resolves — the pooled
+// staging copy the plain path pays disappears. When the sink declines
+// (unknown CID, out-of-range offset), the payload falls back to a pooled
+// buffer sized by the actual wire length — never by the untrusted offset
+// — and the consumer decides whether to reject the PDU.
+func (rd *Reader) nextC2HDataSink(plen int, flags uint8) (PDU, error) {
+	psh := rd.scratch[chSize : chSize+c2hPSHSize]
+	if _, err := io.ReadFull(rd.r, psh); err != nil {
+		return nil, err
+	}
+	payload := plen - chSize - c2hPSHSize
+	n := binary.LittleEndian.Uint32(psh[8:])
+	if int(n) != payload {
+		return nil, fmt.Errorf("proto: C2HData length field %d != payload %d", n, payload)
+	}
+	var p *C2HData
+	if rd.pooled {
+		p = GetC2HData()
+	} else {
+		p = &C2HData{}
+	}
+	p.CCCID = binary.LittleEndian.Uint16(psh[0:])
+	p.Offset = binary.LittleEndian.Uint32(psh[4:])
+	p.Borrowed = false
+	if payload == 0 {
+		p.Data = nil
+		p.setHeaderFlags(flags)
+		return p, nil
+	}
+	if dst := rd.sink(p.CCCID, p.Offset, n); len(dst) == payload {
+		if _, err := io.ReadFull(rd.r, dst); err != nil {
+			if rd.pooled {
+				Recycle(p)
+			}
+			return nil, err
+		}
+		p.Data = dst
+		p.Borrowed = true
+		p.setHeaderFlags(flags)
+		return p, nil
+	}
+	var buf []byte
+	if rd.pooled {
+		buf = GetBuf(payload)
+	} else {
+		buf = make([]byte, payload)
+	}
+	if _, err := io.ReadFull(rd.r, buf); err != nil {
+		if rd.pooled {
+			PutBuf(buf)
+			Recycle(p)
+		}
+		return nil, err
+	}
+	p.Data = buf
 	p.setHeaderFlags(flags)
 	return p, nil
 }

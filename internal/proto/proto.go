@@ -261,13 +261,19 @@ func (*CapsuleCmd) PDUType() Type { return TypeCapsuleCmd }
 func (p *CapsuleCmd) WireSize() int { return chSize + nvme.CommandSize + len(p.Data) }
 
 func (p *CapsuleCmd) encodeBody(dst []byte) {
+	p.encodeFixed(dst)
+	copy(dst[nvme.CommandSize:], p.Data)
+}
+
+func (p *CapsuleCmd) encodeFixed(dst []byte) {
 	p.Cmd.Marshal(dst)
 	// The priority extension lives in reserved SQE bytes, so it costs no
 	// extra wire bytes (§IV-A).
 	dst[sqePrioOffset] = uint8(p.Prio) & 0x3
 	dst[sqeTenantOffset] = uint8(p.Tenant)
-	copy(dst[nvme.CommandSize:], p.Data)
 }
+
+func (p *CapsuleCmd) payloadRef() []byte { return p.Data }
 
 func (p *CapsuleCmd) decodeBody(src []byte) error {
 	if len(src) < nvme.CommandSize {
@@ -334,6 +340,12 @@ type C2HData struct {
 	CCCID  nvme.CID // CID of the command this data answers
 	Offset uint32   // byte offset within the command's buffer
 	Data   []byte
+	// Borrowed marks Data as caller-owned rather than pool-owned: a
+	// Reader with a C2HSink landed the payload directly in the
+	// destination buffer the sink returned, so ReleaseInbound must drop
+	// the reference without returning it to the buffer pool. Never set
+	// on the send path; not a wire field.
+	Borrowed bool
 }
 
 // c2hPSHSize is the size of the C2HData PDU-specific header.
@@ -346,11 +358,17 @@ func (*C2HData) PDUType() Type { return TypeC2HData }
 func (p *C2HData) WireSize() int { return chSize + c2hPSHSize + len(p.Data) }
 
 func (p *C2HData) encodeBody(dst []byte) {
+	p.encodeFixed(dst)
+	copy(dst[c2hPSHSize:], p.Data)
+}
+
+func (p *C2HData) encodeFixed(dst []byte) {
 	binary.LittleEndian.PutUint16(dst[0:], p.CCCID)
 	binary.LittleEndian.PutUint32(dst[4:], p.Offset)
 	binary.LittleEndian.PutUint32(dst[8:], uint32(len(p.Data)))
-	copy(dst[c2hPSHSize:], p.Data)
 }
+
+func (p *C2HData) payloadRef() []byte { return p.Data }
 
 func (p *C2HData) decodeBody(src []byte) error {
 	if len(src) < c2hPSHSize {
@@ -385,11 +403,17 @@ func (*H2CData) PDUType() Type { return TypeH2CData }
 func (p *H2CData) WireSize() int { return chSize + c2hPSHSize + len(p.Data) }
 
 func (p *H2CData) encodeBody(dst []byte) {
+	p.encodeFixed(dst)
+	copy(dst[c2hPSHSize:], p.Data)
+}
+
+func (p *H2CData) encodeFixed(dst []byte) {
 	binary.LittleEndian.PutUint16(dst[0:], p.CCCID)
 	binary.LittleEndian.PutUint32(dst[4:], p.Offset)
 	binary.LittleEndian.PutUint32(dst[8:], uint32(len(p.Data)))
-	copy(dst[c2hPSHSize:], p.Data)
 }
+
+func (p *H2CData) payloadRef() []byte { return p.Data }
 
 func (p *H2CData) decodeBody(src []byte) error {
 	if len(src) < c2hPSHSize {
@@ -464,6 +488,56 @@ func AppendPDU(dst []byte, p PDU) []byte {
 // Marshal encodes a PDU into a fresh byte slice.
 func Marshal(p PDU) []byte {
 	return AppendPDU(make([]byte, 0, p.WireSize()), p)
+}
+
+// splitPDU is implemented by the data-bearing PDU types whose encoding
+// ends in a verbatim payload: the fixed prefix (common header + command
+// or PDU-specific header) can be marshalled separately from the payload
+// bytes, which a scatter-gather writer then sends straight from the
+// owner's buffer.
+type splitPDU interface {
+	encodeFixed(dst []byte) // dst has WireSize()-chSize-len(payloadRef()) bytes
+	payloadRef() []byte
+}
+
+// AppendPDUHeader appends the encoding of p minus its trailing payload
+// bytes and returns the extended slice. The PLen field still covers the
+// payload: the wire stream is only valid once the caller transmits
+// PayloadRef(p)'s bytes immediately after the appended prefix. PDU types
+// without a detachable payload are appended whole (equivalent to
+// AppendPDU), and PayloadRef returns nil for them, so
+//
+//	dst = AppendPDUHeader(dst, p); send(dst); send(PayloadRef(p))
+//
+// produces bytes identical to AppendPDU for every PDU type.
+func AppendPDUHeader(dst []byte, p PDU) []byte {
+	sp, ok := p.(splitPDU)
+	if !ok {
+		return AppendPDU(dst, p)
+	}
+	size := p.WireSize()
+	prefix := size - len(sp.payloadRef())
+	off := len(dst)
+	dst = append(dst, make([]byte, prefix)...)
+	buf := dst[off:]
+	buf[0] = uint8(p.PDUType())
+	buf[1] = p.headerFlags()
+	buf[2] = chSize
+	buf[3] = chSize
+	binary.LittleEndian.PutUint32(buf[4:], uint32(size))
+	sp.encodeFixed(buf[chSize:])
+	return dst
+}
+
+// PayloadRef returns the payload slice AppendPDUHeader leaves for the
+// caller to transmit (nil when p has no detachable payload). The returned
+// slice aliases the PDU's buffer: the caller owns its lifetime until the
+// bytes are on the wire.
+func PayloadRef(p PDU) []byte {
+	if sp, ok := p.(splitPDU); ok {
+		return sp.payloadRef()
+	}
+	return nil
 }
 
 // newPDU returns an empty PDU of the given wire type.

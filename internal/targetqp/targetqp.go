@@ -649,16 +649,47 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 		}
 		if req.cmd.Opcode == nvme.OpRead && st.OK() && len(data) > 0 {
 			// Read data always flows per request; only the completion
-			// notification is coalesced (§III-B).
-			t.stats.DataPDUs++
-			if t.cfg.PooledPayloads {
-				d := proto.GetC2HData()
-				d.CCCID = cid
-				d.Data = data
-				data = nil // the send path releases payload and struct
-				s.send(d)
+			// notification is coalesced (§III-B). Reads larger than
+			// MaxDataLen are segmented into fragments with ascending
+			// offsets, honouring the transfer bound the ICResp advertised
+			// (and the protocol's 16 MiB PDU cap).
+			maxSeg := int(t.cfg.MaxDataLen)
+			if len(data) <= maxSeg {
+				t.stats.DataPDUs++
+				if t.cfg.PooledPayloads {
+					d := proto.GetC2HData()
+					d.CCCID = cid
+					d.Data = data
+					data = nil // the send path releases payload and struct
+					s.send(d)
+				} else {
+					s.send(&proto.C2HData{CCCID: cid, Offset: 0, Data: data})
+				}
 			} else {
-				s.send(&proto.C2HData{CCCID: cid, Offset: 0, Data: data})
+				for off := 0; off < len(data); off += maxSeg {
+					end := off + maxSeg
+					if end > len(data) {
+						end = len(data)
+					}
+					t.stats.DataPDUs++
+					if t.cfg.PooledPayloads {
+						// Fragments must not alias one pooled buffer: the
+						// send path returns each payload to the pool
+						// independently, so every fragment gets its own.
+						d := proto.GetC2HData()
+						d.CCCID = cid
+						d.Offset = uint32(off)
+						d.Data = proto.GetBuf(end - off)
+						copy(d.Data, data[off:end])
+						s.send(d)
+					} else {
+						s.send(&proto.C2HData{CCCID: cid, Offset: uint32(off), Data: data[off:end]})
+					}
+				}
+				if t.cfg.PooledPayloads {
+					proto.PutBuf(data)
+					data = nil
+				}
 			}
 		}
 	}

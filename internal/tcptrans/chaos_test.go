@@ -16,6 +16,7 @@ package tcptrans
 //     the victim's death throes.
 
 import (
+	"bytes"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -189,6 +190,118 @@ func TestChaosVictimKilledSurvivorsMeetDrainWindows(t *testing.T) {
 	if g := reg.Global(); g.Disconnects == 0 {
 		t.Error("no disconnects recorded despite injected resets")
 	}
+	srv.Close()
+	waitGoroutines(t, base)
+}
+
+// TestChaosVectoredFlushKill aims the kill switch at the scatter-gather
+// writer: the victim runs with submission coalescing enabled (so flushes
+// are multi-PDU vectored writes holding payload references) and is killed
+// over and over mid-flight, under -race. The invariants: no staged PDU is
+// released twice or leaked (the pools would corrupt and -race would
+// fire), reads landed by the zero-copy sink stay byte-exact across kills,
+// and every teardown returns its goroutines and target session.
+func TestChaosVectoredFlushKill(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dev := newMemoryDevice(4096, 1<<14)
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Mode: targetqp.ModeOPF, Device: dev, MaxDataLen: 4096,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj := faultnet.NewInjector(2)
+	inj.Set(faultnet.DirSend, faultnet.Faults{MaxChunk: 256}) // fragment the vectored stream
+	victimDial := DialConfig{
+		HandshakeTimeout: 5 * time.Second,
+		RequestTimeout:   500 * time.Millisecond,
+		Dialer:           faultnet.Dialer(inj),
+		CoalesceBytes:    32 << 10,
+		CoalesceDelay:    100 * time.Microsecond,
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var ops, reconnects atomic.Int64
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		want := make([]byte, 4*4096)
+		for i := range want {
+			want[i] = byte(i * 13)
+		}
+		first := true
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c, err := DialRetryWith(srv.Addr(),
+				hostqp.Config{Class: proto.PrioThroughputCritical, Window: 4, QueueDepth: 16, NSID: 1},
+				victimDial, 50, 2*time.Millisecond)
+			if err != nil {
+				time.Sleep(5 * time.Millisecond)
+				continue
+			}
+			if !first {
+				reconnects.Add(1)
+			}
+			first = false
+			for {
+				select {
+				case <-stop:
+					c.Close()
+					return
+				default:
+				}
+				// Large referenced write payloads (MaxDataLen caps each
+				// capsule at one block), then a multi-fragment read
+				// reassembled by the zero-copy sink.
+				werr := false
+				for blk := 0; blk < 4; blk++ {
+					if err := c.Write(uint64(blk), want[blk*4096:(blk+1)*4096], 0); err != nil {
+						werr = true
+						break
+					}
+				}
+				if werr {
+					break
+				}
+				got, err := c.Read(0, 4, 0)
+				if err != nil {
+					break
+				}
+				if !bytes.Equal(got, want) {
+					t.Error("zero-copy read reassembled wrong bytes after a kill")
+					c.Close()
+					return
+				}
+				ops.Add(1)
+			}
+			c.Close()
+		}
+	}()
+
+	for i := 0; i < 6; i++ {
+		time.Sleep(60 * time.Millisecond)
+		inj.ResetAll()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if ops.Load() == 0 {
+		t.Error("victim made no progress at all")
+	}
+	if reconnects.Load() == 0 {
+		t.Error("victim never reconnected: resets were not injected")
+	}
+	waitFor(t, "all sessions torn down", func() bool {
+		return srv.ActiveSessions() == 0
+	})
 	srv.Close()
 	waitGoroutines(t, base)
 }

@@ -1,6 +1,7 @@
 package tcptrans
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -40,6 +41,17 @@ type DialConfig struct {
 	// may coalesce into a single write syscall (default 256 KiB). 1
 	// degenerates to one syscall per PDU, the pre-shard writer.
 	WriteBatchBytes int
+	// CoalesceBytes/CoalesceDelay open the submission-coalescing window:
+	// when the outbound queue runs dry with fewer than CoalesceBytes
+	// staged, the writer holds the batch up to CoalesceDelay waiting for
+	// more submissions, so a stream of small commands shares one vectored
+	// flush instead of paying a write syscall each — at the cost of up to
+	// CoalesceDelay added submission latency. Setting either enables the
+	// window (the other takes DefaultCoalesceBytes / DefaultCoalesceDelay);
+	// both zero (the default) disable it, leaving the wire stream
+	// byte-identical to an uncoalesced connection's.
+	CoalesceBytes int
+	CoalesceDelay time.Duration
 	// TelemetryInterval is the cadence the connection emits TelemetryUpdate
 	// PDUs on: the in-band feedback channel shipping host-observed
 	// end-to-end latency deltas, outstanding depth, and busy/retry counts
@@ -122,6 +134,14 @@ func (d DialConfig) withDefaults() DialConfig {
 	if d.WriteBatchBytes <= 0 {
 		d.WriteBatchBytes = maxWriteBatch
 	}
+	if d.CoalesceBytes > 0 || d.CoalesceDelay > 0 {
+		if d.CoalesceBytes <= 0 {
+			d.CoalesceBytes = DefaultCoalesceBytes
+		}
+		if d.CoalesceDelay <= 0 {
+			d.CoalesceDelay = DefaultCoalesceDelay
+		}
+	}
 	return d
 }
 
@@ -145,25 +165,19 @@ type Conn struct {
 	closeOnce sync.Once
 	netOnce   sync.Once
 	netErr    error
+
+	// readBufs registers each in-flight read's destination buffer by CID
+	// (written by the reactor via the hostqp hooks, read by the reader's
+	// C2HSink) so inbound C2HData payloads land directly in the caller's
+	// buffer at Offset — the zero-copy read path.
+	readMu   sync.Mutex
+	readBufs map[nvme.CID][]byte
 }
 
 // netClose closes the socket exactly once, from whichever path gets
 // there first (writer error, request-timeout escalation, failAll, Close).
 func (c *Conn) netClose() {
 	c.netOnce.Do(func() { c.netErr = c.conn.Close() })
-}
-
-// onceCloseConn hands the client writer a conn whose Close is the
-// connection's once-only netClose, so a writer-side teardown records the
-// real close error instead of a double-close failure.
-type onceCloseConn struct {
-	net.Conn
-	c *Conn
-}
-
-func (o onceCloseConn) Close() error {
-	o.c.netClose()
-	return o.c.netErr
 }
 
 // idleDrainDelay bounds how long a partial throughput-critical window may
@@ -190,11 +204,26 @@ func DialWith(addr string, cfg hostqp.Config, dcfg DialConfig) (*Conn, error) {
 		return nil, err
 	}
 	c := &Conn{
-		conn:   nc,
-		tel:    cfg.Telemetry,
-		events: make(chan func(), 1024),
-		quit:   make(chan struct{}),
-		dead:   make(chan struct{}),
+		conn:     nc,
+		tel:      cfg.Telemetry,
+		events:   make(chan func(), 1024),
+		quit:     make(chan struct{}),
+		dead:     make(chan struct{}),
+		readBufs: make(map[nvme.CID][]byte),
+	}
+	// The read-buffer hooks are transport-owned: the session announces
+	// each read's preallocated destination before the command hits the
+	// wire and retires it when the request leaves the pending set, so the
+	// reader's sink below can land C2HData payloads with no staging copy.
+	cfg.OnReadBuffer = func(cid nvme.CID, buf []byte) {
+		c.readMu.Lock()
+		c.readBufs[cid] = buf
+		c.readMu.Unlock()
+	}
+	cfg.OnReadRetire = func(cid nvme.CID) {
+		c.readMu.Lock()
+		delete(c.readBufs, cid)
+		c.readMu.Unlock()
 	}
 	out := make(chan proto.PDU, 256)
 	sess, err := hostqp.New(cfg, func(p proto.PDU) {
@@ -214,15 +243,24 @@ func DialWith(addr string, cfg hostqp.Config, dcfg DialConfig) (*Conn, error) {
 		sess.EnableE2E()
 	}
 
-	// Writer: batches queued PDUs into single writes (the same drain
-	// helper as the server side) and recycles marshalled structs. Write
-	// payloads stay caller-owned; only the reference is dropped. The
-	// close-once wrapper keeps socket teardown on the netOnce path no
-	// matter which goroutine loses the write race.
+	// Writer: stages queued PDUs into vectored batches (the same drain
+	// helper as the server side) — headers into a reused buffer, large
+	// write payloads referenced in place — and flushes each batch with
+	// one (scatter-gather) write. Flushed structs recycle afterwards;
+	// write payloads stay caller-owned, only the reference is dropped.
+	// The writer gets the raw conn so writev is not defeated by a
+	// wrapper type; socket teardown stays on the once-only netClose path
+	// via closeConn.
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		drainWriter(onceCloseConn{Conn: nc, c: c}, out, c.dead, c.quit, releaseClientPDU, dcfg.WriteBatchBytes)
+		drainWriter(nc, out, c.dead, c.quit, writerConfig{
+			batch:         dcfg.WriteBatchBytes,
+			coalesceBytes: dcfg.CoalesceBytes,
+			coalesceDelay: dcfg.CoalesceDelay,
+			release:       releaseClientPDU,
+			closeConn:     c.netClose,
+		})
 	}()
 	// Reactor: owns the session.
 	c.wg.Add(1)
@@ -237,14 +275,32 @@ func DialWith(addr string, cfg hostqp.Config, dcfg DialConfig) (*Conn, error) {
 			}
 		}
 	}()
-	// Reader: a pooling decoder — inbound C2HData payloads and response
-	// structs come from the proto pools and are released right after the
-	// session consumes them (hostqp copies read data into its own
-	// buffers), so the receive hot path is allocation-free.
+	// Reader: a pooling decoder with a zero-copy sink — C2HData payloads
+	// for registered reads are written from the socket directly into the
+	// request's destination buffer at Offset (no pool staging, no copy),
+	// with out-of-range offsets and unknown CIDs declined here (bounded
+	// pooled fallback) and rejected by the session as protocol errors.
+	// Response structs still come from the proto pools and are released
+	// right after the session consumes them, so the receive hot path is
+	// allocation-free.
 	c.wg.Add(1)
 	go func() {
 		defer c.wg.Done()
-		rd := proto.NewReader(nc, true)
+		// Buffered socket reads: the zero-copy sink splits each C2HData
+		// into header/PSH/payload reads, so without buffering every data
+		// PDU would cost an extra read syscall. With the buffer, headers
+		// come from memory and payload reads drain the buffer before
+		// falling through to direct reads into the destination.
+		rd := proto.NewReader(bufio.NewReaderSize(nc, 64<<10), true)
+		rd.SetC2HSink(func(cid nvme.CID, off, n uint32) []byte {
+			c.readMu.Lock()
+			buf := c.readBufs[cid]
+			c.readMu.Unlock()
+			if end := uint64(off) + uint64(n); buf == nil || end > uint64(len(buf)) {
+				return nil
+			}
+			return buf[off : off+n]
+		})
 		for {
 			p, err := rd.Next()
 			if err != nil {

@@ -28,6 +28,7 @@
 package tcptrans
 
 import (
+	"bufio"
 	"errors"
 	"net"
 	"runtime"
@@ -63,6 +64,11 @@ type ServerConfig struct {
 	// may coalesce into a single write syscall (default 256 KiB). 1
 	// degenerates to one syscall per PDU, the pre-shard writer.
 	WriteBatchBytes int
+	// MaxDataLen is the largest single data transfer the target puts in
+	// one PDU (advertised in the ICResp; default 1 MiB). Reads larger
+	// than this are segmented into multiple C2HData fragments with
+	// ascending offsets.
+	MaxDataLen uint32
 	// MaxPending is the PM safety valve (default 4096).
 	MaxPending int
 	// MaxPendingPerTenant / MaxPendingGlobal / LSHeadroom configure
@@ -218,6 +224,7 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 			MaxPendingGlobal:    perShard(cfg.MaxPendingGlobal),
 			LSHeadroom:          perShard(cfg.LSHeadroom),
 			DrainWatchdog:       cfg.DrainWatchdog,
+			MaxDataLen:          cfg.MaxDataLen,
 			Telemetry:           cfg.Telemetry,
 			Trace:               cfg.Trace,
 			Recorder:            cfg.Recorder,
@@ -431,7 +438,10 @@ func (s *Server) serveConn(conn net.Conn) {
 	writerWG.Add(1)
 	go func() {
 		defer writerWG.Done()
-		drainWriter(conn, out, connDone, s.quit, releaseServerPDU, s.cfg.WriteBatchBytes)
+		drainWriter(conn, out, connDone, s.quit, writerConfig{
+			batch:   s.cfg.WriteBatchBytes,
+			release: releaseServerPDU,
+		})
 	}()
 
 	// Session creation must run on the shard's reactor. The send closure
@@ -471,7 +481,9 @@ func (s *Server) serveConn(conn net.Conn) {
 	// handler outcomes come back asynchronously. A protocol violation
 	// closes the socket from the reactor, which surfaces here as a read
 	// error on the next decode.
-	rd := proto.NewReader(conn, true)
+	// Buffered socket reads: a burst of pipelined capsules arrives in
+	// one syscall instead of two reads (header, body) per PDU.
+	rd := proto.NewReader(bufio.NewReaderSize(conn, 64<<10), true)
 	inflight := make(chan struct{}, s.cfg.InflightPerConn)
 	for {
 		p, err := rd.Next()

@@ -2,6 +2,7 @@ package tcptrans
 
 import (
 	"net"
+	"time"
 
 	"nvmeopf/internal/proto"
 )
@@ -12,32 +13,183 @@ import (
 // unbounded buffering.
 const maxWriteBatch = 256 << 10
 
+// zcPayloadThreshold selects which payloads ride the scatter-gather path:
+// a payload at least this large is sent by reference (its slice becomes
+// its own iovec entry) instead of being copied into the staging buffer.
+// Below the threshold the copy is cheaper than an extra iovec entry.
+const zcPayloadThreshold = 1024
+
+// Coalescing defaults: when exactly one of DialConfig.CoalesceBytes /
+// CoalesceDelay is set, the other takes these values.
+const (
+	DefaultCoalesceBytes = 16 << 10
+	DefaultCoalesceDelay = 40 * time.Microsecond
+)
+
+// joinThreshold: a staged batch at or below this many wire bytes is
+// copied into one contiguous buffer and sent with a plain Write instead
+// of a vectored write. For a batch carrying a single small payload the
+// memcpy (~hundreds of ns) is cheaper than the iovec setup and kernel
+// gather path; writev earns its keep on large multi-PDU batches, where
+// the copies it avoids dominate.
+const joinThreshold = 16 << 10
+
+// writerConfig parameterizes one connection's drainWriter.
+type writerConfig struct {
+	// batch caps how many wire bytes one drain may stage before flushing
+	// (<=0 means maxWriteBatch; 1 degenerates to one flush per PDU).
+	batch int
+	// coalesceBytes/coalesceDelay, both >0, open a submission-coalescing
+	// window: after draining everything already queued, the writer holds
+	// the staged batch up to coalesceDelay waiting for more PDUs, flushing
+	// early once coalesceBytes are staged. Zero values (the default)
+	// disable the window — the writer never waits, and the byte stream is
+	// identical to the uncoalesced writer's.
+	coalesceBytes int
+	coalesceDelay time.Duration
+	// release retires each staged PDU after its bytes are flushed (or
+	// dropped on error/teardown) — never earlier, because the payload
+	// slice is referenced by the write vector until the syscall lands.
+	release func(proto.PDU)
+	// closeConn overrides how the writer tears the socket down (nil means
+	// conn.Close). The client passes its once-only netClose here while
+	// writing to the raw *net.TCPConn, so the writev fast path is not
+	// defeated by a wrapper type.
+	closeConn func()
+}
+
+// wbatch stages one flush worth of PDUs: fixed prefixes (headers, and the
+// payloads small enough to copy) accumulate in hdr, while large payloads
+// are referenced, not copied — cuts[i] records the hdr offset where
+// payloads[i] interleaves. flushVec assembles the net.Buffers vector at
+// flush time (indices stay valid across hdr reallocation), merging the
+// contiguous header spans between payloads into single iovec entries.
+// pending holds every staged PDU until the flush outcome is known:
+// ownership of a referenced payload transfers only when the bytes are on
+// the wire (or the connection is abandoned), exactly once.
+type wbatch struct {
+	hdr      []byte
+	cuts     []int
+	payloads [][]byte
+	vec      net.Buffers
+	join     []byte
+	pending  []proto.PDU
+	bytes    int
+}
+
+// add stages one PDU.
+func (b *wbatch) add(p proto.PDU) {
+	b.bytes += p.WireSize()
+	if pl := proto.PayloadRef(p); len(pl) >= zcPayloadThreshold {
+		b.hdr = proto.AppendPDUHeader(b.hdr, p)
+		b.cuts = append(b.cuts, len(b.hdr))
+		b.payloads = append(b.payloads, pl)
+	} else {
+		b.hdr = proto.AppendPDU(b.hdr, p)
+	}
+	b.pending = append(b.pending, p)
+}
+
+// flushVec assembles the scatter-gather vector for the staged batch.
+func (b *wbatch) flushVec() net.Buffers {
+	vec := b.vec[:0]
+	prev := 0
+	for i, cut := range b.cuts {
+		if cut > prev {
+			vec = append(vec, b.hdr[prev:cut])
+		}
+		vec = append(vec, b.payloads[i])
+		prev = cut
+	}
+	if len(b.hdr) > prev {
+		vec = append(vec, b.hdr[prev:])
+	}
+	return vec
+}
+
+// write flushes the staged bytes to conn: one plain Write when the batch
+// is a single contiguous span (no referenced payloads) or small enough
+// that joining beats the iovec setup, one vectored write — writev on a
+// *net.TCPConn — otherwise.
+func (b *wbatch) write(conn net.Conn) error {
+	vec := b.flushVec()
+	b.vec = vec // keep the (possibly grown) backing array for reuse
+	var err error
+	switch {
+	case len(vec) == 0:
+	case len(vec) == 1:
+		_, err = conn.Write(vec[0])
+	case b.bytes <= joinThreshold:
+		b.join = b.join[:0]
+		for _, s := range vec {
+			b.join = append(b.join, s...)
+		}
+		_, err = conn.Write(b.join)
+	default:
+		_, err = vec.WriteTo(conn) // consumes the local header only
+	}
+	// Clear the saved entries so retired payloads are not pinned by the
+	// reused backing array until the next flush overwrites them.
+	for i := range b.vec {
+		b.vec[i] = nil
+	}
+	b.vec = b.vec[:0]
+	return err
+}
+
+// retire releases every staged PDU exactly once and resets the batch.
+func (b *wbatch) retire(release func(proto.PDU)) {
+	for i, p := range b.pending {
+		if p != nil && release != nil {
+			release(p)
+		}
+		b.pending[i] = nil
+	}
+	b.pending = b.pending[:0]
+	for i := range b.payloads {
+		b.payloads[i] = nil
+	}
+	b.payloads = b.payloads[:0]
+	b.cuts = b.cuts[:0]
+	b.hdr = b.hdr[:0]
+	b.bytes = 0
+}
+
 // drainWriter is the outbound half of one connection, shared by the
-// server and the client: it pulls PDUs off out, marshals them with
-// AppendPDU into one reused buffer — greedily draining whatever else is
-// already queued, up to batch bytes (callers pass maxWriteBatch unless
-// configured otherwise; 1 degenerates to one syscall per PDU, the
-// pre-shard writer) — and flushes the batch with a single Write.
-// Marshalling is allocation-free in steady state, and a burst of N
-// coalesced responses costs one syscall instead of N.
+// server and the client: it pulls PDUs off out, stages them — headers
+// marshalled allocation-free into one reused buffer, large payloads
+// referenced in place — greedily draining whatever else is already
+// queued, up to cfg.batch bytes, then flushes the whole batch with a
+// single (vectored) write. Payload bytes travel from the owner's buffer
+// to the socket without an intermediate copy, and a burst of N coalesced
+// responses costs one syscall instead of N.
 //
 // A nil PDU on out is the flush-then-close sentinel: everything queued
 // before it is written, then the socket is closed — how a reactor-side
 // protocol error tears the connection down without racing a final
 // TermReq off the wire.
 //
-// release, if non-nil, retires each PDU right after it is marshalled
-// (returning pooled payloads and structs); it also runs for PDUs consumed
-// after a write error, so the sender's pool accounting stays balanced.
-// done is closed by the connection's read loop at teardown; quit is the
-// server/client-wide shutdown signal.
-func drainWriter(conn net.Conn, out <-chan proto.PDU, done, quit <-chan struct{}, release func(proto.PDU), batch int) {
-	buf := make([]byte, 0, 64<<10)
+// cfg.release retires each PDU after its flush resolves (success, write
+// error, or teardown drop) — exactly once, never at stage time, because
+// the write vector references pooled payload bytes until the syscall
+// lands. done is closed by the connection's read loop at teardown; quit
+// is the server/client-wide shutdown signal.
+func drainWriter(conn net.Conn, out <-chan proto.PDU, done, quit <-chan struct{}, cfg writerConfig) {
+	if cfg.batch <= 0 {
+		cfg.batch = maxWriteBatch
+	}
+	closeConn := cfg.closeConn
+	if closeConn == nil {
+		closeConn = func() { conn.Close() }
+	}
 	free := func(p proto.PDU) {
-		if p != nil && release != nil {
-			release(p)
+		if p != nil && cfg.release != nil {
+			cfg.release(p)
 		}
 	}
+	b := &wbatch{hdr: make([]byte, 0, 64<<10)}
+	coalescing := cfg.coalesceBytes > 0 && cfg.coalesceDelay > 0
+	var coalesceTimer *time.Timer
 	for {
 		var p proto.PDU
 		select {
@@ -56,29 +208,73 @@ func drainWriter(conn net.Conn, out <-chan proto.PDU, done, quit <-chan struct{}
 		case <-quit:
 			return
 		}
-		buf = buf[:0]
 		closeAfter := p == nil
 		if p != nil {
-			buf = proto.AppendPDU(buf, p)
-			free(p)
+			b.add(p)
 		}
 	drain:
-		for !closeAfter && len(buf) < batch {
+		for !closeAfter && b.bytes < cfg.batch {
 			select {
 			case p = <-out:
 				if p == nil {
 					closeAfter = true
 					break drain
 				}
-				buf = proto.AppendPDU(buf, p)
-				free(p)
+				b.add(p)
 			default:
 				break drain
 			}
 		}
-		if len(buf) > 0 {
-			if _, err := conn.Write(buf); err != nil {
-				conn.Close() // unblocks the read loop
+		if coalescing && !closeAfter && b.bytes < cfg.batch && b.bytes < cfg.coalesceBytes {
+			// Aggregation window: the queue ran dry below the coalescing
+			// threshold, so hold the batch briefly — small submissions
+			// arriving within the window share one vectored flush instead
+			// of paying a syscall each.
+			if coalesceTimer == nil {
+				coalesceTimer = time.NewTimer(cfg.coalesceDelay)
+			} else {
+				coalesceTimer.Reset(cfg.coalesceDelay)
+			}
+			expired := false
+		wait:
+			for !closeAfter && b.bytes < cfg.batch && b.bytes < cfg.coalesceBytes {
+				select {
+				case p = <-out:
+					if p == nil {
+						closeAfter = true
+						break wait
+					}
+					b.add(p)
+				case <-coalesceTimer.C:
+					expired = true
+					break wait
+				case <-done:
+					// Teardown mid-window: the connection is gone, so the
+					// staged batch is dropped (released once), like every
+					// queued-but-unwritten PDU.
+					b.retire(cfg.release)
+					for {
+						select {
+						case p := <-out:
+							free(p)
+						default:
+							return
+						}
+					}
+				case <-quit:
+					b.retire(cfg.release)
+					return
+				}
+			}
+			if !expired && !coalesceTimer.Stop() {
+				<-coalesceTimer.C
+			}
+		}
+		if b.bytes > 0 {
+			err := b.write(conn)
+			b.retire(cfg.release)
+			if err != nil {
+				closeConn() // unblocks the read loop
 				// Keep consuming (and releasing) until teardown so
 				// senders blocked on the channel make progress.
 				for {
@@ -94,13 +290,13 @@ func drainWriter(conn net.Conn, out <-chan proto.PDU, done, quit <-chan struct{}
 			}
 		}
 		if closeAfter {
-			conn.Close() // unblocks the read loop; queued PDUs flushed
+			closeConn() // unblocks the read loop; queued PDUs flushed
 		}
 	}
 }
 
 // releaseServerPDU retires an outbound PDU after the server writer has
-// marshalled (or dropped) it: pooled read payloads go back to the buffer
+// flushed (or dropped) it: pooled read payloads go back to the buffer
 // pool, per-request structs to the struct pools. Cold PDUs (ICResp,
 // TermReq) pass through Recycle as no-ops.
 func releaseServerPDU(p proto.PDU) {
@@ -112,7 +308,7 @@ func releaseServerPDU(p proto.PDU) {
 }
 
 // releaseClientPDU retires an outbound PDU after the client writer has
-// marshalled (or dropped) it. CapsuleCmd write payloads are user-owned
+// flushed (or dropped) it. CapsuleCmd write payloads are user-owned
 // (hostqp passes the caller's slice through), so only the reference is
 // dropped — never the buffer.
 func releaseClientPDU(p proto.PDU) {

@@ -1,0 +1,365 @@
+package tcptrans
+
+// Unit tests for the vectored drainWriter: the byte stream must be
+// identical to concatenated proto.Marshal output under every knob
+// combination (the zero-copy and coalescing acceptance criterion), every
+// staged PDU must be released exactly once on every exit path (success,
+// write error, sentinel, teardown), and the coalescing window must merge
+// back-to-back submissions into a single flush.
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nvmeopf/internal/nvme"
+	"nvmeopf/internal/proto"
+)
+
+// writerTestPDUs builds a mixed batch exercising every staging path:
+// large payloads (scatter-gather referenced), small payloads (copied into
+// the header buffer), and fixed-size PDUs with no payload at all.
+func writerTestPDUs() []proto.PDU {
+	large := make([]byte, 8192)
+	for i := range large {
+		large[i] = byte(i * 7)
+	}
+	small := make([]byte, 512)
+	for i := range small {
+		small[i] = byte(i * 3)
+	}
+	return []proto.PDU{
+		&proto.ICReq{PFV: 1, QueueDepth: 8, Prio: proto.PrioThroughputCritical, NSID: 1},
+		&proto.CapsuleCmd{
+			Cmd:  nvme.Command{Opcode: nvme.OpWrite, CID: 1, NSID: 1, SLBA: 8, NLB: 1},
+			Prio: proto.PrioThroughputCritical, Data: large,
+		},
+		&proto.C2HData{CCCID: 2, Offset: 0, Data: append([]byte(nil), large...)},
+		&proto.C2HData{CCCID: 3, Offset: 4096, Data: small},
+		&proto.CapsuleCmd{
+			Cmd:  nvme.Command{Opcode: nvme.OpWrite, CID: 4, NSID: 1, SLBA: 16, NLB: 0},
+			Prio: proto.PrioLatencySensitive, Data: small,
+		},
+		&proto.CapsuleResp{Cpl: nvme.Completion{CID: 1}},
+		&proto.C2HData{CCCID: 5, Offset: 0, Data: nil},
+	}
+}
+
+func marshalAll(pdus []proto.PDU) []byte {
+	var want []byte
+	for _, p := range pdus {
+		want = proto.AppendPDU(want, p)
+	}
+	return want
+}
+
+// runWriterCollect feeds pdus (then the close sentinel) through a
+// drainWriter over the given connection pair and returns the bytes that
+// arrived, after the writer closed the socket.
+func runWriterCollect(t *testing.T, wc, rc net.Conn, cfg writerConfig, pdus []proto.PDU, feed func(chan<- proto.PDU)) []byte {
+	t.Helper()
+	out := make(chan proto.PDU, len(pdus)+1)
+	done := make(chan struct{})
+	quit := make(chan struct{})
+	defer close(done)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		drainWriter(wc, out, done, quit, cfg)
+	}()
+	go func() {
+		if feed != nil {
+			feed(out)
+		} else {
+			for _, p := range pdus {
+				out <- p
+			}
+		}
+		out <- nil // flush-then-close sentinel
+	}()
+	got, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatalf("read stream: %v", err)
+	}
+	// The sentinel closed the socket; unblock and join the writer.
+	return got
+}
+
+// tcpPair returns a connected loopback TCP pair so net.Buffers.WriteTo
+// takes the real writev path.
+func tcpPair(t *testing.T) (client, server net.Conn) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	type res struct {
+		c   net.Conn
+		err error
+	}
+	ch := make(chan res, 1)
+	go func() {
+		c, err := ln.Accept()
+		ch <- res{c, err}
+	}()
+	c, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := <-ch
+	if r.err != nil {
+		c.Close()
+		t.Fatal(r.err)
+	}
+	t.Cleanup(func() { c.Close(); r.c.Close() })
+	return c, r.c
+}
+
+// TestWriterWireIdentity pins the acceptance criterion: with coalescing
+// off (and on), at every batch size, over both a real TCP socket (writev)
+// and a non-TCP pipe (sequential fallback), the vectored writer emits a
+// byte stream identical to concatenating proto.Marshal for each PDU.
+func TestWriterWireIdentity(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  writerConfig
+		tcp  bool
+	}{
+		{"default-tcp", writerConfig{}, true},
+		{"default-pipe", writerConfig{}, false},
+		{"batch1-tcp", writerConfig{batch: 1}, true},
+		{"coalesced-tcp", writerConfig{coalesceBytes: 64 << 10, coalesceDelay: 200 * time.Microsecond}, true},
+		{"coalesced-pipe", writerConfig{coalesceBytes: 64 << 10, coalesceDelay: 200 * time.Microsecond}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pdus := writerTestPDUs()
+			want := marshalAll(pdus)
+			var wc, rc net.Conn
+			if tc.tcp {
+				wc, rc = tcpPair(t)
+			} else {
+				wc, rc = net.Pipe()
+				t.Cleanup(func() { wc.Close(); rc.Close() })
+			}
+			got := runWriterCollect(t, wc, rc, tc.cfg, pdus, nil)
+			if !bytes.Equal(got, want) {
+				t.Fatalf("wire stream differs: got %d bytes, want %d", len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestWriterWireIdentityStaggered feeds PDUs one at a time with gaps so
+// the coalescing window opens and closes repeatedly — the stream must
+// still be byte-identical.
+func TestWriterWireIdentityStaggered(t *testing.T) {
+	pdus := writerTestPDUs()
+	want := marshalAll(pdus)
+	wc, rc := tcpPair(t)
+	cfg := writerConfig{coalesceBytes: 4 << 10, coalesceDelay: 100 * time.Microsecond}
+	got := runWriterCollect(t, wc, rc, cfg, pdus, func(out chan<- proto.PDU) {
+		for i, p := range pdus {
+			if i%2 == 1 {
+				time.Sleep(300 * time.Microsecond) // outlast the window
+			}
+			out <- p
+		}
+	})
+	if !bytes.Equal(got, want) {
+		t.Fatalf("wire stream differs: got %d bytes, want %d", len(got), len(want))
+	}
+}
+
+// countReleases wraps a release hook counting per-PDU retirements.
+type countReleases struct {
+	mu     sync.Mutex
+	counts map[proto.PDU]int
+}
+
+func newCountReleases() *countReleases {
+	return &countReleases{counts: make(map[proto.PDU]int)}
+}
+
+func (c *countReleases) release(p proto.PDU) {
+	c.mu.Lock()
+	c.counts[p]++
+	c.mu.Unlock()
+}
+
+func (c *countReleases) verify(t *testing.T, pdus []proto.PDU) {
+	t.Helper()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, p := range pdus {
+		if n := c.counts[p]; n != 1 {
+			t.Errorf("pdu %d (%T) released %d times, want exactly 1", i, p, n)
+		}
+	}
+	if len(c.counts) != len(pdus) {
+		t.Errorf("released %d distinct PDUs, want %d", len(c.counts), len(pdus))
+	}
+}
+
+// TestWriterReleaseExactlyOnceSuccess: every flushed PDU retires once.
+func TestWriterReleaseExactlyOnceSuccess(t *testing.T) {
+	pdus := writerTestPDUs()
+	wc, rc := tcpPair(t)
+	cr := newCountReleases()
+	runWriterCollect(t, wc, rc, writerConfig{release: cr.release}, pdus, nil)
+	cr.verify(t, pdus)
+}
+
+// errConn fails every write after failAfter bytes and counts closes.
+type errConn struct {
+	net.Conn
+	wrote     atomic.Int64
+	failAfter int64
+	closed    atomic.Int32
+}
+
+var errInjectedWrite = errors.New("injected write failure")
+
+func (c *errConn) Write(b []byte) (int, error) {
+	if c.wrote.Load() >= c.failAfter {
+		return 0, errInjectedWrite
+	}
+	c.wrote.Add(int64(len(b)))
+	return len(b), nil
+}
+
+func (c *errConn) Close() error {
+	c.closed.Add(1)
+	if c.Conn != nil {
+		return c.Conn.Close()
+	}
+	return nil
+}
+
+// TestWriterReleaseExactlyOnceWriteError: a failing flush must release
+// the staged batch once, close the connection, and keep draining (and
+// releasing) queued PDUs until teardown — never a double release.
+func TestWriterReleaseExactlyOnceWriteError(t *testing.T) {
+	pdus := writerTestPDUs()
+	conn := &errConn{failAfter: 0} // first write fails
+	cr := newCountReleases()
+	out := make(chan proto.PDU, len(pdus))
+	done := make(chan struct{})
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		drainWriter(conn, out, done, quit, writerConfig{batch: 1, release: cr.release})
+	}()
+	for _, p := range pdus {
+		out <- p
+	}
+	// The writer is now in its post-error consume loop; every queued PDU
+	// must have been (or will be) freed. Give it a moment, then tear down.
+	waitFor(t, "all PDUs consumed", func() bool {
+		cr.mu.Lock()
+		defer cr.mu.Unlock()
+		return len(cr.counts) == len(pdus)
+	})
+	close(done)
+	wg.Wait()
+	cr.verify(t, pdus)
+	if conn.closed.Load() == 0 {
+		t.Error("write error did not close the connection")
+	}
+}
+
+// TestWriterReleaseExactlyOnceTeardown: PDUs still queued when the read
+// loop tears the connection down are drained and released exactly once.
+func TestWriterReleaseExactlyOnceTeardown(t *testing.T) {
+	pdus := writerTestPDUs()
+	cr := newCountReleases()
+	out := make(chan proto.PDU, len(pdus))
+	for _, p := range pdus {
+		out <- p
+	}
+	done := make(chan struct{})
+	close(done) // teardown already signalled: writer must drain-and-free
+	quit := make(chan struct{})
+	drainWriter(&errConn{failAfter: 1 << 30}, out, done, quit, writerConfig{release: cr.release})
+	cr.verify(t, pdus)
+}
+
+// TestWriterSentinelFlushesBeforeClose: everything queued ahead of the
+// nil sentinel reaches the wire before the socket closes.
+func TestWriterSentinelFlushesBeforeClose(t *testing.T) {
+	pdus := writerTestPDUs()
+	want := marshalAll(pdus)
+	wc, rc := tcpPair(t)
+	out := make(chan proto.PDU, len(pdus)+1)
+	for _, p := range pdus {
+		out <- p
+	}
+	out <- nil
+	done := make(chan struct{})
+	defer close(done)
+	go drainWriter(wc, out, done, make(chan struct{}), writerConfig{})
+	got, err := io.ReadAll(rc) // EOF only after the writer closes wc
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("sentinel close lost bytes: got %d, want %d", len(got), len(want))
+	}
+}
+
+// countWriteConn counts flushes (Write calls) while discarding bytes.
+type countWriteConn struct {
+	net.Conn
+	writes atomic.Int32
+	bytes  atomic.Int64
+	closed chan struct{}
+	once   sync.Once
+}
+
+func (c *countWriteConn) Write(b []byte) (int, error) {
+	c.writes.Add(1)
+	c.bytes.Add(int64(len(b)))
+	return len(b), nil
+}
+
+func (c *countWriteConn) Close() error {
+	c.once.Do(func() { close(c.closed) })
+	return nil
+}
+
+// TestWriterCoalescingMergesFlushes: two small submissions arriving
+// within one coalescing window share a single flush. Small payloads stay
+// below zcPayloadThreshold, so the whole batch is one contiguous span and
+// one flush means exactly one Write call.
+func TestWriterCoalescingMergesFlushes(t *testing.T) {
+	p1 := &proto.CapsuleCmd{Cmd: nvme.Command{Opcode: nvme.OpRead, CID: 1, NSID: 1}}
+	p2 := &proto.CapsuleCmd{Cmd: nvme.Command{Opcode: nvme.OpRead, CID: 2, NSID: 1}}
+	conn := &countWriteConn{closed: make(chan struct{})}
+	out := make(chan proto.PDU, 4)
+	done := make(chan struct{})
+	defer close(done)
+	go drainWriter(conn, out, done, make(chan struct{}), writerConfig{
+		coalesceBytes: 64 << 10,
+		coalesceDelay: 500 * time.Millisecond, // far longer than the gap below
+	})
+	out <- p1
+	time.Sleep(2 * time.Millisecond) // writer is now waiting in the window
+	out <- p2
+	out <- nil // closes the window and flushes
+	<-conn.closed
+	if n := conn.writes.Load(); n != 1 {
+		t.Errorf("coalescing produced %d flushes, want 1", n)
+	}
+	if want := int64(p1.WireSize() + p2.WireSize()); conn.bytes.Load() != want {
+		t.Errorf("flushed %d bytes, want %d", conn.bytes.Load(), want)
+	}
+}
