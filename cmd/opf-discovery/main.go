@@ -1,27 +1,87 @@
-// Command opf-discovery runs a standalone discovery endpoint. Targets
-// register via opf-target's -discovery/-nqn flags; hosts resolve
-// subsystems with tcptrans.Discover / nvmeopf.DialDiscovered.
+// Command opf-discovery runs the cluster control plane: a discovery
+// endpoint that tracks member liveness through TTL'd keep-alive
+// registrations and maintains the shard → primary/replica map under a
+// monotonic epoch. Targets register via opf-target's -discovery/-nqn/
+// -keepalive flags; hosts resolve subsystems with tcptrans.Discover,
+// nvmeopf.DialDiscovered, or route replicated I/O with cluster.Dial.
+//
+// Usage:
+//
+//	opf-discovery -addr 127.0.0.1:4419
+//	opf-discovery -addr :4419 -min-shards 4 -debug-addr 127.0.0.1:9119
+//
+// With -debug-addr set, live membership and the shard map are served at
+// /debug/cluster and control-plane counters at /metrics.
 package main
 
 import (
+	"errors"
 	"flag"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"nvmeopf/internal/tcptrans"
+	"nvmeopf/internal/telemetry"
 )
 
 func main() {
-	addr := flag.String("addr", "127.0.0.1:4419", "listen address")
+	var (
+		addr      = flag.String("addr", "127.0.0.1:4419", "listen address")
+		minShards = flag.Int("min-shards", 0, "pre-size the shard map (it also grows to cover claimed shards)")
+		sweep     = flag.Duration("sweep", 25*time.Millisecond, "TTL-expiry sweep cadence")
+		debugAddr = flag.String("debug-addr", "", "serve /debug/cluster and /metrics on this address (empty: off)")
+	)
 	flag.Parse()
-	d, err := tcptrans.ListenDiscovery(*addr)
+
+	tel := telemetry.New()
+	d, err := tcptrans.ListenDiscoveryCluster(*addr, tcptrans.DiscoveryConfig{
+		MinShards:     *minShards,
+		SweepInterval: *sweep,
+		Telemetry:     tel,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer d.Close()
-	log.Printf("nvme-opf discovery endpoint on %s", d.Addr())
+	log.Printf("nvme-opf discovery control plane on %s", d.Addr())
+
+	var debugLn net.Listener
+	if *debugAddr != "" {
+		debugLn, err = net.Listen("tcp", *debugAddr)
+		if err != nil {
+			log.Fatalf("debug listener: %v", err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/debug/cluster", d.ClusterHandler())
+		mux.Handle("/", tel.Handler())
+		go func() {
+			if serr := http.Serve(debugLn, mux); serr != nil && !isClosed(serr) {
+				log.Printf("debug server: %v", serr)
+			}
+		}()
+		log.Printf("cluster state on http://%s/debug/cluster (metrics: /metrics)", debugLn.Addr())
+	}
+
+	// A control plane dies on operator interrupt AND on supervisor
+	// SIGTERM; both paths close the listeners so in-flight registrations
+	// finish and the port frees immediately.
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
-	<-stop
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	sig := <-stop
+	log.Printf("%v: shutting down", sig)
+	if debugLn != nil {
+		debugLn.Close()
+	}
+	if err := d.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}
+
+func isClosed(err error) bool {
+	return errors.Is(err, http.ErrServerClosed) || errors.Is(err, net.ErrClosed)
 }

@@ -15,14 +15,36 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 	"time"
 
 	"nvmeopf/internal/autotune"
 	"nvmeopf/internal/bdev"
+	"nvmeopf/internal/cluster"
+	"nvmeopf/internal/proto"
 	"nvmeopf/internal/targetqp"
 	"nvmeopf/internal/tcptrans"
 	"nvmeopf/internal/telemetry"
 )
+
+// parseShards turns "0,1,2" into shard claims ("" claims none).
+func parseShards(s string) ([]uint32, error) {
+	if s == "" {
+		return nil, nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]uint32, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.ParseUint(strings.TrimSpace(p), 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("bad shard %q: %v", p, err)
+		}
+		out = append(out, uint32(n))
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -37,6 +59,8 @@ func main() {
 		statsSec  = flag.Int("stats", 10, "stats print interval seconds (0: off)")
 		discovery = flag.String("discovery", "", "discovery endpoint to register with (optional)")
 		nqn       = flag.String("nqn", "nqn.2024-01.io.nvmeopf:target", "subsystem NQN for discovery registration")
+		keepalive = flag.Duration("keepalive", 0, "re-register with -discovery at this cadence, TTL 3x (0: register once, never expire)")
+		clusterSh = flag.String("cluster-shards", "", "comma-separated namespace shards this target serves (e.g. 0,1); requires -discovery")
 		metrics   = flag.String("metrics-addr", "", "serve /metrics and /debug endpoints on this address (empty: off)")
 		recEvents = flag.Int("recorder-events", 4096, "flight-recorder ring capacity per tenant (0: recorder off)")
 		recStall  = flag.Duration("recorder-stall", 0, "drain-stall anomaly threshold for auto snapshots (0: off)")
@@ -147,7 +171,25 @@ func main() {
 		log.Printf("telemetry on http://%s/metrics (debug: /debug/tenants, /debug/windows, /debug/slo, /debug/autotune, /debug/e2e, /debug/trace, /debug/pprof/)", exp.Addr())
 	}
 	if *discovery != "" {
-		if derr := tcptrans.RegisterRemote(*discovery, *nqn, srv.Addr(), m); derr != nil {
+		shards, perr := parseShards(*clusterSh)
+		if perr != nil {
+			log.Fatalf("-cluster-shards: %v", perr)
+		}
+		if *keepalive > 0 || len(shards) > 0 {
+			reg, derr := cluster.StartRegistrar(cluster.RegistrarConfig{
+				DiscoveryAddr: *discovery,
+				Entry:         proto.DiscEntry{NQN: *nqn, Addr: srv.Addr(), Mode: uint8(m)},
+				Shards:        shards,
+				Interval:      *keepalive,
+			})
+			if derr != nil {
+				log.Printf("discovery registration failed: %v", derr)
+			} else {
+				defer reg.Stop()
+				log.Printf("registered %q with discovery at %s (keep-alive %v, shards %v)",
+					*nqn, *discovery, *keepalive, shards)
+			}
+		} else if derr := tcptrans.RegisterRemote(*discovery, *nqn, srv.Addr(), m); derr != nil {
 			log.Printf("discovery registration failed: %v", derr)
 		} else {
 			log.Printf("registered %q with discovery at %s", *nqn, *discovery)
@@ -155,7 +197,7 @@ func main() {
 	}
 
 	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	if *statsSec > 0 {
 		ticker := time.NewTicker(time.Duration(*statsSec) * time.Second)
 		defer ticker.Stop()

@@ -31,7 +31,7 @@ type debugTenants struct {
 		Reconnects  int64 `json:"reconnects"`
 	} `json:"global"`
 	Tenants []struct {
-		Tenant     uint8  `json:"tenant"`
+		Tenant     uint16 `json:"tenant"`
 		Class      string `json:"class"`
 		Completed  int64  `json:"completed"`
 		BytesRead  int64  `json:"bytes_read"`
@@ -45,7 +45,7 @@ type debugTenants struct {
 
 type debugAutotune struct {
 	Tenants []struct {
-		Tenant    uint8   `json:"tenant"`
+		Tenant    uint16  `json:"tenant"`
 		Window    int     `json:"window"`
 		Cap       int     `json:"cap"`
 		Decisions []int64 `json:"decisions"` // shrink, grow, hold, cold
@@ -57,8 +57,8 @@ type debugAutotune struct {
 
 type debugE2E struct {
 	Tenants []struct {
-		Tenant  uint8 `json:"tenant"`
-		Updates int64 `json:"updates"`
+		Tenant  uint16 `json:"tenant"`
+		Updates int64  `json:"updates"`
 		Classes []struct {
 			Samples int64 `json:"samples"`
 			P99NS   int64 `json:"p99_ns"`
@@ -123,19 +123,19 @@ func sparkline(vals []float64) string {
 // history keeps per-tenant rate series between polls.
 type history struct {
 	prevAt    time.Time
-	prevOps   map[uint8]int64
-	prevBytes map[uint8]int64
-	iops      map[uint8][]float64
+	prevOps   map[uint16]int64
+	prevBytes map[uint16]int64
+	iops      map[uint16][]float64
 }
 
 const sparkLen = 24
 
-func (h *history) update(f *frame) (iops, mbps map[uint8]float64) {
-	iops = make(map[uint8]float64)
-	mbps = make(map[uint8]float64)
+func (h *history) update(f *frame) (iops, mbps map[uint16]float64) {
+	iops = make(map[uint16]float64)
+	mbps = make(map[uint16]float64)
 	dt := f.at.Sub(h.prevAt).Seconds()
-	ops := make(map[uint8]int64)
-	bytes := make(map[uint8]int64)
+	ops := make(map[uint16]int64)
+	bytes := make(map[uint16]int64)
 	for _, t := range f.tenants.Tenants {
 		ops[t.Tenant] = t.Completed
 		bytes[t.Tenant] = t.BytesRead + t.BytesWrite
@@ -180,7 +180,7 @@ func render(f *frame, h *history, addr string, clear bool) {
 		shrinks, grows int64
 		tuned          bool
 	}
-	ats := make(map[uint8]atRow)
+	ats := make(map[uint16]atRow)
 	for _, t := range f.autotune.Tenants {
 		r := atRow{cap: t.Cap, burn: t.Last.BurnRate, tuned: true}
 		if len(t.Decisions) >= 2 {
@@ -192,7 +192,7 @@ func render(f *frame, h *history, addr string, clear bool) {
 		p99, gap int64
 		updates  int64
 	}
-	e2es := make(map[uint8]e2eRow)
+	e2es := make(map[uint16]e2eRow)
 	for _, t := range f.e2e.Tenants {
 		r := e2eRow{updates: t.Updates}
 		for _, c := range t.Classes {
@@ -250,7 +250,7 @@ func main() {
 
 	base := "http://" + *addr
 	client := &http.Client{Timeout: 5 * time.Second}
-	h := &history{iops: make(map[uint8][]float64)}
+	h := &history{iops: make(map[uint16][]float64)}
 
 	f, err := poll(client, base)
 	if err != nil {

@@ -214,7 +214,7 @@ func RunE2EGap(cfg Config, label string, at *autotune.Config) (E2EGapResult, err
 	// The target's merged view of the LS tenant: service p99 on the
 	// target's clock vs the host-reported e2e p99 and their gap — the
 	// quantified size of the service-only controller's blind spot.
-	lsTenant := uint8(lsIni.Session.Tenant())
+	lsTenant := uint16(lsIni.Session.Tenant())
 	for _, s := range reg.E2E() {
 		if s.Tenant != lsTenant {
 			continue

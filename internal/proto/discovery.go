@@ -57,9 +57,17 @@ func (e DiscEntry) Validate() error {
 }
 
 // DiscRegister adds (or updates) one subsystem in a discovery endpoint's
-// log; the endpoint acknowledges with its updated DiscResp.
+// log; the endpoint acknowledges with its updated DiscResp. Beyond the
+// base entry it carries the cluster keep-alive contract: a TTL the
+// registrant promises to refresh within (0 = never expires, the legacy
+// behaviour), the last cluster-map epoch the registrant observed (split-
+// brain fencing: an expired target re-registering with a stale epoch is
+// rejected), and the namespace shards the target volunteers to serve.
 type DiscRegister struct {
-	Entry DiscEntry
+	Entry  DiscEntry
+	TTLMs  uint32   // keep-alive deadline in ms; 0 = no expiry
+	Epoch  uint64   // last observed cluster-map epoch (0 = none)
+	Shards []uint32 // namespace shards this target can serve
 }
 
 // PDUType implements PDU.
@@ -67,7 +75,8 @@ func (*DiscRegister) PDUType() Type { return TypeDiscRegister }
 
 // WireSize implements PDU.
 func (p *DiscRegister) WireSize() int {
-	return chSize + 2 + len(p.Entry.NQN) + 2 + len(p.Entry.Addr) + 1
+	return chSize + 2 + len(p.Entry.NQN) + 2 + len(p.Entry.Addr) + 1 +
+		4 + 8 + 2 + 4*len(p.Shards)
 }
 
 func (p *DiscRegister) encodeBody(dst []byte) {
@@ -81,6 +90,17 @@ func (p *DiscRegister) encodeBody(dst []byte) {
 	copy(dst[off:], e.Addr)
 	off += len(e.Addr)
 	dst[off] = e.Mode
+	off++
+	binary.LittleEndian.PutUint32(dst[off:], p.TTLMs)
+	off += 4
+	binary.LittleEndian.PutUint64(dst[off:], p.Epoch)
+	off += 8
+	binary.LittleEndian.PutUint16(dst[off:], uint16(len(p.Shards)))
+	off += 2
+	for _, sh := range p.Shards {
+		binary.LittleEndian.PutUint32(dst[off:], sh)
+		off += 4
+	}
 }
 
 func (p *DiscRegister) decodeBody(src []byte) error {
@@ -102,15 +122,54 @@ func (p *DiscRegister) decodeBody(src []byte) error {
 	p.Entry.Addr = string(src[off : off+al])
 	off += al
 	p.Entry.Mode = src[off]
+	off++
+	// Cluster extension: absent on legacy registrations.
+	p.TTLMs, p.Epoch, p.Shards = 0, 0, nil
+	if off == len(src) {
+		return p.Entry.Validate()
+	}
+	if off+4+8+2 > len(src) {
+		return fmt.Errorf("proto: truncated DiscRegister cluster extension")
+	}
+	p.TTLMs = binary.LittleEndian.Uint32(src[off:])
+	off += 4
+	p.Epoch = binary.LittleEndian.Uint64(src[off:])
+	off += 8
+	sc := int(binary.LittleEndian.Uint16(src[off:]))
+	off += 2
+	if off+4*sc > len(src) {
+		return fmt.Errorf("proto: truncated DiscRegister shard claims")
+	}
+	if sc > 0 {
+		p.Shards = make([]uint32, sc)
+		for i := range p.Shards {
+			p.Shards[i] = binary.LittleEndian.Uint32(src[off:])
+			off += 4
+		}
+	}
 	return p.Entry.Validate()
 }
 
 func (p *DiscRegister) headerFlags() uint8     { return 0 }
 func (p *DiscRegister) setHeaderFlags(f uint8) {}
 
-// DiscResp carries the discovery log.
+// ShardAssignment names the targets serving one namespace shard. NQNs
+// reference entries in the same DiscResp; an empty string means the role
+// is unfilled (a shard with no Replica is running unreplicated, one with
+// no Primary is down).
+type ShardAssignment struct {
+	Shard   uint32
+	Primary string // NQN of the primary ("" = none alive)
+	Replica string // NQN of the replica ("" = unreplicated)
+}
+
+// DiscResp carries the discovery log plus the cluster map: the monotonic
+// map epoch (bumped on every membership or role change) and the shard →
+// primary/replica assignments in effect at that epoch.
 type DiscResp struct {
-	Entries []DiscEntry
+	Entries     []DiscEntry
+	Epoch       uint64
+	Assignments []ShardAssignment
 }
 
 // PDUType implements PDU.
@@ -121,6 +180,10 @@ func (p *DiscResp) WireSize() int {
 	n := chSize + 2
 	for _, e := range p.Entries {
 		n += 2 + len(e.NQN) + 2 + len(e.Addr) + 1
+	}
+	n += 8 + 2
+	for _, a := range p.Assignments {
+		n += 4 + 2 + len(a.Primary) + 2 + len(a.Replica)
 	}
 	return n
 }
@@ -139,6 +202,22 @@ func (p *DiscResp) encodeBody(dst []byte) {
 		off += len(e.Addr)
 		dst[off] = e.Mode
 		off++
+	}
+	binary.LittleEndian.PutUint64(dst[off:], p.Epoch)
+	off += 8
+	binary.LittleEndian.PutUint16(dst[off:], uint16(len(p.Assignments)))
+	off += 2
+	for _, a := range p.Assignments {
+		binary.LittleEndian.PutUint32(dst[off:], a.Shard)
+		off += 4
+		binary.LittleEndian.PutUint16(dst[off:], uint16(len(a.Primary)))
+		off += 2
+		copy(dst[off:], a.Primary)
+		off += len(a.Primary)
+		binary.LittleEndian.PutUint16(dst[off:], uint16(len(a.Replica)))
+		off += 2
+		copy(dst[off:], a.Replica)
+		off += len(a.Replica)
 	}
 }
 
@@ -172,6 +251,45 @@ func (p *DiscResp) decodeBody(src []byte) error {
 		entries = append(entries, DiscEntry{NQN: nqn, Addr: addr, Mode: mode})
 	}
 	p.Entries = entries
+	// Cluster extension: absent on legacy responses.
+	p.Epoch, p.Assignments = 0, nil
+	if off == len(src) {
+		return nil
+	}
+	if off+8+2 > len(src) {
+		return fmt.Errorf("proto: truncated DiscResp cluster extension")
+	}
+	p.Epoch = binary.LittleEndian.Uint64(src[off:])
+	off += 8
+	ac := int(binary.LittleEndian.Uint16(src[off:]))
+	off += 2
+	assigns := make([]ShardAssignment, 0, ac)
+	for i := 0; i < ac; i++ {
+		if off+4+2 > len(src) {
+			return fmt.Errorf("proto: truncated DiscResp assignment %d", i)
+		}
+		var a ShardAssignment
+		a.Shard = binary.LittleEndian.Uint32(src[off:])
+		off += 4
+		pl := int(binary.LittleEndian.Uint16(src[off:]))
+		off += 2
+		if off+pl+2 > len(src) {
+			return fmt.Errorf("proto: truncated primary NQN in assignment %d", i)
+		}
+		a.Primary = string(src[off : off+pl])
+		off += pl
+		rl := int(binary.LittleEndian.Uint16(src[off:]))
+		off += 2
+		if off+rl > len(src) {
+			return fmt.Errorf("proto: truncated replica NQN in assignment %d", i)
+		}
+		a.Replica = string(src[off : off+rl])
+		off += rl
+		assigns = append(assigns, a)
+	}
+	if ac > 0 {
+		p.Assignments = assigns
+	}
 	return nil
 }
 

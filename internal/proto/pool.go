@@ -351,7 +351,7 @@ func (p *CapsuleCmd) decodeBodyPooled(src []byte) error {
 		return err
 	}
 	p.Prio = Priority(src[sqePrioOffset] & 0x3)
-	p.Tenant = TenantID(src[sqeTenantOffset])
+	p.Tenant = TenantID(binary.LittleEndian.Uint16(src[sqeTenantOffset:]))
 	p.Data = clonePayload(src[nvme.CommandSize:])
 	return nil
 }

@@ -116,14 +116,17 @@ func (p Priority) String() string {
 	}
 }
 
-// TenantID identifies an initiator within a target (8 reserved bits in the
-// command capsule carry it on the wire, §IV-A).
-type TenantID uint8
+// TenantID identifies an initiator within a target. The paper used 8
+// reserved bits in the command capsule (§IV-A); this dialect widens the
+// field to 16 bits — little-endian in SQE bytes 9..10, still inside the
+// reserved region, still zero extra wire bytes — so one cluster can
+// address thousands of tenants.
+type TenantID uint16
 
-// Offsets of the priority extension inside the 64-byte SQE: bytes 8 and 9
+// Offsets of the priority extension inside the 64-byte SQE: bytes 8..10
 // sit in the region the base NVMe spec reserves for command dwords the I/O
 // command set does not use over fabrics, which is where the paper stashes
-// its bits.
+// its bits (byte 8: priority; bytes 9..10: tenant ID, little-endian).
 const (
 	sqePrioOffset   = 8
 	sqeTenantOffset = 9
@@ -222,7 +225,7 @@ func (*ICResp) WireSize() int { return ICRespSize }
 
 func (p *ICResp) encodeBody(dst []byte) {
 	binary.LittleEndian.PutUint16(dst[0:], p.PFV)
-	dst[2] = uint8(p.Tenant)
+	binary.LittleEndian.PutUint16(dst[2:], uint16(p.Tenant))
 	binary.LittleEndian.PutUint32(dst[4:], p.MaxDataLen)
 	binary.LittleEndian.PutUint32(dst[8:], p.BlockSize)
 	binary.LittleEndian.PutUint64(dst[12:], p.Capacity)
@@ -234,7 +237,7 @@ func (p *ICResp) decodeBody(src []byte) error {
 		return fmt.Errorf("proto: short ICResp body: %d", len(src))
 	}
 	p.PFV = binary.LittleEndian.Uint16(src[0:])
-	p.Tenant = TenantID(src[2])
+	p.Tenant = TenantID(binary.LittleEndian.Uint16(src[2:]))
 	p.MaxDataLen = binary.LittleEndian.Uint32(src[4:])
 	p.BlockSize = binary.LittleEndian.Uint32(src[8:])
 	p.Capacity = binary.LittleEndian.Uint64(src[12:])
@@ -270,7 +273,7 @@ func (p *CapsuleCmd) encodeFixed(dst []byte) {
 	// The priority extension lives in reserved SQE bytes, so it costs no
 	// extra wire bytes (§IV-A).
 	dst[sqePrioOffset] = uint8(p.Prio) & 0x3
-	dst[sqeTenantOffset] = uint8(p.Tenant)
+	binary.LittleEndian.PutUint16(dst[sqeTenantOffset:], uint16(p.Tenant))
 }
 
 func (p *CapsuleCmd) payloadRef() []byte { return p.Data }
@@ -283,7 +286,7 @@ func (p *CapsuleCmd) decodeBody(src []byte) error {
 		return err
 	}
 	p.Prio = Priority(src[sqePrioOffset] & 0x3)
-	p.Tenant = TenantID(src[sqeTenantOffset])
+	p.Tenant = TenantID(binary.LittleEndian.Uint16(src[sqeTenantOffset:]))
 	if len(src) > nvme.CommandSize {
 		p.Data = append([]byte(nil), src[nvme.CommandSize:]...)
 	} else {

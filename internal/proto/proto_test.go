@@ -66,6 +66,37 @@ func TestCapsuleCmdNoData(t *testing.T) {
 	}
 }
 
+// TestWideTenantIDRoundTrip pins the 16-bit tenant field: IDs above 255
+// survive the CapsuleCmd and ICResp wire encodings bit-exactly (they ride
+// little-endian in SQE bytes 9..10 and ICResp body bytes 2..3), and the
+// widening still costs zero extra wire bytes.
+func TestWideTenantIDRoundTrip(t *testing.T) {
+	for _, tenant := range []TenantID{0, 1, 255, 256, 0x1234, 65535} {
+		cc := &CapsuleCmd{
+			Cmd:    nvme.Command{Opcode: nvme.OpWrite, CID: 3, NSID: 1, SLBA: 8, NLB: 0},
+			Prio:   PrioThroughputCritical,
+			Tenant: tenant,
+			Data:   []byte("0123456789abcdef"),
+		}
+		got := roundTrip(t, cc).(*CapsuleCmd)
+		if got.Tenant != tenant {
+			t.Fatalf("CapsuleCmd tenant %d round-tripped to %d", tenant, got.Tenant)
+		}
+		if got.Prio != PrioThroughputCritical {
+			t.Fatalf("tenant %d clobbered priority: %v", tenant, got.Prio)
+		}
+		ic := &ICResp{PFV: 1, Tenant: tenant, MaxDataLen: 4096, BlockSize: 512, Capacity: 1 << 20}
+		if out := roundTrip(t, ic).(*ICResp); out.Tenant != tenant {
+			t.Fatalf("ICResp tenant %d round-tripped to %d", tenant, out.Tenant)
+		}
+	}
+	narrow := &CapsuleCmd{Cmd: nvme.Command{Opcode: nvme.OpRead, CID: 1, NSID: 1}, Tenant: 7}
+	wide := &CapsuleCmd{Cmd: nvme.Command{Opcode: nvme.OpRead, CID: 1, NSID: 1}, Tenant: 65535}
+	if len(Marshal(narrow)) != len(Marshal(wide)) {
+		t.Fatal("wide tenant IDs changed the wire size")
+	}
+}
+
 // The priority extension must not change PDU sizes (§IV-A): a flagged
 // capsule is byte-for-byte the same length as an unflagged one.
 func TestPriorityExtensionAddsNoBytes(t *testing.T) {
@@ -299,6 +330,58 @@ func TestDiscoveryPDURoundTrip(t *testing.T) {
 	empty := roundTrip(t, &DiscResp{}).(*DiscResp)
 	if len(empty.Entries) != 0 {
 		t.Fatalf("empty log decoded to %+v", empty.Entries)
+	}
+}
+
+// TestDiscoveryClusterExtensionRoundTrip pins the cluster fields layered
+// onto the discovery PDUs: TTL/epoch/shard claims on DiscRegister, map
+// epoch and shard assignments on DiscResp — and that a legacy body (no
+// trailing extension) still decodes with the extension zeroed.
+func TestDiscoveryClusterExtensionRoundTrip(t *testing.T) {
+	reg := &DiscRegister{
+		Entry:  DiscEntry{NQN: "nqn.2024-01.io.nvmeopf:t0", Addr: "10.0.0.1:4420", Mode: 1},
+		TTLMs:  1500,
+		Epoch:  42,
+		Shards: []uint32{0, 2, 5},
+	}
+	gotReg := roundTrip(t, reg).(*DiscRegister)
+	if !reflect.DeepEqual(gotReg, reg) {
+		t.Fatalf("DiscRegister got %+v, want %+v", gotReg, reg)
+	}
+	resp := &DiscResp{
+		Entries: []DiscEntry{
+			{NQN: "nqn.a", Addr: "h:1", Mode: 1},
+			{NQN: "nqn.b", Addr: "h:2", Mode: 1},
+		},
+		Epoch: 7,
+		Assignments: []ShardAssignment{
+			{Shard: 0, Primary: "nqn.a", Replica: "nqn.b"},
+			{Shard: 1, Primary: "nqn.b", Replica: ""},
+		},
+	}
+	gotResp := roundTrip(t, resp).(*DiscResp)
+	if !reflect.DeepEqual(gotResp, resp) {
+		t.Fatalf("DiscResp got %+v, want %+v", gotResp, resp)
+	}
+
+	// A legacy register body — everything up to and including the mode
+	// byte, no extension — must decode with TTL/epoch/shards zeroed.
+	full := Marshal(reg)
+	legacyLen := chSize + 2 + len(reg.Entry.NQN) + 2 + len(reg.Entry.Addr) + 1
+	legacy := make([]byte, legacyLen)
+	copy(legacy, full[:legacyLen])
+	legacy[4] = byte(legacyLen)
+	legacy[5], legacy[6], legacy[7] = byte(legacyLen>>8), 0, 0
+	dec, err := Unmarshal(legacy)
+	if err != nil {
+		t.Fatalf("legacy DiscRegister rejected: %v", err)
+	}
+	lr := dec.(*DiscRegister)
+	if lr.TTLMs != 0 || lr.Epoch != 0 || lr.Shards != nil {
+		t.Fatalf("legacy body decoded nonzero extension: %+v", lr)
+	}
+	if lr.Entry != reg.Entry {
+		t.Fatalf("legacy entry mismatch: %+v", lr.Entry)
 	}
 }
 

@@ -89,7 +89,7 @@ func TestE2EExactMergeAcrossFabric(t *testing.T) {
 	// service p99, and the snapshot reports the gap.
 	var found bool
 	for _, s := range targetTel.E2E() {
-		if s.Tenant != uint8(tenant) {
+		if s.Tenant != uint16(tenant) {
 			continue
 		}
 		found = true

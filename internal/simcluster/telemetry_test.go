@@ -88,11 +88,11 @@ func TestClusterTelemetryInstruments(t *testing.T) {
 	tcID, lsID := tc.Session.Tenant(), ls.Session.Tenant()
 
 	// Target-side instruments.
-	byTenant := map[uint8]telemetry.TenantSnapshot{}
+	byTenant := map[uint16]telemetry.TenantSnapshot{}
 	for _, s := range targetTel.Tenants() {
 		byTenant[s.Tenant] = s
 	}
-	ts, ok := byTenant[uint8(tcID)]
+	ts, ok := byTenant[uint16(tcID)]
 	if !ok {
 		t.Fatalf("target registry has no snapshot for TC tenant %d", tcID)
 	}
@@ -127,7 +127,7 @@ func TestClusterTelemetryInstruments(t *testing.T) {
 		t.Fatalf("target service-latency samples missing: %+v", ts)
 	}
 
-	lss, ok := byTenant[uint8(lsID)]
+	lss, ok := byTenant[uint16(lsID)]
 	if !ok {
 		t.Fatalf("target registry has no snapshot for LS tenant %d", lsID)
 	}
@@ -139,11 +139,11 @@ func TestClusterTelemetryInstruments(t *testing.T) {
 	}
 
 	// Host-side instruments live in the host registry.
-	hostBy := map[uint8]telemetry.TenantSnapshot{}
+	hostBy := map[uint16]telemetry.TenantSnapshot{}
 	for _, s := range hostTel.Tenants() {
 		hostBy[s.Tenant] = s
 	}
-	hts := hostBy[uint8(tcID)]
+	hts := hostBy[uint16(tcID)]
 	if hts.Submitted != tcReqs || hts.Completed != tcReqs {
 		t.Fatalf("host TC counters: %+v", hts)
 	}
@@ -156,7 +156,7 @@ func TestClusterTelemetryInstruments(t *testing.T) {
 	if hts.LatencyP50 <= 0 {
 		t.Fatalf("host end-to-end latency samples missing: %+v", hts)
 	}
-	if hls := hostBy[uint8(lsID)]; hls.Class != "latency-sensitive" {
+	if hls := hostBy[uint16(lsID)]; hls.Class != "latency-sensitive" {
 		t.Fatalf("host LS class = %q (the PM always runs TC-mode; the class must come from the session config)", hls.Class)
 	}
 	if g := hostTel.Global(); g.Connections != 2 {

@@ -107,7 +107,7 @@ type Config struct {
 	// untouched — behavior is bit-identical to a target without the
 	// field.
 	Autotune *autotune.Controller
-	// TenantBase and TenantStride carve the shared 0..255 tenant-ID space
+	// TenantBase and TenantStride carve the shared 0..65535 tenant-ID space
 	// between shard-partitioned targets: this target assigns TenantBase,
 	// TenantBase+TenantStride, TenantBase+2*TenantStride, … so sibling
 	// shards never collide and shared telemetry stays per-tenant exact.
@@ -195,8 +195,8 @@ func NewTarget(cfg Config, backend Backend) (*Target, error) {
 	if cfg.TenantStride <= 0 {
 		cfg.TenantStride = 1
 	}
-	if cfg.TenantBase < 0 || cfg.TenantBase > 255 {
-		return nil, fmt.Errorf("targetqp: tenant base %d outside 0..255", cfg.TenantBase)
+	if cfg.TenantBase < 0 || cfg.TenantBase > 65535 {
+		return nil, fmt.Errorf("targetqp: tenant base %d outside 0..65535", cfg.TenantBase)
 	}
 	ns := backend.Namespace()
 	if err := ns.Validate(); err != nil {
@@ -328,8 +328,8 @@ func (t *Target) NewSession(send func(proto.PDU)) (*Session, error) {
 	if send == nil {
 		return nil, errors.New("targetqp: nil send")
 	}
-	if t.nextTenant > 255 && len(t.freeTenants) == 0 {
-		return nil, errors.New("targetqp: tenant ID space exhausted (256 initiators)")
+	if t.nextTenant > 65535 && len(t.freeTenants) == 0 {
+		return nil, errors.New("targetqp: tenant ID space exhausted (65536 initiators)")
 	}
 	s := &Session{
 		target: t,
@@ -428,10 +428,10 @@ func (s *Session) handleICReq(pdu *proto.ICReq) error {
 		s.tenant = t.freeTenants[n-1]
 		t.freeTenants = t.freeTenants[:n-1]
 	} else {
-		if t.nextTenant > 255 {
+		if t.nextTenant > 65535 {
 			s.send(&proto.TermReq{Dir: proto.TypeC2HTermReq, FES: 2,
 				Reason: "tenant ID space exhausted"})
-			return errors.New("targetqp: tenant ID space exhausted (256 initiators)")
+			return errors.New("targetqp: tenant ID space exhausted (65536 initiators)")
 		}
 		s.tenant = proto.TenantID(t.nextTenant)
 		t.nextTenant += t.cfg.TenantStride

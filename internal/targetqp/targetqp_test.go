@@ -566,8 +566,13 @@ func TestOversizedInCapsuleDataRejected(t *testing.T) {
 
 func TestTenantSpaceExhaustion(t *testing.T) {
 	be := newFakeBackend(t, true)
-	tgt := opfTarget(t, be)
-	for i := 0; i < 256; i++ {
+	// Start the allocator two IDs below the 16-bit ceiling so exhaustion
+	// is reached after two handshakes instead of 65536.
+	tgt, err := NewTarget(Config{Mode: ModeOPF, MaxPending: 256, TenantBase: 65534}, be)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
 		s, err := tgt.NewSession(func(proto.PDU) {})
 		if err != nil {
 			t.Fatalf("session %d: %v", i, err)
@@ -577,7 +582,7 @@ func TestTenantSpaceExhaustion(t *testing.T) {
 		}
 	}
 	if _, err := tgt.NewSession(func(proto.PDU) {}); err == nil {
-		t.Fatal("257th session accepted")
+		t.Fatal("session past the 65536-ID space accepted")
 	}
 }
 

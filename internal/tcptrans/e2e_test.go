@@ -70,7 +70,7 @@ func TestE2EFeedbackChannel(t *testing.T) {
 
 	var snap telemetry.E2ESnapshot
 	for _, s := range tel.E2E() {
-		if s.Tenant == uint8(tenant) {
+		if s.Tenant == uint16(tenant) {
 			snap = s
 		}
 	}

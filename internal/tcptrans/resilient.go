@@ -256,7 +256,18 @@ func (rc *ResilientClient) recover() {
 				return nil, ErrClosed
 			default:
 			}
-			return DialWith(rc.addr, rc.cfg, rc.dcfg)
+			addr := rc.addr
+			if rc.rcfg.Resolver != nil {
+				resolved, rerr := rc.rcfg.Resolver()
+				if rerr != nil {
+					return nil, fmt.Errorf("tcptrans: resolve reconnect target: %w", rerr)
+				}
+				addr = resolved
+				rc.mu.Lock()
+				rc.addr = addr
+				rc.mu.Unlock()
+			}
+			return DialWith(addr, rc.cfg, rc.dcfg)
 		})
 		if err != nil {
 			if origErr == nil {

@@ -53,7 +53,8 @@ type ServerConfig struct {
 	Device bdev.Device
 	// Shards is the number of reactor shards, each owning the sessions
 	// assigned to it (round-robin) with its own target state and event
-	// queue. Default GOMAXPROCS, capped at 256 (the tenant-ID space).
+	// queue. Default GOMAXPROCS, capped at 256 reactor lanes (the 16-bit
+	// tenant-ID space leaves each lane 256 stride slots).
 	// 1 reproduces the old single-reactor deployment.
 	Shards int
 	// InflightPerConn bounds how many inbound PDUs one connection may
@@ -164,7 +165,7 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 		cfg.Shards = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Shards > 256 {
-		cfg.Shards = 256 // one tenant-ID stride lane per shard
+		cfg.Shards = 256 // one stride lane per shard, 256 tenants each
 	}
 	if cfg.InflightPerConn <= 0 {
 		cfg.InflightPerConn = 64

@@ -78,7 +78,7 @@ func TestServerTelemetryScrape(t *testing.T) {
 	assertTenant := func(reg *telemetry.Registry, side string) telemetry.TenantSnapshot {
 		t.Helper()
 		for _, s := range reg.Tenants() {
-			if s.Tenant == uint8(tenant) {
+			if s.Tenant == uint16(tenant) {
 				if s.Submitted < 2*n || s.Completed < 2*n {
 					t.Fatalf("%s: submitted=%d completed=%d, want >= %d", side, s.Submitted, s.Completed, 2*n)
 				}

@@ -45,9 +45,9 @@ type AutotuneDecision struct {
 // AutotuneTenantState is one tenant's current controller state for
 // /debug/autotune: live window/cap, decision counts, and the last verdict.
 type AutotuneTenantState struct {
-	Tenant uint8 `json:"tenant"`
-	Window int   `json:"window"`
-	Cap    int   `json:"cap"`
+	Tenant uint16 `json:"tenant"`
+	Window int    `json:"window"`
+	Cap    int    `json:"cap"`
 	// Decisions counts verdicts per action, in AutotuneActions order.
 	Decisions []int64          `json:"decisions"`
 	Last      AutotuneDecision `json:"last"`
@@ -88,12 +88,12 @@ func (r *Registry) RecordAutotune(d AutotuneDecision) {
 		r.atPos = (r.atPos + 1) % autotuneLogCap
 	}
 	if r.atState == nil {
-		r.atState = make(map[uint8]*autotuneTenant)
+		r.atState = make(map[uint16]*autotuneTenant)
 	}
-	st, ok := r.atState[uint8(d.Tenant)]
+	st, ok := r.atState[uint16(d.Tenant)]
 	if !ok {
 		st = &autotuneTenant{}
-		r.atState[uint8(d.Tenant)] = st
+		r.atState[uint16(d.Tenant)] = st
 	}
 	st.window = d.Window
 	st.cap = d.Cap

@@ -32,7 +32,7 @@ type TimelinePoint struct {
 
 // Timeline is one request's merged lifecycle.
 type Timeline struct {
-	Tenant uint8
+	Tenant uint16
 	CID    uint16
 	Epoch  int // k-th reuse of this (tenant, CID)
 	Prio   uint8
@@ -141,7 +141,7 @@ func (c *Correlation) CompleteCount() int {
 }
 
 type reqKey struct {
-	tenant uint8
+	tenant uint16
 	cid    uint16
 }
 
@@ -237,8 +237,8 @@ func Correlate(host, target *Dump) *Correlation {
 		// key's in-flight instance belongs to. Batch-level events fan out
 		// to the tenant's open members via the state sets below.
 		arriveEpoch := map[reqKey]int{}
-		enqueued := map[uint8][]*Timeline{} // tenant → enqueue seen, drain pending
-		draining := map[uint8][]*Timeline{} // drain seen, notify pending
+		enqueued := map[uint16][]*Timeline{} // tenant → enqueue seen, drain pending
+		draining := map[uint16][]*Timeline{} // drain seen, notify pending
 		for _, e := range target.Events {
 			k := reqKey{e.Tenant, e.CID}
 			st := Stage(e.Stage)

@@ -7,7 +7,7 @@ import (
 )
 
 // ev builds one dump event.
-func ev(ts int64, st Stage, tenant uint8, cid uint16, prio uint8, aux int64) RecordedEvent {
+func ev(ts int64, st Stage, tenant uint16, cid uint16, prio uint8, aux int64) RecordedEvent {
 	return RecordedEvent{TS: ts, Stage: uint8(st), Tenant: tenant, CID: cid, Prio: prio, Aux: aux}
 }
 

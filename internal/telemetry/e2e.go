@@ -219,7 +219,11 @@ func (r *Registry) E2EHist(t proto.TenantID, c Class) *Hist {
 	if r == nil || c >= numClasses {
 		return nil
 	}
-	return r.tenants[t].e2eHist[c].Load()
+	s := r.peek(t)
+	if s == nil {
+		return nil
+	}
+	return s.e2eHist[c].Load()
 }
 
 // ResetE2EGauges clears the tenant's last-value e2e gauges on session
@@ -230,7 +234,9 @@ func (r *Registry) ResetE2EGauges(t proto.TenantID) {
 	if r == nil {
 		return
 	}
-	r.tenants[t].e2eQueueDepth.Store(0)
+	if s := r.peek(t); s != nil {
+		s.e2eQueueDepth.Store(0)
+	}
 }
 
 // RecordClockReestimate records one periodic clock-offset refresh on the
@@ -251,7 +257,10 @@ func (r *Registry) ClockReestimates(t proto.TenantID) (count, lastDelta int64) {
 	if r == nil {
 		return 0, 0
 	}
-	s := &r.tenants[t]
+	s := r.peek(t)
+	if s == nil {
+		return 0, 0
+	}
 	return s.clockReest.Load(), s.clockReestDelta.Load()
 }
 
@@ -272,7 +281,7 @@ type E2EClassSnapshot struct {
 
 // E2ESnapshot is one tenant's state on the feedback channel.
 type E2ESnapshot struct {
-	Tenant     uint8              `json:"tenant"`
+	Tenant     uint16             `json:"tenant"`
 	Updates    int64              `json:"updates"`
 	QueueDepth int64              `json:"queue_depth"`
 	Busy       int64              `json:"busy"`
@@ -287,13 +296,12 @@ func (r *Registry) E2E() []E2ESnapshot {
 		return nil
 	}
 	var out []E2ESnapshot
-	for i := range r.tenants {
-		s := &r.tenants[i]
-		if !s.touched.Load() || s.e2eUpdates.Load() == 0 {
-			continue
+	r.eachTouched(func(i int, s *tenantSlot) {
+		if s.e2eUpdates.Load() == 0 {
+			return
 		}
 		snap := E2ESnapshot{
-			Tenant:     uint8(i),
+			Tenant:     uint16(i),
 			Updates:    s.e2eUpdates.Load(),
 			QueueDepth: s.e2eQueueDepth.Load(),
 			Busy:       s.e2eBusy.Load(),
@@ -322,6 +330,6 @@ func (r *Registry) E2E() []E2ESnapshot {
 			snap.Classes = append(snap.Classes, cs)
 		}
 		out = append(out, snap)
-	}
+	})
 	return out
 }

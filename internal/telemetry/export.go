@@ -311,10 +311,9 @@ func (r *Registry) PrometheusText() string {
 		}
 	}
 	var clockHdr bool
-	for i := range r.tenants {
-		s := &r.tenants[i]
-		if !s.touched.Load() || s.clockReest.Load() == 0 {
-			continue
+	r.eachTouched(func(i int, s *tenantSlot) {
+		if s.clockReest.Load() == 0 {
+			return
 		}
 		if !clockHdr {
 			b.WriteString("# HELP nvmeopf_clock_reestimate_delta_ns Last periodic clock-offset re-estimate minus the previous estimate.\n" +
@@ -322,12 +321,11 @@ func (r *Registry) PrometheusText() string {
 			clockHdr = true
 		}
 		fmt.Fprintf(&b, "nvmeopf_clock_reestimate_delta_ns{tenant=\"%d\"} %d\n", i, s.clockReestDelta.Load())
-	}
+	})
 	clockHdr = false
-	for i := range r.tenants {
-		s := &r.tenants[i]
-		if !s.touched.Load() || s.clockReest.Load() == 0 {
-			continue
+	r.eachTouched(func(i int, s *tenantSlot) {
+		if s.clockReest.Load() == 0 {
+			return
 		}
 		if !clockHdr {
 			b.WriteString("# HELP nvmeopf_clock_reestimates_total Periodic clock-offset re-estimates performed.\n" +
@@ -335,7 +333,7 @@ func (r *Registry) PrometheusText() string {
 			clockHdr = true
 		}
 		fmt.Fprintf(&b, "nvmeopf_clock_reestimates_total{tenant=\"%d\"} %d\n", i, s.clockReest.Load())
-	}
+	})
 	g := r.Global()
 	fmt.Fprintf(&b, "# HELP nvmeopf_connections_total Connections established.\n# TYPE nvmeopf_connections_total counter\nnvmeopf_connections_total %d\n", g.Connections)
 	fmt.Fprintf(&b, "# HELP nvmeopf_reconnects_total Connections re-established after failure.\n# TYPE nvmeopf_reconnects_total counter\nnvmeopf_reconnects_total %d\n", g.Reconnects)
@@ -344,6 +342,15 @@ func (r *Registry) PrometheusText() string {
 	fmt.Fprintf(&b, "# HELP nvmeopf_teardown_dropped_total Queued requests discarded by session teardown.\n# TYPE nvmeopf_teardown_dropped_total counter\nnvmeopf_teardown_dropped_total %d\n", g.TeardownDrops)
 	if n := r.Shards(); n > 0 {
 		fmt.Fprintf(&b, "# HELP nvmeopf_target_shards Reactor shards the target datapath runs.\n# TYPE nvmeopf_target_shards gauge\nnvmeopf_target_shards %d\n", n)
+	}
+	// Cluster instruments: emitted only once any of them was touched, so
+	// single-target deployments keep their exposition byte-identical.
+	if g.Failovers != 0 || g.StaleEpochs != 0 || g.DiscoveryExpired != 0 || g.ClusterEpoch != 0 || g.ClusterDegraded != 0 {
+		fmt.Fprintf(&b, "# HELP nvmeopf_failovers_total Shard primaries re-targeted after a target death.\n# TYPE nvmeopf_failovers_total counter\nnvmeopf_failovers_total %d\n", g.Failovers)
+		fmt.Fprintf(&b, "# HELP nvmeopf_stale_epoch_rejections_total Cluster maps or registrations rejected for a stale epoch.\n# TYPE nvmeopf_stale_epoch_rejections_total counter\nnvmeopf_stale_epoch_rejections_total %d\n", g.StaleEpochs)
+		fmt.Fprintf(&b, "# HELP nvmeopf_discovery_expired_total Discovery registrations expired by TTL without a keep-alive.\n# TYPE nvmeopf_discovery_expired_total counter\nnvmeopf_discovery_expired_total %d\n", g.DiscoveryExpired)
+		fmt.Fprintf(&b, "# HELP nvmeopf_cluster_epoch Newest cluster-map epoch observed.\n# TYPE nvmeopf_cluster_epoch gauge\nnvmeopf_cluster_epoch %d\n", g.ClusterEpoch)
+		fmt.Fprintf(&b, "# HELP nvmeopf_cluster_degraded 1 while writes are refused because the shard has no live replica.\n# TYPE nvmeopf_cluster_degraded gauge\nnvmeopf_cluster_degraded %d\n", g.ClusterDegraded)
 	}
 	return b.String()
 }

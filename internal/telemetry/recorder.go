@@ -37,14 +37,15 @@ import (
 // one guarded struct: the writer makes three ordered stores, a racing
 // reader can at worst observe a mix of two events (accepted, see above).
 type recSlot struct {
-	// meta packs stage<<32 | prio<<24 | tenant<<16 | cid.
+	// meta packs stage<<40 | prio<<32 | tenant<<16 | cid (tenant IDs are
+	// 16 bits wide).
 	meta atomic.Uint64
 	aux  atomic.Int64
 	ts   atomic.Int64
 }
 
 func packMeta(e Event) uint64 {
-	return uint64(e.Stage)<<32 | uint64(e.Prio)<<24 | uint64(e.Tenant)<<16 | uint64(e.CID)
+	return uint64(e.Stage)<<40 | uint64(e.Prio)<<32 | uint64(e.Tenant)<<16 | uint64(e.CID)
 }
 
 // recRing is one tenant's event ring.
@@ -203,7 +204,7 @@ func (r *Recorder) Trace(e Event) {
 type AnomalySnapshot struct {
 	Kind   string          `json:"kind"` // "drain-stall"
 	TS     int64           `json:"ts"`
-	Tenant uint8           `json:"tenant"`
+	Tenant uint16          `json:"tenant"`
 	AgeNS  int64           `json:"age_ns"` // queue age that tripped the trigger
 	Events []RecordedEvent `json:"events"`
 }
@@ -219,7 +220,7 @@ func (r *Recorder) snapshotStall(t proto.TenantID, now, age int64) {
 	r.snaps = append(r.snaps, AnomalySnapshot{
 		Kind:   "drain-stall",
 		TS:     now,
-		Tenant: uint8(t),
+		Tenant: uint16(t),
 		AgeNS:  age,
 		Events: r.tenantEvents(t),
 	})
@@ -244,7 +245,7 @@ type RecordedEvent struct {
 	TS     int64  `json:"ts"`
 	Seq    uint64 `json:"seq"` // per-tenant emission order
 	Stage  uint8  `json:"stage"`
-	Tenant uint8  `json:"tenant"`
+	Tenant uint16 `json:"tenant"`
 	CID    uint16 `json:"cid"`
 	Prio   uint8  `json:"prio"`
 	Aux    int64  `json:"aux"`
@@ -279,14 +280,14 @@ func (r *Recorder) tenantEvents(t proto.TenantID) []RecordedEvent {
 		seq := total - n + i
 		s := &g.slots[seq&g.mask]
 		meta := s.meta.Load()
-		st := Stage(meta >> 32)
+		st := Stage(meta >> 40)
 		out = append(out, RecordedEvent{
 			TS:     s.ts.Load(),
 			Seq:    seq,
 			Stage:  uint8(st),
-			Tenant: uint8(meta >> 16),
+			Tenant: uint16(meta >> 16),
 			CID:    uint16(meta),
-			Prio:   uint8(meta >> 24),
+			Prio:   uint8(meta >> 32),
 			Aux:    s.aux.Load(),
 			Name:   st.String(),
 		})

@@ -8,10 +8,21 @@ import (
 	"nvmeopf/internal/proto"
 )
 
-// MaxTenants is the tenant ID space (proto.TenantID is uint8). The
-// registry pre-allocates one slot per possible tenant so the record path
-// is a fixed-offset atomic add with no map lookup and no lock.
-const MaxTenants = 256
+// MaxTenants is the tenant ID space (proto.TenantID is uint16). Slots are
+// organised as lazily installed fixed-size pages so the record path stays
+// a fixed-offset atomic add with no map lookup and no lock, while an idle
+// registry does not pay for 65536 pre-allocated slots.
+const MaxTenants = 65536
+
+// tenantPageSize is the slot count per lazily allocated page; pages are
+// CAS-installed once on a tenant's first touch and never freed.
+const (
+	tenantPageSize = 256
+	numTenantPages = MaxTenants / tenantPageSize
+)
+
+// tenantPage is one contiguous block of tenant slots.
+type tenantPage [tenantPageSize]tenantSlot
 
 // windowLogCap bounds the window-decision log (cold path, mutex-guarded).
 const windowLogCap = 128
@@ -107,7 +118,7 @@ type sloCheckpoint struct {
 //
 // Record methods are safe for concurrent use from any goroutine.
 type Registry struct {
-	tenants [MaxTenants]tenantSlot
+	tenants [numTenantPages]atomic.Pointer[tenantPage]
 
 	connections     atomic.Int64
 	reconnects      atomic.Int64
@@ -115,6 +126,19 @@ type Registry struct {
 	disconnects     atomic.Int64
 	teardownDrops   atomic.Int64
 	shards          atomic.Int64
+
+	// Cluster instruments (see internal/cluster): failovers counts primary
+	// re-targets a host performed, staleEpochs counts cluster maps or
+	// registrations rejected for carrying an epoch older than the newest
+	// one seen, discoveryExpired counts TTL'd discovery registrations that
+	// lapsed, clusterEpoch is the newest map epoch observed, and
+	// clusterDegraded is 1 while a host is refusing writes because its
+	// shard has no live replica.
+	failovers       atomic.Int64
+	staleEpochs     atomic.Int64
+	discoveryExpire atomic.Int64
+	clusterEpoch    atomic.Int64
+	clusterDegraded atomic.Int64
 
 	// Registry-wide default SLO, applied to tenants without their own.
 	defObjective atomic.Int64
@@ -126,14 +150,14 @@ type Registry struct {
 	winPos int
 
 	sloMu     sync.Mutex
-	sloChecks map[uint8][]sloCheckpoint // ring per tenant, oldest first
+	sloChecks map[uint16][]sloCheckpoint // ring per tenant, oldest first
 
 	// Adaptive drain-window controller state (see autotune.go).
 	atMu    sync.Mutex
 	atSeq   uint64
 	atLog   []AutotuneDecision // ring of the last autotuneLogCap decisions
 	atPos   int
-	atState map[uint8]*autotuneTenant
+	atState map[uint16]*autotuneTenant
 
 	// clock overrides the exporter's time source (nil: wall clock).
 	clock atomic.Pointer[func() int64]
@@ -174,11 +198,49 @@ func New() *Registry { return &Registry{} }
 func (r *Registry) Enabled() bool { return r != nil }
 
 func (r *Registry) slot(t proto.TenantID) *tenantSlot {
-	s := &r.tenants[t]
+	pg := r.tenants[t>>8].Load()
+	if pg == nil {
+		fresh := new(tenantPage)
+		if r.tenants[t>>8].CompareAndSwap(nil, fresh) {
+			pg = fresh
+		} else {
+			pg = r.tenants[t>>8].Load()
+		}
+	}
+	s := &pg[t&(tenantPageSize-1)]
 	if !s.touched.Load() {
 		s.touched.Store(true)
 	}
 	return s
+}
+
+// peek returns the tenant's slot without installing a page: nil when the
+// tenant's page was never touched. Read-only accessors use it so a probe
+// of an idle tenant stays allocation-free.
+func (r *Registry) peek(t proto.TenantID) *tenantSlot {
+	pg := r.tenants[t>>8].Load()
+	if pg == nil {
+		return nil
+	}
+	return &pg[t&(tenantPageSize-1)]
+}
+
+// eachTouched visits every tenant slot with recorded activity, in tenant
+// order. Cold path (exports, snapshots, SLO ticks).
+func (r *Registry) eachTouched(fn func(id int, s *tenantSlot)) {
+	for p := range r.tenants {
+		pg := r.tenants[p].Load()
+		if pg == nil {
+			continue
+		}
+		for i := range pg {
+			s := &pg[i]
+			if !s.touched.Load() {
+				continue
+			}
+			fn(p*tenantPageSize+i, s)
+		}
+	}
 }
 
 // SetRecorder attaches a flight recorder so the HTTP exporter can serve
@@ -260,7 +322,11 @@ func (r *Registry) LatencyHist(t proto.TenantID, c Class) *Hist {
 	if r == nil || c >= numClasses {
 		return nil
 	}
-	return r.tenants[t].hist[c].Load()
+	s := r.peek(t)
+	if s == nil {
+		return nil
+	}
+	return s.hist[c].Load()
 }
 
 // IncLSBypass records one latency-sensitive request sent straight to
@@ -415,6 +481,55 @@ func (r *Registry) AddTeardownDrops(n int64) {
 	r.teardownDrops.Add(n)
 }
 
+// IncFailover counts one primary re-target: a cluster client moved a
+// shard's traffic to the promoted replica after the old primary died.
+func (r *Registry) IncFailover() {
+	if r == nil {
+		return
+	}
+	r.failovers.Add(1)
+}
+
+// IncStaleEpoch counts one split-brain rejection: a cluster map or a
+// discovery registration refused because its epoch was older than the
+// newest one already seen.
+func (r *Registry) IncStaleEpoch() {
+	if r == nil {
+		return
+	}
+	r.staleEpochs.Add(1)
+}
+
+// IncDiscoveryExpired counts one discovery registration whose TTL lapsed
+// without a keep-alive (exported as nvmeopf_discovery_expired_total).
+func (r *Registry) IncDiscoveryExpired() {
+	if r == nil {
+		return
+	}
+	r.discoveryExpire.Add(1)
+}
+
+// SetClusterEpoch records the newest cluster-map epoch observed.
+func (r *Registry) SetClusterEpoch(epoch uint64) {
+	if r == nil {
+		return
+	}
+	r.clusterEpoch.Store(int64(epoch))
+}
+
+// SetClusterDegraded records whether the host is in read-only degraded
+// mode (its shard has no live replica to mirror writes to).
+func (r *Registry) SetClusterDegraded(degraded bool) {
+	if r == nil {
+		return
+	}
+	var v int64
+	if degraded {
+		v = 1
+	}
+	r.clusterDegraded.Store(v)
+}
+
 // SetSLO declares one tenant's latency objective: completions slower than
 // objective count against an error budget of (1-target) of all requests
 // (e.g. target 0.999 tolerates one violation per thousand). A zero
@@ -461,18 +576,14 @@ func (r *Registry) TickSLO(now int64) {
 	r.sloMu.Lock()
 	defer r.sloMu.Unlock()
 	if r.sloChecks == nil {
-		r.sloChecks = make(map[uint8][]sloCheckpoint)
+		r.sloChecks = make(map[uint16][]sloCheckpoint)
 	}
-	for i := range r.tenants {
-		s := &r.tenants[i]
-		if !s.touched.Load() {
-			continue
-		}
+	r.eachTouched(func(i int, s *tenantSlot) {
 		if s.sloObjective.Load() == 0 && r.defObjective.Load() == 0 {
-			continue
+			return
 		}
 		cp := sloCheckpoint{ts: now, good: s.sloGood.Load(), bad: s.sloBad.Load()}
-		ring := r.sloChecks[uint8(i)]
+		ring := r.sloChecks[uint16(i)]
 		if n := len(ring); n > 0 && ring[n-1].ts == now {
 			ring[n-1] = cp
 		} else if n >= sloCheckpointCap {
@@ -481,8 +592,8 @@ func (r *Registry) TickSLO(now int64) {
 		} else {
 			ring = append(ring, cp)
 		}
-		r.sloChecks[uint8(i)] = ring
-	}
+		r.sloChecks[uint16(i)] = ring
+	})
 }
 
 // SLOBurnWindows are the trailing windows burn rates are reported over,
@@ -500,7 +611,7 @@ var SLOBurnWindows = []struct {
 // rate of 1.0 means the error budget is being consumed exactly as fast as
 // it accrues; >1 means the SLO will be violated if sustained.
 type SLOSnapshot struct {
-	Tenant      uint8   `json:"tenant"`
+	Tenant      uint16  `json:"tenant"`
 	ObjectiveNS int64   `json:"objective_ns"`
 	BudgetPPM   int64   `json:"budget_ppm"`
 	Good        int64   `json:"good"`
@@ -522,11 +633,7 @@ func (r *Registry) SLOs(now int64) []SLOSnapshot {
 	var out []SLOSnapshot
 	r.sloMu.Lock()
 	defer r.sloMu.Unlock()
-	for i := range r.tenants {
-		s := &r.tenants[i]
-		if !s.touched.Load() {
-			continue
-		}
+	r.eachTouched(func(i int, s *tenantSlot) {
 		obj := s.sloObjective.Load()
 		ppm := s.sloBudgetPPM.Load()
 		if obj == 0 {
@@ -534,11 +641,11 @@ func (r *Registry) SLOs(now int64) []SLOSnapshot {
 			ppm = r.defBudgetPPM.Load()
 		}
 		if obj == 0 {
-			continue
+			return
 		}
 		good, bad := s.sloGood.Load(), s.sloBad.Load()
 		snap := SLOSnapshot{
-			Tenant:      uint8(i),
+			Tenant:      uint16(i),
 			ObjectiveNS: obj,
 			BudgetPPM:   ppm,
 			Good:        good,
@@ -549,7 +656,7 @@ func (r *Registry) SLOs(now int64) []SLOSnapshot {
 		if total := good + bad; total > 0 {
 			snap.Compliance = float64(good) / float64(total)
 		}
-		ring := r.sloChecks[uint8(i)]
+		ring := r.sloChecks[uint16(i)]
 		for w, win := range SLOBurnWindows {
 			snap.BurnRate[w] = -1
 			edge := now - int64(win.D)
@@ -566,7 +673,7 @@ func (r *Registry) SLOs(now int64) []SLOSnapshot {
 			}
 		}
 		out = append(out, snap)
-	}
+	})
 	return out
 }
 
@@ -616,7 +723,7 @@ func (r *Registry) WindowLog() []WindowDecision {
 
 // TenantSnapshot is a point-in-time copy of one tenant's instruments.
 type TenantSnapshot struct {
-	Tenant       uint8  `json:"tenant"`
+	Tenant       uint16 `json:"tenant"`
 	Class        string `json:"class"`
 	Submitted    int64  `json:"submitted"`
 	Completed    int64  `json:"completed"`
@@ -656,6 +763,12 @@ type GlobalSnapshot struct {
 	TransportErrors int64 `json:"transport_errors"`
 	Disconnects     int64 `json:"disconnects"`
 	TeardownDrops   int64 `json:"teardown_drops"`
+	// Cluster instruments; all zero outside cluster deployments.
+	Failovers        int64 `json:"failovers"`
+	StaleEpochs      int64 `json:"stale_epochs"`
+	DiscoveryExpired int64 `json:"discovery_expired"`
+	ClusterEpoch     int64 `json:"cluster_epoch"`
+	ClusterDegraded  int64 `json:"cluster_degraded"`
 }
 
 // Global snapshots the registry-wide counters.
@@ -664,11 +777,16 @@ func (r *Registry) Global() GlobalSnapshot {
 		return GlobalSnapshot{}
 	}
 	return GlobalSnapshot{
-		Connections:     r.connections.Load(),
-		Reconnects:      r.reconnects.Load(),
-		TransportErrors: r.transportErrors.Load(),
-		Disconnects:     r.disconnects.Load(),
-		TeardownDrops:   r.teardownDrops.Load(),
+		Connections:      r.connections.Load(),
+		Reconnects:       r.reconnects.Load(),
+		TransportErrors:  r.transportErrors.Load(),
+		Disconnects:      r.disconnects.Load(),
+		TeardownDrops:    r.teardownDrops.Load(),
+		Failovers:        r.failovers.Load(),
+		StaleEpochs:      r.staleEpochs.Load(),
+		DiscoveryExpired: r.discoveryExpire.Load(),
+		ClusterEpoch:     r.clusterEpoch.Load(),
+		ClusterDegraded:  r.clusterDegraded.Load(),
 	}
 }
 
@@ -678,13 +796,9 @@ func (r *Registry) Tenants() []TenantSnapshot {
 		return nil
 	}
 	var out []TenantSnapshot
-	for i := range r.tenants {
-		s := &r.tenants[i]
-		if !s.touched.Load() {
-			continue
-		}
+	r.eachTouched(func(i int, s *tenantSlot) {
 		snap := TenantSnapshot{
-			Tenant:       uint8(i),
+			Tenant:       uint16(i),
 			Class:        proto.Priority(s.class.Load()).String(),
 			Submitted:    s.submitted.Load(),
 			Completed:    s.completed.Load(),
@@ -720,6 +834,6 @@ func (r *Registry) Tenants() []TenantSnapshot {
 			snap.LatencyMax = hs.Max
 		}
 		out = append(out, snap)
-	}
+	})
 	return out
 }

@@ -62,7 +62,7 @@ func Breakdown(tl *Timeline) map[string]int64 {
 // Anomaly is one detected (or dump-carried) issue.
 type Anomaly struct {
 	Kind   string // "drain-stall" | "hol-blocking" | "incomplete"
-	Tenant uint8
+	Tenant uint16
 	CID    uint16
 	Epoch  int
 	// Detail is a one-line human explanation with the numbers inline.
@@ -84,7 +84,7 @@ type AnalyzeOptions struct {
 
 // TenantStats is one row of the per-tenant percentile table.
 type TenantStats struct {
-	Tenant uint8
+	Tenant uint16
 	Class  Class
 	Count  int
 	P50    int64
@@ -143,13 +143,17 @@ func Analyze(c *Correlation, opts AnalyzeOptions) *Report {
 		spans map[string]int64
 		n     int
 	}
-	buckets := map[[2]uint8]*bucket{} // [tenant, class]
+	type tenantClassKey struct {
+		tenant uint16
+		class  uint8
+	}
+	buckets := map[tenantClassKey]*bucket{} // [tenant, class]
 	var withE2E []*Timeline
 
 	// Drain windows per tenant (for the HoL detector): intervals from
 	// drain-start to coalesced-notify observed on TC timelines.
 	type window struct{ start, end int64 }
-	drainWin := map[uint8][]window{}
+	drainWin := map[uint16][]window{}
 
 	for i := range c.Timelines {
 		tl := &c.Timelines[i]
@@ -165,7 +169,7 @@ func Analyze(c *Correlation, opts AnalyzeOptions) *Report {
 			r.Complete++
 		}
 		bd := Breakdown(tl)
-		key := [2]uint8{tl.Tenant, uint8(cls)}
+		key := tenantClassKey{tl.Tenant, uint8(cls)}
 		b := buckets[key]
 		if b == nil {
 			b = &bucket{spans: map[string]int64{}}
@@ -237,14 +241,14 @@ func Analyze(c *Correlation, opts AnalyzeOptions) *Report {
 			// One anomaly per blocked request, however many windows of
 			// however many tenants its service time straddled. Tenants are
 			// scanned in order so the named blocker is deterministic.
-			flag := func() (uint8, bool) {
+			flag := func() (uint16, bool) {
 				tenants := make([]int, 0, len(drainWin))
 				for tenant := range drainWin {
 					tenants = append(tenants, int(tenant))
 				}
 				sort.Ints(tenants)
 				for _, ti := range tenants {
-					tenant := uint8(ti)
+					tenant := uint16(ti)
 					wins := drainWin[tenant]
 					if tenant == tl.Tenant {
 						continue
@@ -268,21 +272,21 @@ func Analyze(c *Correlation, opts AnalyzeOptions) *Report {
 	}
 
 	// Percentile tables.
-	var keys [][2]uint8
+	var keys []tenantClassKey
 	for k := range buckets {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
-		if keys[i][0] != keys[j][0] {
-			return keys[i][0] < keys[j][0]
+		if keys[i].tenant != keys[j].tenant {
+			return keys[i].tenant < keys[j].tenant
 		}
-		return keys[i][1] < keys[j][1]
+		return keys[i].class < keys[j].class
 	})
 	for _, k := range keys {
 		b := buckets[k]
 		sort.Slice(b.lats, func(i, j int) bool { return b.lats[i] < b.lats[j] })
 		ts := TenantStats{
-			Tenant: k[0], Class: Class(k[1]), Count: b.n,
+			Tenant: k.tenant, Class: Class(k.class), Count: b.n,
 			P50:      exactQuantile(b.lats, 0.50),
 			P95:      exactQuantile(b.lats, 0.95),
 			P99:      exactQuantile(b.lats, 0.99),

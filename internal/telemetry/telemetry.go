@@ -17,7 +17,7 @@
 //     costs a predictable branch and zero allocations (verified by
 //     TestDisabledRegistryZeroAllocs).
 //   - An enabled Registry keeps one fixed slot per possible tenant
-//     (proto.TenantID is uint8, so 256 slots) holding only atomic
+//     (proto.TenantID is uint16) in lazily installed pages holding only atomic
 //     counters/gauges and a lock-free ring of latency samples. No maps, no
 //     locks, no allocation on the record path.
 //   - Cold paths — the window-decision log and the exporter's snapshots —
