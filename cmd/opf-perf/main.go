@@ -1,11 +1,13 @@
 // Command opf-perf is the SPDK-perf-equivalent client benchmark for a real
-// TCP target: it opens latency-sensitive and throughput-critical
-// connections, drives a closed-loop 4K workload for a wall-clock duration,
-// and reports aggregate throughput plus per-class latency percentiles.
+// TCP target: it opens latency-sensitive, throughput-critical, and
+// scavenger (best-effort) connections, drives a closed-loop 4K workload
+// for a wall-clock duration, and reports aggregate throughput plus
+// per-class latency percentiles.
 //
 // Usage:
 //
 //	opf-perf -addr 127.0.0.1:4420 -ls 1 -tc 4 -mix read -duration 10s
+//	opf-perf -addr 127.0.0.1:4420 -ls 1 -tc 2 -scav 2 -duration 10s
 package main
 
 import (
@@ -202,6 +204,7 @@ func main() {
 		addr     = flag.String("addr", "127.0.0.1:4420", "target address")
 		ls       = flag.Int("ls", 1, "latency-sensitive connections (QD 1)")
 		tc       = flag.Int("tc", 1, "throughput-critical connections (QD -qd)")
+		scav     = flag.Int("scav", 0, "scavenger (best-effort) connections (QD -qd)")
 		qd       = flag.Int("qd", 128, "TC queue depth")
 		window   = flag.Int("window", 0, "TC drain window size (0: paper's static selection)")
 		mix      = flag.String("mix", "read", "workload: read, write, mixed")
@@ -250,9 +253,14 @@ func main() {
 	}
 
 	var tenants []*tenant
-	for i := 0; i < *ls+*tc; i++ {
+	for i := 0; i < *ls+*tc+*scav; i++ {
 		class, depth, w := proto.PrioLatencySensitive, 1, 1
-		if i >= *ls {
+		switch {
+		case i >= *ls+*tc:
+			// Scavenger: the window is a host-side TC concept; the target
+			// decides when leftover capacity or aging drains the queue.
+			class, depth, w = proto.PrioScavenger, *qd, *window
+		case i >= *ls:
 			class, depth, w = proto.PrioThroughputCritical, *qd, *window
 		}
 		conn, err := tcptrans.DialWith(*addr, hostqp.Config{
@@ -284,14 +292,18 @@ func main() {
 	wg.Wait()
 	elapsed := time.Since(start).Seconds()
 
-	var lsHist, tcHist stats.Histogram
-	var lsOps, tcOps, errs int64
+	var lsHist, tcHist, scHist stats.Histogram
+	var lsOps, tcOps, scOps, errs int64
 	for _, t := range tenants {
 		t.mu.Lock()
-		if t.class == proto.PrioLatencySensitive {
+		switch t.class {
+		case proto.PrioLatencySensitive:
 			lsHist.Merge(&t.hist)
 			lsOps += t.ops
-		} else {
+		case proto.PrioScavenger:
+			scHist.Merge(&t.hist)
+			scOps += t.ops
+		default:
 			tcHist.Merge(&t.hist)
 			tcOps += t.ops
 		}
@@ -310,6 +322,12 @@ func main() {
 			float64(lsOps)/elapsed,
 			stats.FormatBytesPerSec(float64(lsOps)*4096/elapsed),
 			stats.FormatNanos(lsHist.P50()), stats.FormatNanos(lsHist.P99()), stats.FormatNanos(lsHist.P9999()))
+	}
+	if scOps > 0 {
+		fmt.Printf("SC: %8.0f IOPS  %s  p50=%s p99=%s p99.99=%s\n",
+			float64(scOps)/elapsed,
+			stats.FormatBytesPerSec(float64(scOps)*4096/elapsed),
+			stats.FormatNanos(scHist.P50()), stats.FormatNanos(scHist.P99()), stats.FormatNanos(scHist.P9999()))
 	}
 	if tel != nil {
 		fmt.Println()

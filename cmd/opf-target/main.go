@@ -76,7 +76,9 @@ func main() {
 		maxPendingTenant = flag.Int("max-pending-tenant", 0, "per-tenant pending-request cap: excess answered StatusBusy (0: off)")
 		maxPendingGlobal = flag.Int("max-pending-global", 0, "global pending-request cap: excess answered StatusBusy (0: off)")
 		lsHeadroom       = flag.Int("ls-headroom", 0, "slots of -max-pending-global reserved for latency-sensitive requests")
+		scavHeadroom     = flag.Int("scavenger-headroom", 0, "additional slots of -max-pending-global scavenger requests may never occupy")
 		drainWatchdog    = flag.Duration("drain-watchdog", 0, "force-drain a TC queue parked this long with no draining flag (0: off)")
+		scavAging        = flag.Duration("scavenger-aging", 0, "force-drain a scavenger queue parked this long behind foreground traffic (0: drain only on idle capacity)")
 
 		writeBatch = flag.Int("write-batch", 0, "per-connection writer batch cap in bytes before a vectored flush (0: default 256 KiB)")
 		maxDataLen = flag.Uint("max-data-len", 0, "largest single C2HData payload; larger reads are segmented (0: default 1 MiB)")
@@ -150,7 +152,9 @@ func main() {
 		MaxPendingPerTenant: *maxPendingTenant,
 		MaxPendingGlobal:    *maxPendingGlobal,
 		LSHeadroom:          *lsHeadroom,
+		ScavengerHeadroom:   *scavHeadroom,
 		DrainWatchdog:       *drainWatchdog,
+		ScavengerAging:      *scavAging,
 		WriteBatchBytes:     *writeBatch,
 		MaxDataLen:          uint32(*maxDataLen),
 		Telemetry:           tel,

@@ -344,6 +344,14 @@ func (c *Controller) Forget(t proto.TenantID) {
 // core.TargetPM.SetDrainHook. Every CooldownDrains completions per tenant
 // it takes a decision over the interval since the tenant's last one.
 func (c *Controller) OnDrainComplete(dc core.DrainCompletion) {
+	if dc.Scavenger {
+		// Scavenger windows drain from leftover capacity by design: their
+		// occupancy is a free-capacity signal, never a burn or fill
+		// signal. Feeding them into the loop would let background drains
+		// prime baselines or trigger decisions for a foreground class
+		// that never drained.
+		return
+	}
 	st, ok := c.tenants[dc.Tenant]
 	if !ok {
 		st = &tenantState{window: c.cfg.MaxWindow}

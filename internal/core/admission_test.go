@@ -35,7 +35,7 @@ func TestAdmitPerTenantCap(t *testing.T) {
 			pm.PendingRequests(1), pm.PendingRequests(2), pm.PendingTotal())
 	}
 	// Release opens exactly one slot.
-	pm.Release(1)
+	pm.Release(1, proto.PrioNormal)
 	if !pm.Admit(1, proto.PrioNormal) {
 		t.Fatal("request refused after Release opened a slot")
 	}
@@ -67,7 +67,7 @@ func TestAdmitGlobalCapReservesLSHeadroom(t *testing.T) {
 		t.Fatalf("BusyRejections = %d, want 3", got)
 	}
 	// A completion frees a slot for LS but the non-LS limit still binds.
-	pm.Release(1)
+	pm.Release(1, proto.PrioNormal)
 	if pm.Admit(1, proto.PrioThroughputCritical) {
 		t.Fatal("TC admitted while at the non-LS limit")
 	}
@@ -96,7 +96,7 @@ func TestAdmitDrainingAlwaysAdmitted(t *testing.T) {
 
 func TestReleaseFloorsAtZero(t *testing.T) {
 	pm := NewTargetPM(TargetPMConfig{Isolated: true})
-	pm.Release(9) // never admitted: must not underflow
+	pm.Release(9, proto.PrioNormal) // never admitted: must not underflow
 	if pm.PendingRequests(9) != 0 || pm.PendingTotal() != 0 {
 		t.Fatalf("pending went negative: t=%d total=%d", pm.PendingRequests(9), pm.PendingTotal())
 	}

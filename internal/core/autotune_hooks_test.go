@@ -85,8 +85,8 @@ func TestTenantCapOverrideAdmission(t *testing.T) {
 		t.Fatal("tenant 2 admission refused")
 	}
 	// Release frees the slot.
-	pm.Release(1)
-	pm.Release(1) // the drain's slot
+	pm.Release(1, proto.PrioThroughputCritical)
+	pm.Release(1, proto.PrioTCDraining) // the drain's slot
 	if !pm.Admit(1, proto.PrioThroughputCritical) {
 		t.Fatal("admission refused after release")
 	}

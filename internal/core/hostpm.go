@@ -61,12 +61,18 @@ func (h *HostPM) Window() int { return h.window }
 
 // SetWindow changes the drain window size at run time (§IV-D: "the window
 // size can be dynamically changed during runtime after a draining request
-// completion notification is received"). Values < 1 clamp to 1.
+// completion notification is received"). Values < 1 clamp to 1. The
+// telemetry window gauge follows the live value, so /debug/windows stays
+// current across runtime resizes, not just the SetTelemetry snapshot and
+// dynamic-tuner decisions.
 func (h *HostPM) SetWindow(w int) {
 	if w < 1 {
 		w = 1
 	}
 	h.window = w
+	if h.tel != nil {
+		h.tel.SetWindow(h.tenant, h.window)
+	}
 }
 
 // EnableDynamicWindow attaches a runtime tuner that adjusts the window
@@ -121,6 +127,19 @@ func (h *HostPM) Stamp(cid nvme.CID) proto.Priority {
 		return proto.PrioTCDraining
 	}
 	return proto.PrioThroughputCritical
+}
+
+// Track enqueues one scavenger request with the given CID and returns
+// the wire priority to stamp. Scavenger requests share the TC pending
+// queue (submission-ordered, replayed on coalesced responses) but never
+// count toward the drain window: the host stamps no draining flag —
+// scavenger drains are target-driven (leftover capacity or aging) — so
+// SinceDrain stays zero and the transport's idle-drain machinery sees no
+// partial window to flush.
+func (h *HostPM) Track(cid nvme.CID) proto.Priority {
+	h.stats.Sent++
+	h.pending.Push(cid)
+	return proto.PrioScavenger
 }
 
 // ForceDrainNext makes the next TC request carry the draining flag

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sort"
 
 	"nvmeopf/internal/nvme"
 	"nvmeopf/internal/proto"
@@ -95,6 +96,12 @@ type TargetPMConfig struct {
 	// MaxPendingGlobal-LSHeadroom, so a TC flood cannot starve LS
 	// admission. Ignored when MaxPendingGlobal is zero.
 	LSHeadroom int
+	// ScavengerHeadroom reserves additional global slots that scavenger
+	// requests may never take: scavenger admission stops at
+	// MaxPendingGlobal-LSHeadroom-ScavengerHeadroom, so background floods
+	// yield global capacity to LS and TC before the LSHeadroom check even
+	// applies. Ignored when MaxPendingGlobal is zero.
+	ScavengerHeadroom int
 
 	// Clock supplies monotonic time for the drain watchdog (nanoseconds;
 	// virtual clocks work too — only differences matter). Nil disables
@@ -105,7 +112,28 @@ type TargetPMConfig struct {
 	// force-drained by ExpireStale (host crashed or went silent
 	// mid-window). Zero disables the watchdog.
 	WatchdogNS int64
+	// ScavengerAgingNS bounds scavenger starvation: a parked scavenger
+	// queue whose oldest request has waited this long is force-drained by
+	// PollScavenger even while LS/TC traffic is still pending, so
+	// continuous foreground load can delay background work but never
+	// park it forever. Needs Clock; zero disables aging (scavenger then
+	// drains only on leftover capacity).
+	ScavengerAgingNS int64
+	// ScavengerChunk caps how many requests one scavenger drain releases
+	// to the device at once (zero: DefaultScavengerChunk). Leftover
+	// capacity is momentary — an instant with no LS request pending — so
+	// dumping a deep best-effort backlog into the device in one batch
+	// would make the next LS arrival queue behind it inside the device,
+	// defeating the class's whole point. Small chunks keep device-level
+	// interference bounded; the remainder drains on subsequent polls
+	// (every dispatch and completion re-polls, so an idle target still
+	// clears a backlog quickly).
+	ScavengerChunk int
 }
+
+// DefaultScavengerChunk is the scavenger drain batch bound when
+// TargetPMConfig.ScavengerChunk is zero.
+const DefaultScavengerChunk = 4
 
 // DrainCompletion describes one TC window whose device work has fully
 // completed and released (in window order). The drain hook receives it so a
@@ -124,6 +152,11 @@ type DrainCompletion struct {
 	Queued int
 	// Pending is the tenant's admitted-but-uncompleted request count.
 	Pending int
+	// Scavenger marks a best-effort window. Controllers must treat it as
+	// a free-capacity signal, never a burn/fill signal: scavenger windows
+	// drain from leftover capacity by design, so their occupancy says
+	// nothing about foreground pressure.
+	Scavenger bool
 }
 
 // drainBatch tracks one executing TC window awaiting coalesced completion.
@@ -142,6 +175,8 @@ type drainBatch struct {
 	// exists, so correctness demands per-request responses. This is the
 	// §IV-A argument for isolated per-tenant queues, made executable.
 	noCoalesce bool
+	// scavenger marks a best-effort window (propagated to the drain hook).
+	scavenger bool
 }
 
 // pendingQueue is one TC queue: FIFO of tagged CIDs. In isolated mode all
@@ -162,6 +197,19 @@ func (q *pendingQueue) popAll() []TaggedCID {
 	return out
 }
 
+// popN removes and returns the first n entries (all of them when n covers
+// the queue). When entries remain, their aging anchor restarts at now: the
+// drained chunk consumed this deadline, and the remainder earns its own.
+func (q *pendingQueue) popN(n int, now int64) []TaggedCID {
+	if n >= len(q.entries) {
+		return q.popAll()
+	}
+	out := q.entries[:n:n]
+	q.entries = q.entries[n:]
+	q.firstAt = now
+	return out
+}
+
 // TargetPM is the target-side priority manager: it decides execution order
 // (computation order) and completion-notification policy for every tenant
 // connected to this target (§III-A Goals 1–2).
@@ -175,6 +223,11 @@ type TargetPM struct {
 	cfg     TargetPMConfig
 	queues  map[proto.TenantID]*pendingQueue
 	batches map[TaggedCID]*drainBatch
+	// scavQueues holds the per-tenant scavenger (best-effort) queues.
+	// Always keyed per tenant — even in the shared-queue ablation — so a
+	// scavenger drain can never flush foreign requests and its coalesced
+	// response stays safely ordered against the owner's own stream.
+	scavQueues map[proto.TenantID]*pendingQueue
 	// inflight holds each tenant's executing batches in window order.
 	// Coalesced responses are released strictly in this order: a later
 	// window that the out-of-order device finishes first must not be
@@ -186,6 +239,17 @@ type TargetPM struct {
 	// classes) for admission control; pendingTotal is their sum.
 	pending      map[proto.TenantID]int
 	pendingTotal int
+	// lsPending counts admitted-but-uncompleted latency-sensitive
+	// requests and tcParked counts parked (queued, unexecuted) TC
+	// requests across all queues: scavenger queues drain leftover
+	// capacity only while both are zero. scavInFlight counts scavenger
+	// batch members handed to the device and not yet completed — the
+	// idle path releases a new chunk only when it is zero, so background
+	// work in service never stacks deeper than one chunk and an LS
+	// arrival always finds device capacity free.
+	lsPending    int
+	tcParked     int
+	scavInFlight int
 	stats        TargetPMStats
 	// tel/trace are the live observability hooks. Both are optional: a
 	// nil registry records nothing (its methods are nil-receiver no-ops)
@@ -197,12 +261,43 @@ type TargetPM struct {
 	drainHook func(DrainCompletion)
 	// winOv/capOv are per-tenant overrides a controller may set at run
 	// time, tightening (never loosening) the configured MaxPending valve
-	// and MaxPendingPerTenant cap. Zero means "no override" — fixed
-	// arrays so the hot-path lookups cost an index, not a map probe, and
-	// an idle controller leaves behavior bit-identical to the static
+	// and MaxPendingPerTenant cap. Zero means "no override" — paged
+	// fixed-size arrays covering the full uint16 TenantID space, so the
+	// hot-path lookups cost two indexes (no map probe) and an idle
+	// controller leaves behavior bit-identical to the static
 	// configuration.
-	winOv [256]int32
-	capOv [256]int32
+	winOv tenantVals
+	capOv tenantVals
+}
+
+// tenantVals is a sparse per-tenant int32 table covering all 65536
+// possible TenantIDs as lazily allocated 256-entry pages. The PM runs
+// single-threaded on its reactor, so plain (non-atomic) pointers and
+// loads suffice; an untouched page reads as zero without allocating.
+// This replaces the former [256]int32 arrays whose direct indexing by a
+// uint16 TenantID panicked the reactor for tenant IDs >= 256.
+type tenantVals struct {
+	pages [256]*[256]int32
+}
+
+func (v *tenantVals) get(t proto.TenantID) int32 {
+	pg := v.pages[t>>8]
+	if pg == nil {
+		return 0
+	}
+	return pg[t&0xff]
+}
+
+func (v *tenantVals) set(t proto.TenantID, x int32) {
+	pg := v.pages[t>>8]
+	if pg == nil {
+		if x == 0 {
+			return
+		}
+		pg = new([256]int32)
+		v.pages[t>>8] = pg
+	}
+	pg[t&0xff] = x
 }
 
 // TargetPMStats counts PM-level events for the experiments.
@@ -217,6 +312,9 @@ type TargetPMStats struct {
 	TeardownDrops   int64 // queued requests discarded by session teardown
 	BusyRejections  int64 // requests refused admission with StatusBusy
 	WatchdogDrains  int64 // of ForcedDrains, those fired by the drain watchdog
+	ScavQueued      int64 // scavenger requests absorbed into best-effort queues
+	ScavDrains      int64 // scavenger windows released (leftover capacity or aging)
+	ScavAgedDrains  int64 // of ScavDrains, those forced by the aging bound
 }
 
 // Accumulate adds o's counters into s. A sharded target runs one PM per
@@ -233,16 +331,20 @@ func (s *TargetPMStats) Accumulate(o TargetPMStats) {
 	s.TeardownDrops += o.TeardownDrops
 	s.BusyRejections += o.BusyRejections
 	s.WatchdogDrains += o.WatchdogDrains
+	s.ScavQueued += o.ScavQueued
+	s.ScavDrains += o.ScavDrains
+	s.ScavAgedDrains += o.ScavAgedDrains
 }
 
 // NewTargetPM creates a priority manager.
 func NewTargetPM(cfg TargetPMConfig) *TargetPM {
 	return &TargetPM{
-		cfg:      cfg,
-		queues:   make(map[proto.TenantID]*pendingQueue),
-		batches:  make(map[TaggedCID]*drainBatch),
-		inflight: make(map[proto.TenantID][]*drainBatch),
-		pending:  make(map[proto.TenantID]int),
+		cfg:        cfg,
+		queues:     make(map[proto.TenantID]*pendingQueue),
+		batches:    make(map[TaggedCID]*drainBatch),
+		scavQueues: make(map[proto.TenantID]*pendingQueue),
+		inflight:   make(map[proto.TenantID][]*drainBatch),
+		pending:    make(map[proto.TenantID]int),
 	}
 }
 
@@ -270,11 +372,11 @@ func (pm *TargetPM) SetTenantWindow(t proto.TenantID, w int) {
 	if w < 0 {
 		w = 0
 	}
-	pm.winOv[t] = int32(w)
+	pm.winOv.set(t, int32(w))
 }
 
 // TenantWindow returns tenant t's valve override (0 when none).
-func (pm *TargetPM) TenantWindow(t proto.TenantID) int { return int(pm.winOv[t]) }
+func (pm *TargetPM) TenantWindow(t proto.TenantID) int { return int(pm.winOv.get(t)) }
 
 // SetTenantCap sets (c > 0) or clears (c <= 0) tenant t's admission-cap
 // override, tightening (never loosening) MaxPendingPerTenant for this
@@ -283,17 +385,17 @@ func (pm *TargetPM) SetTenantCap(t proto.TenantID, c int) {
 	if c < 0 {
 		c = 0
 	}
-	pm.capOv[t] = int32(c)
+	pm.capOv.set(t, int32(c))
 }
 
 // TenantCap returns tenant t's admission-cap override (0 when none).
-func (pm *TargetPM) TenantCap(t proto.TenantID) int { return int(pm.capOv[t]) }
+func (pm *TargetPM) TenantCap(t proto.TenantID) int { return int(pm.capOv.get(t)) }
 
 // ResetTenantControls clears both of tenant t's overrides (session
 // teardown: the ID may be recycled to an unrelated initiator).
 func (pm *TargetPM) ResetTenantControls(t proto.TenantID) {
-	pm.winOv[t] = 0
-	pm.capOv[t] = 0
+	pm.winOv.set(t, 0)
+	pm.capOv.set(t, 0)
 }
 
 // valveFor returns the effective force-drain valve for a request arriving
@@ -301,7 +403,7 @@ func (pm *TargetPM) ResetTenantControls(t proto.TenantID) {
 // override (0 disables).
 func (pm *TargetPM) valveFor(t proto.TenantID) int {
 	v := pm.cfg.MaxPending
-	if o := int(pm.winOv[t]); o > 0 && (v == 0 || o < v) {
+	if o := int(pm.winOv.get(t)); o > 0 && (v == 0 || o < v) {
 		return o
 	}
 	return v
@@ -311,7 +413,7 @@ func (pm *TargetPM) valveFor(t proto.TenantID) int {
 // MaxPendingPerTenant and the tenant's override (0 disables).
 func (pm *TargetPM) capFor(t proto.TenantID) int {
 	c := pm.cfg.MaxPendingPerTenant
-	if o := int(pm.capOv[t]); o > 0 && (c == 0 || o < c) {
+	if o := int(pm.capOv.get(t)); o > 0 && (c == 0 || o < c) {
 		return o
 	}
 	return c
@@ -345,6 +447,36 @@ func (pm *TargetPM) QueueDepth(t proto.TenantID) int {
 	return 0
 }
 
+// scavQueue returns tenant t's scavenger queue, creating it on first use.
+// Scavenger queues are always per-tenant (never shared), see scavQueues.
+func (pm *TargetPM) scavQueue(t proto.TenantID) *pendingQueue {
+	q, ok := pm.scavQueues[t]
+	if !ok {
+		q = &pendingQueue{}
+		pm.scavQueues[t] = q
+	}
+	return q
+}
+
+// ScavQueueDepth returns the number of parked scavenger requests tenant t
+// has at this PM.
+func (pm *TargetPM) ScavQueueDepth(t proto.TenantID) int {
+	if q, ok := pm.scavQueues[t]; ok {
+		return q.depth()
+	}
+	return 0
+}
+
+// LSPending returns the admitted-but-uncompleted latency-sensitive
+// request count (diagnostic/test hook; part of the leftover-capacity
+// condition).
+func (pm *TargetPM) LSPending() int { return pm.lsPending }
+
+// TCParked returns the parked (queued, unexecuted) TC request count
+// across all queues (diagnostic/test hook; part of the leftover-capacity
+// condition).
+func (pm *TargetPM) TCParked() int { return pm.tcParked }
+
 // Admit decides whether one arriving command may enter the target, and on
 // success charges it against the tenant's and the global pending caps
 // (undone by Release when the device completion lands or teardown drops
@@ -357,6 +489,10 @@ func (pm *TargetPM) QueueDepth(t proto.TenantID) int {
 //   - The global cap reserves LSHeadroom slots for latency-sensitive
 //     requests: non-LS admission stops LSHeadroom slots early, so a TC
 //     flood saturating the target still leaves LS tenants room to admit.
+//   - Scavenger admission stops ScavengerHeadroom slots earlier still:
+//     the best-effort class yields its global slots to LS and TC before
+//     the LSHeadroom check, so a background flood cannot crowd either
+//     foreground class out of admission.
 //
 // A false return means the caller must answer StatusBusy — the command was
 // never executed, so the host may resubmit verbatim.
@@ -368,7 +504,9 @@ func (pm *TargetPM) Admit(t proto.TenantID, prio proto.Priority) bool {
 		}
 		if g := pm.cfg.MaxPendingGlobal; g > 0 {
 			limit := g
-			if !prio.LatencySensitive() {
+			if prio.Scavenger() {
+				limit = g - pm.cfg.LSHeadroom - pm.cfg.ScavengerHeadroom
+			} else if !prio.LatencySensitive() {
 				limit = g - pm.cfg.LSHeadroom
 			}
 			if pm.pendingTotal >= limit {
@@ -379,6 +517,9 @@ func (pm *TargetPM) Admit(t proto.TenantID, prio proto.Priority) bool {
 	}
 	pm.pending[t]++
 	pm.pendingTotal++
+	if prio.LatencySensitive() {
+		pm.lsPending++
+	}
 	return true
 }
 
@@ -388,16 +529,20 @@ func (pm *TargetPM) reject(t proto.TenantID) {
 }
 
 // Release returns one admitted request's slot (completion, or teardown of
-// a request that never reached the device).
-func (pm *TargetPM) Release(t proto.TenantID) {
+// a request that never reached the device), given the wire priority the
+// request was admitted with. The global decrement is tied to the
+// per-tenant one, so a spurious double release cannot desynchronize
+// sum(pending) from pendingTotal.
+func (pm *TargetPM) Release(t proto.TenantID, prio proto.Priority) {
 	if pm.pending[t] > 0 {
 		pm.pending[t]--
+		pm.pendingTotal--
 		if pm.pending[t] == 0 {
 			delete(pm.pending, t)
 		}
-	}
-	if pm.pendingTotal > 0 {
-		pm.pendingTotal--
+		if prio.LatencySensitive() && pm.lsPending > 0 {
+			pm.lsPending--
+		}
 	}
 }
 
@@ -415,10 +560,26 @@ func (pm *TargetPM) PendingTotal() int { return pm.pendingTotal }
 func (pm *TargetPM) OnCommand(t proto.TenantID, cid nvme.CID, prio proto.Priority) (d Disposition, batch []TaggedCID) {
 	self := TaggedCID{Tenant: t, CID: cid}
 	switch {
+	case prio.Scavenger():
+		q := pm.scavQueue(t)
+		if q.depth() == 0 && pm.cfg.Clock != nil {
+			q.firstAt = pm.cfg.Clock()
+		}
+		q.push(self)
+		pm.stats.ScavQueued++
+		pm.tel.IncScavQueued(t)
+		pm.tel.SetScavQueueDepth(t, q.depth())
+		if pm.trace != nil {
+			pm.trace(telemetry.Event{Stage: telemetry.StageEnqueue, Tenant: t, CID: cid, Prio: prio, Aux: int64(q.depth())})
+		}
+		return DispositionQueued, nil
+
 	case prio.Draining():
 		q := pm.queue(t)
-		batch = append(q.popAll(), self)
-		pm.beginBatch(t, cid, true, batch)
+		popped := q.popAll()
+		pm.tcParked -= len(popped)
+		batch = append(popped, self)
+		pm.beginBatch(t, cid, true, false, batch)
 		pm.stats.Drains++
 		pm.tel.ObserveDrain(t, len(batch), false)
 		pm.tel.SetQueueDepth(t, 0)
@@ -433,6 +594,7 @@ func (pm *TargetPM) OnCommand(t proto.TenantID, cid nvme.CID, prio proto.Priorit
 			q.firstAt = pm.cfg.Clock()
 		}
 		q.push(self)
+		pm.tcParked++
 		pm.stats.TCQueued++
 		pm.tel.IncTCQueued(t)
 		pm.tel.SetQueueDepth(t, q.depth())
@@ -441,8 +603,9 @@ func (pm *TargetPM) OnCommand(t proto.TenantID, cid nvme.CID, prio proto.Priorit
 		}
 		if valve := pm.valveFor(t); valve > 0 && q.depth() >= valve {
 			batch = q.popAll()
+			pm.tcParked -= len(batch)
 			last := batch[len(batch)-1]
-			pm.beginBatch(last.Tenant, last.CID, false, batch)
+			pm.beginBatch(last.Tenant, last.CID, false, false, batch)
 			pm.stats.ForcedDrains++
 			pm.tel.ObserveDrain(last.Tenant, len(batch), true)
 			pm.tel.SetQueueDepth(t, 0)
@@ -481,8 +644,9 @@ func (pm *TargetPM) ExpireStale(now int64) [][]TaggedCID {
 			continue
 		}
 		batch := q.popAll()
+		pm.tcParked -= len(batch)
 		last := batch[len(batch)-1]
-		pm.beginBatch(last.Tenant, last.CID, false, batch)
+		pm.beginBatch(last.Tenant, last.CID, false, false, batch)
 		pm.stats.ForcedDrains++
 		pm.stats.WatchdogDrains++
 		pm.tel.ObserveDrain(last.Tenant, len(batch), true)
@@ -498,16 +662,107 @@ func (pm *TargetPM) ExpireStale(now int64) [][]TaggedCID {
 	return out
 }
 
+// PollScavenger releases parked scavenger queues, returning the batches
+// to execute now (same contract as a DispositionDrainBatch). Two release
+// conditions, checked per queue:
+//
+//   - Leftover capacity: no latency-sensitive request is pending and no
+//     TC window is parked un-drained. Scavenger work then consumes only
+//     capacity the foreground classes are not using.
+//   - Aging: the queue's oldest request has waited ScavengerAgingNS
+//     (needs Clock). Continuous foreground load can delay background
+//     work, but a parked scavenger window always eventually drains.
+//
+// Each release is capped at ScavengerChunk requests so a deep backlog
+// cannot flood the device ahead of the next foreground arrival; the
+// remainder stays parked for later polls.
+//
+// The runtime calls this from the reactor after command dispatch and
+// after device completions (the points where leftover capacity can
+// appear), and from a ticker for the aging bound.
+func (pm *TargetPM) PollScavenger(now int64) [][]TaggedCID {
+	if len(pm.scavQueues) == 0 {
+		return nil
+	}
+	chunk := pm.cfg.ScavengerChunk
+	if chunk <= 0 {
+		chunk = DefaultScavengerChunk
+	}
+	// Deterministic release order: oldest queue first, tenant ID as the
+	// tie-break. Map iteration order would vary run to run and leak into
+	// the device's jitter stream, breaking same-seed reproducibility.
+	order := make([]proto.TenantID, 0, len(pm.scavQueues))
+	for t, q := range pm.scavQueues {
+		if q.depth() > 0 {
+			order = append(order, t)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		qi, qj := pm.scavQueues[order[i]], pm.scavQueues[order[j]]
+		if qi.firstAt != qj.firstAt {
+			return qi.firstAt < qj.firstAt
+		}
+		return order[i] < order[j]
+	})
+	var out [][]TaggedCID
+	for _, t := range order {
+		q := pm.scavQueues[t]
+		aged := pm.cfg.ScavengerAgingNS > 0 && pm.cfg.Clock != nil &&
+			now-q.firstAt >= pm.cfg.ScavengerAgingNS
+		// The idle path additionally waits for the previous chunk's device
+		// work to finish (scavInFlight, charged by the beginBatch below),
+		// so repeated polls during one foreground gap cannot stack chunks
+		// into the device — at most one chunk is ever in service, and an
+		// LS arrival always finds free device capacity. The aging path
+		// skips that gate: the starvation bound outranks it.
+		foregroundIdle := pm.lsPending == 0 && pm.tcParked == 0
+		if !aged && !(foregroundIdle && pm.scavInFlight == 0) {
+			continue
+		}
+		// Never more than a chunk at once: even on a fully idle target, the
+		// next command could be an LS arrival, and it must not find a
+		// device-deep backlog ahead of it. The remainder's aging anchor
+		// restarts now (inside popN), so under continuous foreground load a
+		// deep backlog drains one chunk per aging period — slow, but
+		// bounded, which is all best-effort promises.
+		batch := q.popN(chunk, now)
+		last := batch[len(batch)-1]
+		pm.beginBatch(t, last.CID, false, true, batch)
+		pm.stats.ScavDrains++
+		forced := aged && !foregroundIdle
+		if forced {
+			pm.stats.ScavAgedDrains++
+		}
+		pm.tel.ObserveScavDrain(t, forced)
+		pm.tel.SetScavQueueDepth(t, q.depth())
+		if pm.trace != nil {
+			pm.trace(telemetry.Event{Stage: telemetry.StageDrainStart, Tenant: t, CID: last.CID, Prio: proto.PrioScavenger, Aux: int64(len(batch))})
+			if forced {
+				pm.trace(telemetry.Event{Stage: telemetry.StageForcedDrain, Tenant: t, CID: last.CID, Prio: proto.PrioScavenger, Aux: int64(len(batch))})
+			}
+		}
+		out = append(out, batch)
+	}
+	return out
+}
+
 // beginBatch registers an executing window so completions can be counted.
-func (pm *TargetPM) beginBatch(owner proto.TenantID, drainCID nvme.CID, hasDrain bool, members []TaggedCID) {
+func (pm *TargetPM) beginBatch(owner proto.TenantID, drainCID nvme.CID, hasDrain, scavenger bool, members []TaggedCID) {
 	b := &drainBatch{
-		owner:      owner,
-		drainCID:   drainCID,
-		hasDrain:   hasDrain,
-		size:       len(members),
-		remaining:  len(members),
-		status:     nvme.StatusSuccess,
-		noCoalesce: !pm.cfg.Isolated,
+		owner:     owner,
+		drainCID:  drainCID,
+		hasDrain:  hasDrain,
+		size:      len(members),
+		remaining: len(members),
+		status:    nvme.StatusSuccess,
+		// Scavenger batches always coalesce: their queues are per-tenant
+		// even in the shared-queue ablation, so the ordering hazard that
+		// forces per-request responses there cannot arise.
+		noCoalesce: !pm.cfg.Isolated && !scavenger,
+		scavenger:  scavenger,
+	}
+	if scavenger {
+		pm.scavInFlight += len(members)
 	}
 	for _, m := range members {
 		pm.batches[m] = b
@@ -536,6 +791,9 @@ func (pm *TargetPM) OnDeviceCompletion(t proto.TenantID, cid nvme.CID, st nvme.S
 	}
 	delete(pm.batches, key)
 	b.remaining--
+	if b.scavenger && pm.scavInFlight > 0 {
+		pm.scavInFlight--
+	}
 
 	if b.noCoalesce {
 		// Shared-queue mode: every member answers individually; the
@@ -592,11 +850,12 @@ func (pm *TargetPM) releaseInOrder(owner proto.TenantID) []RespDecision {
 		q = q[1:]
 		if pm.drainHook != nil {
 			pm.drainHook(DrainCompletion{
-				Tenant:  b.owner,
-				Window:  b.size,
-				Forced:  !b.hasDrain,
-				Queued:  pm.QueueDepth(b.owner),
-				Pending: pm.pending[b.owner],
+				Tenant:    b.owner,
+				Window:    b.size,
+				Forced:    !b.hasDrain,
+				Queued:    pm.QueueDepth(b.owner),
+				Pending:   pm.pending[b.owner],
+				Scavenger: b.scavenger,
 			})
 		}
 		if b.noCoalesce {
@@ -636,30 +895,42 @@ func (pm *TargetPM) releaseInOrder(owner proto.TenantID) []RespDecision {
 // in-flight batch) are untouched; their device callbacks complete into
 // the tombstoned session and keep sibling batch ordering exact.
 func (pm *TargetPM) DropTenant(t proto.TenantID) []nvme.CID {
-	k := pm.key(t)
-	q, ok := pm.queues[k]
-	if !ok || q.depth() == 0 {
-		return nil
-	}
 	var dropped []nvme.CID
-	if pm.cfg.Isolated {
-		// The whole queue belongs to t.
+	k := pm.key(t)
+	if q, ok := pm.queues[k]; ok && q.depth() > 0 {
+		if pm.cfg.Isolated {
+			// The whole queue belongs to t.
+			for _, e := range q.popAll() {
+				dropped = append(dropped, e.CID)
+			}
+			delete(pm.queues, k)
+		} else {
+			// Shared-queue ablation: filter t's entries, keep the others
+			// in FIFO order.
+			kept := q.entries[:0]
+			for _, e := range q.entries {
+				if e.Tenant == t {
+					dropped = append(dropped, e.CID)
+				} else {
+					kept = append(kept, e)
+				}
+			}
+			q.entries = kept
+		}
+		pm.tcParked -= len(dropped)
+	}
+	// A dead tenant's parked scavenger window must not linger either: its
+	// drain would complete into a torn-down session. Scavenger queues are
+	// always per-tenant, so the whole queue goes.
+	if q, ok := pm.scavQueues[t]; ok {
 		for _, e := range q.popAll() {
 			dropped = append(dropped, e.CID)
 		}
-		delete(pm.queues, k)
-	} else {
-		// Shared-queue ablation: filter t's entries, keep the others in
-		// FIFO order.
-		kept := q.entries[:0]
-		for _, e := range q.entries {
-			if e.Tenant == t {
-				dropped = append(dropped, e.CID)
-			} else {
-				kept = append(kept, e)
-			}
-		}
-		q.entries = kept
+		delete(pm.scavQueues, t)
+		pm.tel.SetScavQueueDepth(t, 0)
+	}
+	if len(dropped) == 0 {
+		return nil
 	}
 	pm.stats.TeardownDrops += int64(len(dropped))
 	pm.tel.SetQueueDepth(t, 0)

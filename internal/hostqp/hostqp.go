@@ -58,8 +58,11 @@ func (e *ProtocolError) Error() string {
 // Config describes one initiator connection.
 type Config struct {
 	// Class is the connection's priority class: PrioLatencySensitive,
-	// PrioThroughputCritical, or PrioNormal (legacy NVMe-oF). Individual
-	// IOs may override it.
+	// PrioThroughputCritical, PrioScavenger (best-effort), or PrioNormal
+	// (legacy NVMe-oF). Individual IOs may override it, except across the
+	// TC/scavenger boundary — both classes replay the same
+	// submission-ordered pending queue, so they must not share a session
+	// (Submit rejects such overrides).
 	Class proto.Priority
 	// Window is the drain window size for throughput-critical traffic.
 	Window int
@@ -364,24 +367,42 @@ func (s *Session) Submit(io IO) error {
 	if io.Blocks == 0 && io.Op != nvme.OpFlush {
 		return errors.New("hostqp: zero-length IO")
 	}
-	cid, ok := s.cids.Alloc()
-	if !ok {
-		return ErrQueueFull
-	}
-
 	// Zero priority means "inherit the connection class" (PrioNormal is
 	// the zero value; a connection classed normal stays normal).
 	eff := io.Prio
 	if eff == 0 {
 		eff = s.cfg.Class
 	}
+	// TC and scavenger requests replay the same submission-ordered
+	// pending queue, so mixing them on one session would let a coalesced
+	// response of one class prematurely complete the other's parked CIDs.
+	// Checked before the CID allocation so the rejection leaves no state.
+	if eff.Scavenger() && !s.cfg.Class.Scavenger() {
+		return errors.New("hostqp: scavenger override on a non-scavenger connection; open a scavenger-class connection instead")
+	}
+	if eff.ThroughputCritical() && s.cfg.Class.Scavenger() {
+		return errors.New("hostqp: throughput-critical override on a scavenger connection; open a TC-class connection instead")
+	}
+	cid, ok := s.cids.Alloc()
+	if !ok {
+		return ErrQueueFull
+	}
+
 	req := &pendingReq{io: io, submittedAt: s.clock()}
 	var wire proto.Priority
-	if eff.ThroughputCritical() {
+	switch {
+	case eff.ThroughputCritical():
 		// Alg. 1: queue the CID and let the PM decide when to drain.
 		wire = s.pm.Stamp(cid)
 		req.coalescable = true
-	} else {
+	case eff.Scavenger():
+		// Scavenger requests ride the same pending queue (the target's
+		// coalesced drain response replays them) but carry no draining
+		// flags: the target decides when leftover capacity or aging
+		// releases the window.
+		wire = s.pm.Track(cid)
+		req.coalescable = true
+	default:
 		wire = eff
 	}
 	req.prio = wire
@@ -691,3 +712,10 @@ func (s *Session) PendingTC() int { return s.pm.Pending() }
 // draining flag: the requests sitting in the target's tenant queue with no
 // drain scheduled to release them.
 func (s *Session) PartialWindow() int { return s.pm.SinceDrain() }
+
+// Scavenger reports whether this connection runs in the best-effort
+// class. Transports consult it to skip the idle-drain machinery: a
+// parked scavenger window is released by the target (leftover capacity
+// or aging), never by a host drain flag, so flushing it from the host
+// would be a no-op loop.
+func (s *Session) Scavenger() bool { return s.cfg.Class.Scavenger() }

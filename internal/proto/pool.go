@@ -350,7 +350,7 @@ func (p *CapsuleCmd) decodeBodyPooled(src []byte) error {
 	if err := p.Cmd.Unmarshal(src); err != nil {
 		return err
 	}
-	p.Prio = Priority(src[sqePrioOffset] & 0x3)
+	p.Prio = decodePriority(src[sqePrioOffset])
 	p.Tenant = TenantID(binary.LittleEndian.Uint16(src[sqeTenantOffset:]))
 	p.Data = clonePayload(src[nvme.CommandSize:])
 	return nil

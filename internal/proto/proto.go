@@ -1,8 +1,9 @@
 // Package proto implements the NVMe/TCP-like PDU layer that NVMe-oPF
 // initiators and targets exchange, including the paper's protocol
 // extension: two reserved bits of each command capsule carry the
-// latency-sensitive / throughput-critical / draining priority flags, and
-// eight reserved bits carry the per-initiator tenant ID (§IV-A).
+// latency-sensitive / throughput-critical / draining priority flags (a
+// third reserved bit carries this dialect's scavenger/best-effort
+// class), and reserved bits carry the per-initiator tenant ID (§IV-A).
 //
 // The layout follows the NVMe/TCP transport specification's structure
 // (8-byte common header, capsule/data PDUs) but is a simplified dialect,
@@ -74,18 +75,27 @@ func (t Type) String() string {
 	}
 }
 
-// Priority is the 2-bit priority field the paper adds to command capsules.
-// Draining implies throughput-critical: a draining request is the last
-// request of a TC window and instructs the target to execute and complete
-// the whole pending batch (§III-C).
+// Priority is the priority field the paper adds to command capsules: the
+// paper's 2-bit LS/TC/draining flags, plus one more reserved bit this
+// dialect claims for the scavenger (best-effort) class. Draining implies
+// throughput-critical: a draining request is the last request of a TC
+// window and instructs the target to execute and complete the whole
+// pending batch (§III-C).
 type Priority uint8
 
-// Priority values (exactly the paper's three flags, packed into two bits).
+// Priority values. The paper's three flags pack into the low two bits;
+// the scavenger class occupies bit 2 alone, so a legacy peer masking the
+// low two bits reads a scavenger request as PrioNormal (FIFO path) — a
+// safe downgrade, never an accidental LS/TC/draining escalation. There
+// is deliberately no scavenger+draining combination: scavenger drains
+// are target-driven (leftover capacity or aging), never host-flagged,
+// and value 5 would alias to latency-sensitive under a legacy mask.
 const (
 	PrioNormal             Priority = 0 // legacy NVMe-oF request, FIFO path
 	PrioLatencySensitive   Priority = 1
 	PrioThroughputCritical Priority = 2
 	PrioTCDraining         Priority = 3
+	PrioScavenger          Priority = 4 // best-effort: leftover capacity only
 )
 
 // LatencySensitive reports whether the request asked for the LS bypass.
@@ -100,6 +110,10 @@ func (p Priority) ThroughputCritical() bool {
 // Draining reports whether the request carries the draining flag.
 func (p Priority) Draining() bool { return p == PrioTCDraining }
 
+// Scavenger reports whether the request runs in the best-effort class
+// (drained only from leftover capacity, aged so it cannot starve).
+func (p Priority) Scavenger() bool { return p == PrioScavenger }
+
 // String implements fmt.Stringer.
 func (p Priority) String() string {
 	switch p {
@@ -111,9 +125,31 @@ func (p Priority) String() string {
 		return "throughput-critical"
 	case PrioTCDraining:
 		return "throughput-critical+draining"
+	case PrioScavenger:
+		return "scavenger"
 	default:
 		return fmt.Sprintf("Priority(%d)", uint8(p))
 	}
+}
+
+// encodePriority canonicalizes a priority for the wire: scavenger emits
+// bit 2 alone (so legacy peers masking two bits read PrioNormal); every
+// other value is masked to the paper's two bits.
+func encodePriority(p Priority) uint8 {
+	if p.Scavenger() {
+		return uint8(PrioScavenger)
+	}
+	return uint8(p) & 0x3
+}
+
+// decodePriority inverts encodePriority. Any byte with the scavenger bit
+// set decodes as PrioScavenger regardless of the low bits — a peer
+// cannot smuggle an LS or draining flag alongside the scavenger bit.
+func decodePriority(b uint8) Priority {
+	if b&uint8(PrioScavenger) != 0 {
+		return PrioScavenger
+	}
+	return Priority(b & 0x3)
 }
 
 // TenantID identifies an initiator within a target. The paper used 8
@@ -178,7 +214,7 @@ func (*ICReq) WireSize() int { return ICReqSize }
 func (p *ICReq) encodeBody(dst []byte) {
 	binary.LittleEndian.PutUint16(dst[0:], p.PFV)
 	binary.LittleEndian.PutUint16(dst[2:], p.QueueDepth)
-	dst[4] = uint8(p.Prio)
+	dst[4] = encodePriority(p.Prio)
 	binary.LittleEndian.PutUint32(dst[8:], p.NSID)
 }
 
@@ -188,7 +224,7 @@ func (p *ICReq) decodeBody(src []byte) error {
 	}
 	p.PFV = binary.LittleEndian.Uint16(src[0:])
 	p.QueueDepth = binary.LittleEndian.Uint16(src[2:])
-	p.Prio = Priority(src[4] & 0x3)
+	p.Prio = decodePriority(src[4])
 	p.NSID = binary.LittleEndian.Uint32(src[8:])
 	return nil
 }
@@ -272,7 +308,7 @@ func (p *CapsuleCmd) encodeFixed(dst []byte) {
 	p.Cmd.Marshal(dst)
 	// The priority extension lives in reserved SQE bytes, so it costs no
 	// extra wire bytes (§IV-A).
-	dst[sqePrioOffset] = uint8(p.Prio) & 0x3
+	dst[sqePrioOffset] = encodePriority(p.Prio)
 	binary.LittleEndian.PutUint16(dst[sqeTenantOffset:], uint16(p.Tenant))
 }
 
@@ -285,7 +321,7 @@ func (p *CapsuleCmd) decodeBody(src []byte) error {
 	if err := p.Cmd.Unmarshal(src); err != nil {
 		return err
 	}
-	p.Prio = Priority(src[sqePrioOffset] & 0x3)
+	p.Prio = decodePriority(src[sqePrioOffset])
 	p.Tenant = TenantID(binary.LittleEndian.Uint16(src[sqeTenantOffset:]))
 	if len(src) > nvme.CommandSize {
 		p.Data = append([]byte(nil), src[nvme.CommandSize:]...)

@@ -1,0 +1,131 @@
+package proto
+
+// Wire pins for the scavenger (best-effort) class: the third reserved SQE
+// bit, zero extra wire bytes, and — critically — the legacy decode: a peer
+// built before the class existed masks the priority byte with 0x3 and must
+// read a scavenger command as PrioNormal (a safe downgrade to FIFO), never
+// as LS or TC.
+
+import (
+	"bytes"
+	"testing"
+
+	"nvmeopf/internal/nvme"
+)
+
+func TestScavengerWireByte(t *testing.T) {
+	in := &CapsuleCmd{
+		Cmd:    nvme.Command{Opcode: nvme.OpWrite, CID: 3, NSID: 1, SLBA: 8, NLB: 0},
+		Prio:   PrioScavenger,
+		Tenant: 300,
+		Data:   []byte("0123456789abcdef"),
+	}
+	buf := Marshal(in)
+	// Bit 2 alone: the two legacy priority bits stay clear so a legacy
+	// mask-0x3 decode reads PrioNormal.
+	if got := buf[chSize+sqePrioOffset]; got != 4 {
+		t.Fatalf("scavenger priority byte = %#x, want 0x4", got)
+	}
+	if got := Priority(buf[chSize+sqePrioOffset] & 0x3); got != PrioNormal {
+		t.Fatalf("legacy decode of scavenger byte = %v, want PrioNormal", got)
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := out.(*CapsuleCmd)
+	if cc.Prio != PrioScavenger || cc.Tenant != 300 {
+		t.Fatalf("round trip = prio %v tenant %d", cc.Prio, cc.Tenant)
+	}
+}
+
+func TestScavengerAddsNoWireBytes(t *testing.T) {
+	cmd := nvme.Command{Opcode: nvme.OpRead, CID: 1, NSID: 1, SLBA: 0, NLB: 7}
+	plain := &CapsuleCmd{Cmd: cmd, Prio: PrioNormal}
+	scav := &CapsuleCmd{Cmd: cmd, Prio: PrioScavenger, Tenant: 65535}
+	if len(Marshal(plain)) != len(Marshal(scav)) {
+		t.Fatal("scavenger bit changed the wire size")
+	}
+}
+
+func TestScavengerICReqRoundTrip(t *testing.T) {
+	in := &ICReq{PFV: 1, QueueDepth: 64, Prio: PrioScavenger, NSID: 1}
+	buf := Marshal(in)
+	if got := buf[chSize+4]; got != 4 {
+		t.Fatalf("ICReq scavenger class byte = %#x, want 0x4", got)
+	}
+	out, err := Unmarshal(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out.(*ICReq).Prio; got != PrioScavenger {
+		t.Fatalf("ICReq class round-tripped to %v", got)
+	}
+}
+
+// TestLegacyPriorityDecodeUnchanged pins that the four pre-scavenger wire
+// values still decode exactly as before the bit existed, and that every
+// priority round-trips through encode/decode.
+func TestLegacyPriorityDecodeUnchanged(t *testing.T) {
+	legacy := map[uint8]Priority{
+		0: PrioNormal,
+		1: PrioLatencySensitive,
+		2: PrioThroughputCritical,
+		3: PrioTCDraining,
+	}
+	for b, want := range legacy {
+		if got := decodePriority(b); got != want {
+			t.Fatalf("decodePriority(%d) = %v, want %v", b, got, want)
+		}
+		if got := encodePriority(want); got != b {
+			t.Fatalf("encodePriority(%v) = %d, want %d", want, got, b)
+		}
+	}
+	for _, p := range []Priority{PrioNormal, PrioLatencySensitive, PrioThroughputCritical, PrioTCDraining, PrioScavenger} {
+		if got := decodePriority(encodePriority(p)); got != p {
+			t.Fatalf("priority %v round-tripped to %v", p, got)
+		}
+	}
+	// Defensive decode: a peer that (incorrectly) sets the scavenger bit
+	// alongside legacy bits still lands on scavenger — the bit always
+	// means best-effort, so garbage low bits can never escalate a request
+	// into the LS bypass.
+	for b := uint8(4); b <= 7; b++ {
+		if got := decodePriority(b); got != PrioScavenger {
+			t.Fatalf("decodePriority(%d) = %v, want PrioScavenger", b, got)
+		}
+	}
+}
+
+// TestScavengerPooledDecodeKeepsBit pins the pooled (zero-alloc) reader's
+// CapsuleCmd decode against the plain one for the scavenger bit. The
+// pooled path once carried its own mask-0x3 decode — the legacy downgrade
+// meant for *peers* — silently demoting every scavenger command to the
+// FIFO path on the real TCP server while the simulator (plain decode)
+// kept the class. Any byte the two decoders disagree on is a bug.
+func TestScavengerPooledDecodeKeepsBit(t *testing.T) {
+	in := &CapsuleCmd{
+		Cmd:    nvme.Command{Opcode: nvme.OpWrite, CID: 9, NSID: 1, SLBA: 4, NLB: 0},
+		Prio:   PrioScavenger,
+		Tenant: 300,
+		Data:   bytes.Repeat([]byte{0xE7}, 4096),
+	}
+	wire := Marshal(in)
+	for _, pooled := range []bool{false, true} {
+		rd := NewReader(bytes.NewReader(wire), pooled)
+		got, err := rd.Next()
+		if err != nil {
+			t.Fatalf("pooled=%v: %v", pooled, err)
+		}
+		cc, ok := got.(*CapsuleCmd)
+		if !ok {
+			t.Fatalf("pooled=%v: decoded %T", pooled, got)
+		}
+		if cc.Prio != PrioScavenger || cc.Tenant != 300 {
+			t.Fatalf("pooled=%v: prio %v tenant %d, want scavenger/300", pooled, cc.Prio, cc.Tenant)
+		}
+		if !bytes.Equal(cc.Data, in.Data) {
+			t.Fatalf("pooled=%v: payload mismatch", pooled)
+		}
+	}
+}

@@ -96,7 +96,7 @@ func (p *TelemetryUpdate) encodeBody(dst []byte) {
 	off := tuHdrSize
 	for i := range p.Classes {
 		c := &p.Classes[i]
-		dst[off] = uint8(c.Class)
+		dst[off] = encodePriority(c.Class)
 		binary.LittleEndian.PutUint16(dst[off+1:], uint16(len(c.Buckets)))
 		binary.LittleEndian.PutUint64(dst[off+3:], c.Sum)
 		binary.LittleEndian.PutUint64(dst[off+11:], c.Max)
@@ -126,7 +126,7 @@ func (p *TelemetryUpdate) decodeBody(src []byte) error {
 			return fmt.Errorf("proto: TelemetryUpdate truncated at class %d", i)
 		}
 		c := TelemetryClassDelta{
-			Class: Priority(src[off] & 0x3),
+			Class: decodePriority(src[off]),
 			Sum:   binary.LittleEndian.Uint64(src[off+3:]),
 			Max:   binary.LittleEndian.Uint64(src[off+11:]),
 		}

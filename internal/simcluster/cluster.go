@@ -24,6 +24,7 @@ type Cluster struct {
 	shared    bool // shared-queue ablation
 	seed      uint64
 	atCfg     *autotune.Config
+	scavAging int64
 	hostTelNS int64
 	telTicks  int // telemetry cadence events currently in the queue
 	tel       *telemetry.Registry
@@ -58,6 +59,12 @@ type Options struct {
 	// cluster's when unset. Nil runs the static windows bit-identically
 	// to a cluster without the field.
 	Autotune *autotune.Config
+	// ScavengerAging bounds (in virtual nanoseconds) how long a parked
+	// scavenger queue can starve behind continuous LS/TC traffic before
+	// the target force-drains it anyway. The simulator needs no ticker:
+	// the target re-polls on every command and completion, so foreground
+	// traffic itself ages the parked window out. Zero disables the bound.
+	ScavengerAging int64
 	// HostTelemetryNS enables the in-band e2e feedback channel on every
 	// initiator Connect creates: each emits one TelemetryUpdate every
 	// HostTelemetryNS of virtual time (the simulated keep-alive cadence),
@@ -76,6 +83,7 @@ func New(opts Options) *Cluster {
 		shared:    opts.SharedQueueAblation,
 		seed:      opts.Seed,
 		atCfg:     opts.Autotune,
+		scavAging: opts.ScavengerAging,
 		hostTelNS: opts.HostTelemetryNS,
 		tel:       opts.Telemetry,
 		trace:     opts.Trace,
@@ -176,6 +184,7 @@ func (c *Cluster) NewTargetNode(name string, backed bool) (*TargetNode, error) {
 		Mode:                c.mode,
 		MaxPending:          4096,
 		SharedQueueAblation: c.shared,
+		ScavengerAging:      time.Duration(c.scavAging),
 		Telemetry:           c.tel,
 		Trace:               c.trace,
 		Clock:               c.Eng.Now, // virtual time drives latency samples

@@ -76,6 +76,17 @@ type Config struct {
 	// LSHeadroom reserves slots of MaxPendingGlobal for latency-sensitive
 	// requests so a TC flood cannot starve LS admission.
 	LSHeadroom int
+	// ScavengerHeadroom reserves slots of MaxPendingGlobal (on top of
+	// LSHeadroom) that scavenger requests may never occupy, so best-effort
+	// floods always yield admission capacity to LS and TC. Zero means
+	// scavengers compete for the same non-LS slots TC does.
+	ScavengerHeadroom int
+	// ScavengerAging bounds how long a parked scavenger queue can wait
+	// while the target stays busy with LS/TC work: once the oldest parked
+	// request has aged past it, the queue force-drains even though
+	// capacity is not free. Requires Clock. Zero disables the bound
+	// (scavengers drain only on idle capacity).
+	ScavengerAging time.Duration
 	// DrainWatchdog force-drains a TC queue whose oldest parked request
 	// has waited this long with no draining flag (host crashed or went
 	// silent mid-window). Requires Clock. Zero disables.
@@ -211,8 +222,10 @@ func NewTarget(cfg Config, backend Backend) (*Target, error) {
 		MaxPendingPerTenant: cfg.MaxPendingPerTenant,
 		MaxPendingGlobal:    cfg.MaxPendingGlobal,
 		LSHeadroom:          cfg.LSHeadroom,
+		ScavengerHeadroom:   cfg.ScavengerHeadroom,
 		Clock:               cfg.Clock,
 		WatchdogNS:          cfg.DrainWatchdog.Nanoseconds(),
+		ScavengerAgingNS:    cfg.ScavengerAging.Nanoseconds(),
 	})
 	pm.SetTelemetry(cfg.Telemetry)
 	pm.SetTrace(cfg.Trace)
@@ -292,14 +305,18 @@ func (t *Target) CloseSession(s *Session) {
 	delete(t.sessions, s.tenant)
 	dropped := t.pm.DropTenant(s.tenant)
 	for _, cid := range dropped {
+		// Dropped CIDs are queued (TC or scavenger) requests, so their pool
+		// entries exist; the priority feeds Release's class accounting.
+		prio := proto.PrioNormal
 		if req := s.reqs[cid]; req != nil {
+			prio = req.prio
 			if t.cfg.PooledPayloads {
 				proto.PutBuf(req.data)
 			}
 			t.putReq(req)
 		}
 		delete(s.reqs, cid)
-		t.pm.Release(s.tenant)
+		t.pm.Release(s.tenant, prio)
 	}
 	t.stats.Disconnects++
 	t.stats.TeardownDrops += int64(len(dropped))
@@ -552,6 +569,11 @@ func (s *Session) handleCmd(pdu *proto.CapsuleCmd) error {
 			return err
 		}
 	}
+	// A scavenger command parked on an idle target, or a drained TC window,
+	// may have made leftover capacity available — drain it now.
+	if _, err := t.CheckScavenger(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -582,6 +604,30 @@ func (t *Target) CheckWatchdog() (int, error) {
 		return 0, nil
 	}
 	batches := t.pm.ExpireStale(t.cfg.Clock())
+	for _, batch := range batches {
+		if err := t.executeBatch(batch); err != nil {
+			return len(batches), err
+		}
+	}
+	return len(batches), nil
+}
+
+// CheckScavenger runs the PM's scavenger poll: parked best-effort queues
+// drain when the target holds no LS request and no un-drained TC window
+// (leftover capacity only), and force-drain once aged past
+// Config.ScavengerAging so continuous foreground traffic cannot starve
+// them forever. Returns the number of queues drained. Same caller
+// contract as CheckWatchdog: invoke from the context that delivers PDUs;
+// the TCP transport also runs it on a timer so a parked window ages out
+// on an otherwise idle connection. The target calls it opportunistically
+// after every command dispatch and device completion — the two points
+// where leftover capacity appears.
+func (t *Target) CheckScavenger() (int, error) {
+	var now int64
+	if t.cfg.Clock != nil {
+		now = t.cfg.Clock()
+	}
+	batches := t.pm.PollScavenger(now)
 	for _, batch := range batches {
 		if err := t.executeBatch(batch); err != nil {
 			return len(batches), err
@@ -629,7 +675,7 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 	// in-process transport the reused command can arrive re-entrantly,
 	// before this function returns.
 	delete(s.reqs, cid)
-	t.pm.Release(tenant)
+	t.pm.Release(tenant, req.prio)
 	if !st.OK() {
 		t.stats.Errors++
 	}
@@ -713,6 +759,12 @@ func (s *Session) onDeviceCompletion(tenant proto.TenantID, cid nvme.CID, st nvm
 		}
 		dest.respond(rd.CID, rd.Status, rd.Coalesced)
 	}
+	// The completion may have retired the last LS request or released a TC
+	// window, freeing leftover capacity for parked scavenger queues. An
+	// executeBatch failure here mirrors CheckWatchdog's (a batch member
+	// whose tenant vanished — impossible while DropTenant purges dead
+	// tenants' queues) and has no caller to surface to on this path.
+	_, _ = t.CheckScavenger()
 	if s.dead && len(s.reqs) == 0 {
 		// Last in-flight callback has landed: the tenant ID is now safe to
 		// hand to a new connection.

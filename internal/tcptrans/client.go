@@ -589,6 +589,12 @@ func (c *Conn) armIdleDrain() {
 	if c.idle != nil {
 		c.idle.Stop()
 	}
+	if c.sess.Scavenger() {
+		// Scavenger windows drain on the target's schedule (leftover
+		// capacity or the aging bound), not the host's: flushing the tail
+		// here would defeat the whole point of parking best-effort work.
+		return
+	}
 	if c.sess.PendingTC() == 0 {
 		return
 	}
@@ -604,7 +610,7 @@ func (c *Conn) armIdleDrain() {
 // no-op, so a timer that fires during teardown cannot touch dead state.
 func (c *Conn) idleFlush() {
 	c.post(func() {
-		if c.connErr != nil || c.sess.PendingTC() == 0 || !c.sess.CanSubmit() {
+		if c.connErr != nil || c.sess.Scavenger() || c.sess.PendingTC() == 0 || !c.sess.CanSubmit() {
 			return
 		}
 		c.sess.Flush()

@@ -1,0 +1,164 @@
+package tcptrans
+
+// Live-server e2e coverage for the scavenger (best-effort) class: a
+// scavenger connection's writes complete on leftover capacity over real
+// TCP, keep completing (via the aging bound) while LS+TC foreground load
+// runs, and the host-side class-mixing rules reject cross-class overrides
+// before anything reaches the wire.
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"nvmeopf/internal/proto"
+	"nvmeopf/internal/targetqp"
+	"nvmeopf/internal/telemetry"
+)
+
+func TestScavengerOverTCP(t *testing.T) {
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Mode:           targetqp.ModeOPF,
+		Device:         mustMem(t),
+		ScavengerAging: 2 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	scav := dial2(t, srv, proto.PrioScavenger, 4, 16)
+	ls := dial2(t, srv, proto.PrioLatencySensitive, 1, 1)
+	tc := dial2(t, srv, proto.PrioThroughputCritical, 8, 32)
+
+	// Idle target: the write parks in the scavenger queue and the leftover
+	// drain releases it — the sync call returning proves the coalesced
+	// completion made it back.
+	payload := bytes.Repeat([]byte{0xA5, 0x3C}, 2048)
+	if err := scav.Write(7, payload, 0); err != nil {
+		t.Fatalf("scavenger write on idle target: %v", err)
+	}
+	got, err := scav.Read(7, 1, 0)
+	if err != nil {
+		t.Fatalf("scavenger read: %v", err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("scavenger round trip mismatch")
+	}
+
+	// Mixed foreground + background: LS reads and TC writes run while the
+	// scavenger keeps submitting. Everything must complete — under load the
+	// scavenger windows ride leftover gaps or the aging bound.
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	errCh := make(chan error, 3)
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		<-start
+		buf := make([]byte, 4096)
+		for i := 0; i < 64; i++ {
+			if err := tc.Write(uint64(64+i), buf, 0); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		for i := 0; i < 32; i++ {
+			if _, err := ls.Read(uint64(i), 1, 0); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-start
+		buf := bytes.Repeat([]byte{0x5A}, 4096)
+		for i := 0; i < 32; i++ {
+			if err := scav.Write(uint64(256+i), buf, 0); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	close(start)
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Error(err)
+	}
+	if st := scav.Stats(); st.Completed < 33 {
+		t.Fatalf("scavenger completions = %d, want >= 33", st.Completed)
+	}
+}
+
+func TestScavengerClassMixingRejected(t *testing.T) {
+	srv := startServer(t, targetqp.ModeOPF)
+	scav := dial2(t, srv, proto.PrioScavenger, 4, 8)
+	tc := dial2(t, srv, proto.PrioThroughputCritical, 4, 8)
+	payload := make([]byte, 4096)
+
+	// A TC override on a scavenger connection would inject drain-window
+	// state the connection's queue accounting cannot carry; a scavenger
+	// override on a TC connection would strand the request outside the
+	// connection's window. Both are rejected host-side, before a CID is
+	// even allocated.
+	if err := scav.Write(0, payload, proto.PrioThroughputCritical); err == nil {
+		t.Fatal("TC override accepted on a scavenger connection")
+	}
+	if err := tc.Write(0, payload, proto.PrioScavenger); err == nil {
+		t.Fatal("scavenger override accepted on a TC connection")
+	}
+	// LS overrides stay legal on scavenger connections (an urgent probe
+	// from a background tenant bypasses its own backlog).
+	if _, err := scav.Read(0, 1, proto.PrioLatencySensitive); err != nil {
+		t.Fatalf("LS override on scavenger connection: %v", err)
+	}
+	// The rejects left no stuck state: a normal scavenger op still runs.
+	if err := scav.Write(1, payload, 0); err != nil {
+		t.Fatalf("scavenger write after rejected overrides: %v", err)
+	}
+}
+
+// TestScavengerParksOverTCP asserts the class actually reaches the PM on
+// the real transport: the server's pooled CapsuleCmd decode once masked
+// the priority byte to the legacy two bits, so scavenger commands ran the
+// FIFO path — they completed, which is why the round-trip tests above
+// stayed green — with zero isolation. The registry's scavenger counters
+// only move when OnCommand classifies the request as scavenger, so they
+// are the regression signal.
+func TestScavengerParksOverTCP(t *testing.T) {
+	reg := telemetry.New()
+	srv, err := Listen("127.0.0.1:0", ServerConfig{
+		Mode:      targetqp.ModeOPF,
+		Device:    mustMem(t),
+		Telemetry: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	scav := dial2(t, srv, proto.PrioScavenger, 4, 8)
+	payload := make([]byte, 4096)
+	const writes = 8
+	for i := 0; i < writes; i++ {
+		if err := scav.Write(uint64(i), payload, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var queued, drains int64
+	for _, ts := range reg.Tenants() {
+		queued += ts.ScavQueued
+		drains += ts.ScavDrains
+	}
+	if queued != writes {
+		t.Fatalf("scavenger requests queued at the PM = %d, want %d — the class is being lost on the wire path", queued, writes)
+	}
+	if drains == 0 {
+		t.Fatal("scavenger windows drained = 0 — requests completed outside the scavenger path")
+	}
+}

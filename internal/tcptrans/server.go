@@ -81,10 +81,21 @@ type ServerConfig struct {
 	MaxPendingPerTenant int
 	MaxPendingGlobal    int
 	LSHeadroom          int
+	// ScavengerHeadroom reserves slots of MaxPendingGlobal (beyond
+	// LSHeadroom) that scavenger requests may never occupy, so a
+	// best-effort flood always yields admission capacity to LS and TC.
+	// Divided (ceiling) across shards like the other global budgets.
+	ScavengerHeadroom int
 	// DrainWatchdog force-drains any TC queue whose oldest parked request
 	// has waited this long with no draining flag (host crashed or went
 	// silent mid-window). Zero disables the watchdog.
 	DrainWatchdog time.Duration
+	// ScavengerAging bounds how long a parked scavenger queue can starve
+	// behind continuous LS/TC traffic before it force-drains anyway. A
+	// ticker fans the check out to every shard (like the drain watchdog)
+	// so parked windows age out even on an otherwise idle connection.
+	// Zero disables the bound.
+	ScavengerAging time.Duration
 	// Workers is the device executor pool size (default 8), shared by all
 	// shards.
 	Workers int
@@ -224,7 +235,9 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 			MaxPendingPerTenant: cfg.MaxPendingPerTenant,
 			MaxPendingGlobal:    perShard(cfg.MaxPendingGlobal),
 			LSHeadroom:          perShard(cfg.LSHeadroom),
+			ScavengerHeadroom:   perShard(cfg.ScavengerHeadroom),
 			DrainWatchdog:       cfg.DrainWatchdog,
+			ScavengerAging:      cfg.ScavengerAging,
 			MaxDataLen:          cfg.MaxDataLen,
 			Telemetry:           cfg.Telemetry,
 			Trace:               cfg.Trace,
@@ -284,6 +297,32 @@ func Listen(addr string, cfg ServerConfig) (*Server, error) {
 				case <-t.C:
 					for _, sh := range s.shards {
 						sh.post(func() { _, _ = sh.target.CheckWatchdog() })
+					}
+				case <-s.quit:
+					return
+				}
+			}
+		}()
+	}
+	// Scavenger aging: same fan-out shape as the watchdog. The target also
+	// polls opportunistically on every command and completion; this ticker
+	// only covers the quiet case where no foreground event ever fires to
+	// notice that a parked window aged past the bound.
+	if cfg.ScavengerAging > 0 {
+		tick := cfg.ScavengerAging / 4
+		if tick <= 0 {
+			tick = cfg.ScavengerAging
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			t := time.NewTicker(tick)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					for _, sh := range s.shards {
+						sh.post(func() { _, _ = sh.target.CheckScavenger() })
 					}
 				case <-s.quit:
 					return

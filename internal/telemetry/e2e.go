@@ -26,10 +26,14 @@ const HistSubBits = histSubBits
 // wirePriority maps a latency class back to the representative wire
 // priority TelemetryUpdate carries for it.
 func (c Class) wirePriority() proto.Priority {
-	if c == ClassLS {
+	switch c {
+	case ClassLS:
 		return proto.PrioLatencySensitive
+	case ClassScav:
+		return proto.PrioScavenger
+	default:
+		return proto.PrioThroughputCritical
 	}
-	return proto.PrioThroughputCritical
 }
 
 // E2EAccum accumulates one host session's end-to-end observations between

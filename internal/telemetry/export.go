@@ -167,6 +167,28 @@ func (r *Registry) PrometheusText() string {
 			fmt.Fprintf(&b, "%s{tenant=\"%d\"} %d\n", m.name, t.Tenant, m.value(t))
 		}
 	}
+	// Scavenger instruments: emitted only for tenants that carried any
+	// best-effort traffic, so scavenger-free deployments keep their
+	// exposition byte-identical (the same gating the cluster instruments
+	// use).
+	emitScav := func(name, kind, help string, value func(TenantSnapshot) int64) {
+		hdr := false
+		for _, t := range tenants {
+			if t.ScavQueued == 0 && t.ScavDrains == 0 {
+				continue
+			}
+			if !hdr {
+				fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, kind)
+				hdr = true
+			}
+			fmt.Fprintf(&b, "%s{tenant=\"%d\"} %d\n", name, t.Tenant, value(t))
+		}
+	}
+	emitScav("nvmeopf_scavenger_queued_total", "counter", "Scavenger (best-effort) requests absorbed into queues.", func(t TenantSnapshot) int64 { return t.ScavQueued })
+	emitScav("nvmeopf_scavenger_queue_depth", "gauge", "Parked scavenger requests awaiting leftover capacity.", func(t TenantSnapshot) int64 { return t.ScavQueueDepth })
+	emitScav("nvmeopf_scavenger_drains_total", "counter", "Scavenger windows released (leftover capacity or aging).", func(t TenantSnapshot) int64 { return t.ScavDrains })
+	emitScav("nvmeopf_scavenger_aged_drains_total", "counter", "Scavenger windows force-drained by the aging bound.", func(t TenantSnapshot) int64 { return t.ScavAgedDrains })
+
 	b.WriteString("# HELP nvmeopf_tenant_coalescing_ratio Completions per wire response (>1 means coalescing).\n" +
 		"# TYPE nvmeopf_tenant_coalescing_ratio gauge\n")
 	for _, t := range tenants {

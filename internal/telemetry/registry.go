@@ -59,6 +59,14 @@ type tenantSlot struct {
 	busyRejections atomic.Int64 // admissions refused with StatusBusy
 	replayed       atomic.Int64 // requests resubmitted by recovery
 
+	// Scavenger (best-effort) class instruments. Exported in their own
+	// gated block so deployments without scavenger traffic keep their
+	// exposition byte-identical.
+	scavQueued     atomic.Int64 // scavenger requests absorbed into queues
+	scavQueueDepth atomic.Int64 // gauge: parked scavenger requests
+	scavDrains     atomic.Int64 // scavenger windows released
+	scavAgedDrains atomic.Int64 // of which forced by the aging bound
+
 	// hist holds the per-class latency histograms. Installed lazily (one
 	// 15 KiB Hist per active tenant-class, CAS once) so an idle registry
 	// stays small; after installation Record is allocation-free.
@@ -353,6 +361,39 @@ func (r *Registry) SetQueueDepth(t proto.TenantID, depth int) {
 		return
 	}
 	r.slot(t).queueDepth.Store(int64(depth))
+}
+
+// IncScavQueued records one scavenger (best-effort) request absorbed
+// into the tenant's scavenger queue.
+func (r *Registry) IncScavQueued(t proto.TenantID) {
+	if r == nil {
+		return
+	}
+	r.slot(t).scavQueued.Add(1)
+}
+
+// SetScavQueueDepth records the tenant's parked scavenger request count.
+func (r *Registry) SetScavQueueDepth(t proto.TenantID, depth int) {
+	if r == nil {
+		return
+	}
+	r.slot(t).scavQueueDepth.Store(int64(depth))
+}
+
+// ObserveScavDrain records one scavenger window released for execution
+// and whether the aging bound (rather than leftover capacity) forced it.
+// The batch size is deliberately not stored in the drain-window gauge:
+// that gauge tracks the foreground TC window, and scavenger batches are
+// opportunistic, not tuned.
+func (r *Registry) ObserveScavDrain(t proto.TenantID, aged bool) {
+	if r == nil {
+		return
+	}
+	s := r.slot(t)
+	s.scavDrains.Add(1)
+	if aged {
+		s.scavAgedDrains.Add(1)
+	}
 }
 
 // SetWindow records the tenant's drain window size (host side: the PM's
@@ -743,6 +784,12 @@ type TenantSnapshot struct {
 	// Replayed counts requests the host's recovery layer resubmitted.
 	BusyRejections int64 `json:"busy_rejections"`
 	Replayed       int64 `json:"replayed"`
+	// Scavenger (best-effort) class instruments; all zero for tenants
+	// that never submitted scavenger traffic (omitted from JSON then).
+	ScavQueued     int64 `json:"scav_queued,omitempty"`
+	ScavQueueDepth int64 `json:"scav_queue_depth,omitempty"`
+	ScavDrains     int64 `json:"scav_drains,omitempty"`
+	ScavAgedDrains int64 `json:"scav_aged_drains,omitempty"`
 	// CoalescingRatio is completions per wire response — the live form of
 	// the paper's Fig. 6(c) metric; > 1 means coalescing is paying off.
 	CoalescingRatio float64 `json:"coalescing_ratio"`
@@ -817,6 +864,11 @@ func (r *Registry) Tenants() []TenantSnapshot {
 
 			BusyRejections: s.busyRejections.Load(),
 			Replayed:       s.replayed.Load(),
+
+			ScavQueued:     s.scavQueued.Load(),
+			ScavQueueDepth: s.scavQueueDepth.Load(),
+			ScavDrains:     s.scavDrains.Load(),
+			ScavAgedDrains: s.scavAgedDrains.Load(),
 		}
 		if snap.Responses > 0 {
 			snap.CoalescingRatio = float64(snap.Completed) / float64(snap.Responses)

@@ -71,6 +71,12 @@ const (
 	// ThroughputCritical requests batch per tenant and complete via
 	// coalesced notifications.
 	ThroughputCritical = proto.PrioThroughputCritical
+	// Scavenger requests are best-effort: the target parks them per tenant
+	// and drains them only with leftover capacity (no LS request pending,
+	// no un-drained TC window), force-draining after the configured aging
+	// bound so they finish eventually without ever displacing foreground
+	// traffic.
+	Scavenger = proto.PrioScavenger
 )
 
 // Mode selects target behaviour.
